@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one panel (or one whole figure) of the
+paper's evaluation and prints the same rows/series the paper plots.
+Workload sizes are laptop-scaled by default; set ``REPRO_BENCH_SCALE``
+to raise them (1.0 = paper-sized inputs)::
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/ --benchmark-only
+
+Reports are also written to ``benchmarks/output/<figure>.txt`` so the
+EXPERIMENTS.md comparison can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def scale_factor(default: float) -> float:
+    """The workload scale, overridable via REPRO_BENCH_SCALE."""
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if raw is None:
+        return default
+    return float(raw)
+
+
+@pytest.fixture()
+def figure_report_sink():
+    """Write a figure report to the output directory and echo it."""
+
+    def write(figure_id: str, report: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{figure_id}.txt").write_text(report + "\n")
+        print()
+        print(report)
+
+    return write

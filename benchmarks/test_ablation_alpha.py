@@ -1,0 +1,66 @@
+"""Ablation: the driver trade-off coefficient α.
+
+α weighs the fare pay-off against the deadhead cost in the driver's
+preference order (the paper fixes α = 1).  Expected: the *reported*
+dissatisfaction value falls as α grows by construction; the interesting
+signal is how the induced matching changes — larger α makes drivers
+chase long fares, raising passenger pickup distances.
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.analysis import format_table
+from repro.core import DispatchConfig, SimulationConfig
+from repro.dispatch import nstd_p
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.geometry import EuclideanDistance
+from repro.simulation import Simulator
+from repro.trace import boston_profile
+
+ALPHAS = (0.0, 0.5, 1.0, 2.0)
+
+
+def run_alpha_sweep():
+    oracle = EuclideanDistance()
+    profile = boston_profile()
+    scale = ExperimentScale(factor=scale_factor(0.04), seed=13, hours=(7.0, 10.0))
+    fleet, requests = build_workload(profile, scale)
+    base = city_simulation_config(profile.scaled(scale.factor))
+    rows = []
+    for alpha in ALPHAS:
+        dispatch = DispatchConfig(
+            alpha=alpha,
+            beta=1.0,
+            theta_km=base.dispatch.theta_km,
+            passenger_threshold_km=base.dispatch.passenger_threshold_km,
+            taxi_threshold_km=base.dispatch.taxi_threshold_km,
+        )
+        sim_config = SimulationConfig(
+            frame_length_s=base.frame_length_s,
+            taxi_speed_kmh=base.taxi_speed_kmh,
+            passenger_patience_s=base.passenger_patience_s,
+            horizon_s=base.horizon_s,
+            dispatch=dispatch,
+        )
+        result = Simulator(nstd_p(oracle, dispatch), oracle, sim_config).run(fleet, requests)
+        summary = result.summary()
+        rows.append(
+            [
+                alpha,
+                summary["service_rate"],
+                summary["mean_dispatch_delay_min"],
+                summary["mean_passenger_dissatisfaction"],
+                summary["mean_taxi_dissatisfaction"],
+            ]
+        )
+    return rows
+
+
+def test_ablation_alpha(benchmark, figure_report_sink):
+    rows = benchmark.pedantic(run_alpha_sweep, rounds=1, iterations=1)
+    report = "== Ablation — driver coefficient alpha (NSTD-P, Boston) ==\n" + format_table(
+        ["alpha", "service_rate", "mean_delay_min", "mean_pd", "mean_td"], rows
+    )
+    figure_report_sink("ablation_alpha", report)
+    # The reported driver score shrinks with alpha by construction.
+    td = [row[4] for row in rows]
+    assert all(a >= b for a, b in zip(td, td[1:]))

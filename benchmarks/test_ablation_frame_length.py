@@ -1,0 +1,61 @@
+"""Ablation: the batching frame length.
+
+The paper fixes one-minute frames.  Longer frames pool more requests
+per dispatch round — better matches, worse baseline latency; shorter
+frames dispatch eagerly.  This sweep quantifies the trade-off for the
+stable dispatcher.
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.analysis import format_table
+from repro.core import SimulationConfig
+from repro.dispatch import nstd_p
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.geometry import EuclideanDistance
+from repro.simulation import Simulator
+from repro.trace import boston_profile
+
+FRAME_LENGTHS_S = (30.0, 60.0, 120.0, 300.0)
+
+
+def run_frame_sweep():
+    oracle = EuclideanDistance()
+    profile = boston_profile()
+    scale = ExperimentScale(factor=scale_factor(0.04), seed=17, hours=(7.0, 10.0))
+    fleet, requests = build_workload(profile, scale)
+    base = city_simulation_config(profile.scaled(scale.factor))
+    rows = []
+    for frame_s in FRAME_LENGTHS_S:
+        sim_config = SimulationConfig(
+            frame_length_s=frame_s,
+            taxi_speed_kmh=base.taxi_speed_kmh,
+            passenger_patience_s=base.passenger_patience_s,
+            horizon_s=base.horizon_s,
+            dispatch=base.dispatch,
+        )
+        result = Simulator(nstd_p(oracle, base.dispatch), oracle, sim_config).run(
+            fleet, requests
+        )
+        summary = result.summary()
+        rows.append(
+            [
+                frame_s,
+                summary["service_rate"],
+                summary["mean_dispatch_delay_min"],
+                summary["mean_passenger_dissatisfaction"],
+                summary["mean_taxi_dissatisfaction"],
+            ]
+        )
+    return rows
+
+
+def test_ablation_frame_length(benchmark, figure_report_sink):
+    rows = benchmark.pedantic(run_frame_sweep, rounds=1, iterations=1)
+    report = "== Ablation — batching frame length (NSTD-P, Boston) ==\n" + format_table(
+        ["frame_s", "service_rate", "mean_delay_min", "mean_pd", "mean_td"], rows
+    )
+    figure_report_sink("ablation_frame_length", report)
+    # The frame quantum lower-bounds delay: a 300 s frame cannot beat the
+    # 30 s frame's minimum wait.
+    delays = {row[0]: row[2] for row in rows}
+    assert delays[300.0] >= delays[30.0] - 1e-6

@@ -1,0 +1,104 @@
+"""Ablation: Euclidean plane vs. a road-network distance oracle.
+
+The paper models the city as a Euclidean surface.  This ablation replays
+the same Boston-morning workload with true shortest-path distances on a
+street lattice and checks that the comparison's *ordering* — the only
+thing the oracle choice could disturb — survives: NSTD still wins the
+taxi side, distances grow by the lattice circuity, delays stretch
+accordingly.
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.analysis import format_table
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.experiments.runners import make_dispatcher
+from repro.geometry import EuclideanDistance, Point
+from repro.network import grid_city
+from repro.simulation import Simulator
+from repro.trace import boston_profile
+
+ALGORITHMS = ("NSTD-P", "Greedy", "MCBM")
+
+
+def build_lattice_for(requests, fleet, block_km):
+    xs = [r.pickup.x for r in requests] + [r.dropoff.x for r in requests] + [
+        t.location.x for t in fleet
+    ]
+    ys = [r.pickup.y for r in requests] + [r.dropoff.y for r in requests] + [
+        t.location.y for t in fleet
+    ]
+    span_x = max(xs) - min(xs)
+    span_y = max(ys) - min(ys)
+    cols = int(span_x / block_km) + 2
+    rows = int(span_y / block_km) + 2
+    network = grid_city(rows, cols, block_km)
+    # grid_city spans from the origin; shift the workload's bounding box
+    # onto it by translating all entities.
+    offset = Point(-min(xs), -min(ys))
+    shifted_requests = [
+        type(r)(
+            request_id=r.request_id,
+            pickup=r.pickup.translate(offset.x, offset.y),
+            dropoff=r.dropoff.translate(offset.x, offset.y),
+            request_time_s=r.request_time_s,
+            passengers=r.passengers,
+        )
+        for r in requests
+    ]
+    shifted_fleet = [
+        type(t)(taxi_id=t.taxi_id, location=t.location.translate(offset.x, offset.y), seats=t.seats)
+        for t in fleet
+    ]
+    return network, shifted_fleet, shifted_requests
+
+
+def run_oracle_comparison():
+    profile = boston_profile()
+    scale = ExperimentScale(factor=scale_factor(0.02), seed=43, hours=(8.0, 10.0))
+    fleet, requests = build_workload(profile, scale)
+    sim_config = city_simulation_config(profile.scaled(scale.factor))
+    block_km = 0.15 * profile.scaled(scale.factor).space_scale / 0.2 + 0.05
+    network, net_fleet, net_requests = build_lattice_for(requests, fleet, max(block_km, 0.05))
+
+    rows = []
+    results_by_oracle = {}
+    for label, oracle, use_fleet, use_requests in (
+        ("euclidean", EuclideanDistance(), fleet, requests),
+        ("road-grid", network, net_fleet, net_requests),
+    ):
+        results = {}
+        for name in ALGORITHMS:
+            dispatcher = make_dispatcher(name, oracle, sim_config.dispatch)
+            results[name] = Simulator(dispatcher, oracle, sim_config).run(
+                use_fleet, use_requests
+            )
+        results_by_oracle[label] = results
+        for name in ALGORITHMS:
+            summary = results[name].summary()
+            rows.append(
+                [
+                    label,
+                    name,
+                    summary["service_rate"],
+                    summary["mean_dispatch_delay_min"],
+                    summary["mean_passenger_dissatisfaction"],
+                    summary["mean_taxi_dissatisfaction"],
+                ]
+            )
+    return rows, results_by_oracle
+
+
+def test_ablation_network_oracle(benchmark, figure_report_sink):
+    rows, results = benchmark.pedantic(run_oracle_comparison, rounds=1, iterations=1)
+    report = "== Ablation — Euclidean vs road-network oracle (Boston morning) ==\n" + format_table(
+        ["oracle", "algorithm", "service_rate", "delay_min", "mean_pd", "mean_td"], rows
+    )
+    figure_report_sink("ablation_network_oracle", report)
+
+    # The headline ordering survives the oracle swap.
+    for label in ("euclidean", "road-grid"):
+        td = {
+            name: results[label][name].summary()["mean_taxi_dissatisfaction"]
+            for name in ALGORITHMS
+        }
+        assert td["NSTD-P"] < td["Greedy"], label

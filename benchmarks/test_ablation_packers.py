@@ -1,0 +1,70 @@
+"""Ablation: the set-packing solver inside Algorithm 3.
+
+DESIGN.md calls out the packer as a swappable design choice.  This
+bench compares greedy, local-search (the default, matching the cited
+(max|c|+2)/3 regime), and exact branch-and-bound on identical
+feasible-group inputs: packed-group counts and wall time.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import scale_factor
+from repro.analysis import format_table
+from repro.core import DispatchConfig
+from repro.geometry import EuclideanDistance
+from repro.packing import (
+    enumerate_feasible_groups,
+    exact_set_packing,
+    greedy_set_packing,
+    local_search_packing,
+)
+from repro.experiments import ExperimentScale, build_workload
+from repro.trace import boston_profile
+
+
+def build_candidate_sets():
+    oracle = EuclideanDistance()
+    scale = ExperimentScale(factor=scale_factor(0.05), seed=21, hours=(8.0, 9.0))
+    _, requests = build_workload(boston_profile(), scale)
+    space = boston_profile().scaled(scale.factor).space_scale
+    # A tight theta keeps the candidate family small enough that the
+    # exact branch-and-bound terminates within its node budget.
+    config = DispatchConfig(theta_km=1.0 * space)
+    groups = enumerate_feasible_groups(
+        requests[:14], oracle, config, pairing_radius_km=4.0 * space
+    )
+    return [frozenset(g.request_ids) for g in groups]
+
+
+def run_packer_comparison():
+    sets = build_candidate_sets()
+    solvers = (
+        ("greedy", greedy_set_packing),
+        ("local", local_search_packing),
+        ("exact", lambda s: exact_set_packing(s, node_limit=5_000_000)),
+    )
+    rows = []
+    for name, solver in solvers:
+        started = time.perf_counter()
+        try:
+            result = solver(sets)
+        except Exception:
+            rows.append([name, len(sets), -1, -1, -1.0])
+            continue
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        rows.append([name, len(sets), result.size, len(result.covered), elapsed_ms])
+    return rows
+
+
+def test_ablation_packers(benchmark, figure_report_sink):
+    rows = benchmark.pedantic(run_packer_comparison, rounds=1, iterations=1)
+    report = "== Ablation — set-packing solvers (identical inputs) ==\n" + format_table(
+        ["packer", "candidate_sets", "packed_groups", "covered_requests", "time_ms"], rows
+    )
+    figure_report_sink("ablation_packers", report)
+    by_name = {row[0]: row[2] for row in rows}
+    assert by_name["greedy"] <= by_name["local"]
+    if by_name["exact"] >= 0:  # exact solver completed within its node budget
+        assert by_name["local"] <= by_name["exact"]

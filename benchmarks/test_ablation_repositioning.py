@@ -1,0 +1,55 @@
+"""Ablation: idle-taxi repositioning (an extension beyond the paper).
+
+The paper parks idle taxis at their last dropoff.  Cruising back toward
+demand attacks the deadhead cost directly; this bench compares parking,
+drifting to the city centre, and drifting to the recent-demand centroid
+under the stable dispatcher.
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.analysis import format_table
+from repro.dispatch import nstd_p
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.geometry import EuclideanDistance, Point
+from repro.simulation import DriftToAnchor, DriftToRecentDemand, Simulator
+from repro.trace import boston_profile
+
+
+def run_repositioning_comparison():
+    oracle = EuclideanDistance()
+    profile = boston_profile()
+    scale = ExperimentScale(factor=scale_factor(0.04), seed=29, hours=(7.0, 12.0))
+    fleet, requests = build_workload(profile, scale)
+    sim_config = city_simulation_config(profile.scaled(scale.factor))
+    policies = (
+        ("parked", None),
+        ("drift-to-centre", DriftToAnchor(Point(0.0, 0.0))),
+        ("drift-to-demand", DriftToRecentDemand(window=60)),
+    )
+    rows = []
+    for label, policy in policies:
+        result = Simulator(
+            nstd_p(oracle, sim_config.dispatch), oracle, sim_config, repositioning=policy
+        ).run(fleet, requests)
+        summary = result.summary()
+        rows.append(
+            [
+                label,
+                summary["service_rate"],
+                summary["mean_dispatch_delay_min"],
+                summary["mean_passenger_dissatisfaction"],
+                summary["mean_taxi_dissatisfaction"],
+            ]
+        )
+    return rows
+
+
+def test_ablation_repositioning(benchmark, figure_report_sink):
+    rows = benchmark.pedantic(run_repositioning_comparison, rounds=1, iterations=1)
+    report = "== Ablation — idle repositioning (NSTD-P, Boston) ==\n" + format_table(
+        ["policy", "service_rate", "mean_delay_min", "mean_pd", "mean_td"], rows
+    )
+    figure_report_sink("ablation_repositioning", report)
+    by_label = {row[0]: row for row in rows}
+    # Cruising toward demand must not hurt the served fraction.
+    assert by_label["drift-to-demand"][1] >= by_label["parked"][1] - 0.02

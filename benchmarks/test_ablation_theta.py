@@ -1,0 +1,78 @@
+"""Ablation: the sharing threshold θ.
+
+The paper fixes θ = 5 km; this ablation sweeps θ and reports how the
+feasible-group count, packed-ride fraction, and mean passenger
+dissatisfaction respond.  Expected: larger θ admits more groups and
+raises the shared fraction, trading passenger detour pain for fleet
+capacity.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scale_factor
+from repro.analysis import format_table
+from repro.core import DispatchConfig, SimulationConfig
+from repro.dispatch import std_p
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.geometry import EuclideanDistance
+from repro.packing import enumerate_feasible_groups
+from repro.simulation import Simulator
+from repro.trace import boston_profile
+
+THETAS = (1.0, 2.5, 5.0, 10.0)
+
+
+def run_theta_sweep():
+    oracle = EuclideanDistance()
+    profile = boston_profile()
+    scale = ExperimentScale(factor=scale_factor(0.02), seed=9, hours=(7.0, 10.0))
+    fleet, requests = build_workload(profile, scale)
+    scaled = profile.scaled(scale.factor)
+    base_sim = city_simulation_config(scaled)
+    space = scaled.space_scale
+    rows = []
+    for theta_paper_km in THETAS:
+        theta = theta_paper_km * space  # paper-km -> scaled length units
+        dispatch = DispatchConfig(
+            alpha=1.0,
+            beta=1.0,
+            theta_km=theta,
+            passenger_threshold_km=base_sim.dispatch.passenger_threshold_km,
+            taxi_threshold_km=base_sim.dispatch.taxi_threshold_km,
+        )
+        sim_config = SimulationConfig(
+            frame_length_s=base_sim.frame_length_s,
+            taxi_speed_kmh=base_sim.taxi_speed_kmh,
+            passenger_patience_s=base_sim.passenger_patience_s,
+            horizon_s=base_sim.horizon_s,
+            dispatch=dispatch,
+        )
+        # Feasible groups over one representative batch of 40 requests.
+        batch = requests[:40]
+        groups = enumerate_feasible_groups(
+            batch, oracle, dispatch, pairing_radius_km=2.0 * theta
+        )
+        dispatcher = std_p(oracle, dispatch, pairing_radius_km=2.0 * theta)
+        result = Simulator(dispatcher, oracle, sim_config).run(fleet, requests)
+        summary = result.summary()
+        rows.append(
+            [
+                theta_paper_km,
+                len(groups),
+                summary["shared_ride_fraction"],
+                summary["mean_passenger_dissatisfaction"],
+                summary["mean_taxi_dissatisfaction"],
+            ]
+        )
+    return rows
+
+
+def test_ablation_theta(benchmark, figure_report_sink):
+    rows = benchmark.pedantic(run_theta_sweep, rounds=1, iterations=1)
+    report = "== Ablation — sharing threshold theta (STD-P, Boston) ==\n" + format_table(
+        ["theta_km", "feasible_groups", "shared_frac", "mean_pd", "mean_td"], rows
+    )
+    figure_report_sink("ablation_theta", report)
+    group_counts = [row[1] for row in rows]
+    # More permissive theta admits at least as many groups.
+    assert all(a <= b for a, b in zip(group_counts, group_counts[1:]))

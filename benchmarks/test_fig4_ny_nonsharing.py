@@ -1,0 +1,31 @@
+"""Fig. 4 — non-sharing dispatch CDFs on the New York workload.
+
+Regenerates the three panels (dispatch delay, passenger dissatisfaction,
+taxi dissatisfaction) for NSTD-P, NSTD-T, Greedy, MCBM and MMCM over a
+scaled New York day.  The paper's qualitative findings to look for in
+the printed tables:
+
+* all algorithms deliver most dispatches within a few frames, with
+  Greedy/MCBM fastest (panel a);
+* Greedy and NSTD-P lead the passenger-dissatisfaction CDF; MMCM's
+  curve is compressed under a common cap (panel b);
+* NSTD-P/NSTD-T dominate taxi dissatisfaction by a wide margin
+  (panel c).
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.experiments import ExperimentScale, run_figure
+
+
+def test_fig4_new_york_nonsharing(benchmark, figure_report_sink):
+    scale = ExperimentScale(factor=scale_factor(0.02), seed=2017)
+    result = benchmark.pedantic(lambda: run_figure("fig4", scale), rounds=1, iterations=1)
+    figure_report_sink("fig4", result.report)
+
+    summaries = result.summaries
+    assert set(summaries) == {"NSTD-P", "NSTD-T", "Greedy", "MCBM", "MMCM"}
+    # Headline shape: the stable dispatchers win the taxi side.
+    stable_worst = max(
+        summaries[name]["mean_taxi_dissatisfaction"] for name in ("NSTD-P", "NSTD-T")
+    )
+    assert stable_worst < summaries["Greedy"]["mean_taxi_dissatisfaction"]

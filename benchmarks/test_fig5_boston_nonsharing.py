@@ -1,0 +1,27 @@
+"""Fig. 5 — non-sharing dispatch CDFs on the Boston workload.
+
+Same panels as Fig. 4 on the compact Boston trace.  Expected shapes:
+dissatisfaction values sit lower than New York's (smaller area), and
+NSTD-P/NSTD-T are no longer outrun on dispatch delay because they
+refuse hopeless far dispatches and let passengers wait for nearby busy
+taxis (the paper's Section VI-C discussion).
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.experiments import ExperimentScale, run_figure
+
+
+def test_fig5_boston_nonsharing(benchmark, figure_report_sink):
+    scale = ExperimentScale(factor=scale_factor(0.05), seed=2017)
+    result = benchmark.pedantic(lambda: run_figure("fig5", scale), rounds=1, iterations=1)
+    figure_report_sink("fig5", result.report)
+
+    summaries = result.summaries
+    stable_worst = max(
+        summaries[name]["mean_taxi_dissatisfaction"] for name in ("NSTD-P", "NSTD-T")
+    )
+    assert stable_worst < summaries["Greedy"]["mean_taxi_dissatisfaction"]
+    # Boston's area is smaller than New York's, so its passenger
+    # dissatisfaction magnitudes must come out lower at equal scale —
+    # verified across figures in EXPERIMENTS.md rather than here.
+    assert all(s["service_rate"] > 0.5 for s in summaries.values())

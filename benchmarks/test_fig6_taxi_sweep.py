@@ -1,0 +1,32 @@
+"""Fig. 6 — Boston non-sharing averages vs. number of taxis.
+
+Sweeps paper-scale fleet sizes 100..300 and prints the three average
+metrics per algorithm.  Expected shapes (paper Section VI-C): fewer
+taxis → larger delays and higher passenger dissatisfaction for all
+algorithms; NSTD-P/NSTD-T's taxi-dissatisfaction advantage grows as
+taxis become scarce (drivers get to choose among many requests).
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.experiments import ExperimentScale, run_figure
+from repro.experiments.figures import FIG6_TAXI_COUNTS
+
+
+def test_fig6_fleet_size_sweep(benchmark, figure_report_sink):
+    scale = ExperimentScale(factor=scale_factor(0.04), seed=2017, hours=(7.0, 11.0))
+    result = benchmark.pedantic(lambda: run_figure("fig6", scale), rounds=1, iterations=1)
+    figure_report_sink("fig6", result.report)
+
+    delays = result.series["mean_dispatch_delay_min"]
+    for name, values in delays.items():
+        assert len(values) == len(FIG6_TAXI_COUNTS)
+        # Fig. 6(a): fewer taxis, larger average dispatch delay.
+        assert values[-1] <= values[0] + 1e-6, name
+
+    # Fig. 6(c): the stable dispatchers' taxi-side advantage holds at
+    # every fleet size and is present at the scarcest one.
+    td = result.series["mean_taxi_dissatisfaction"]
+    for index in range(len(FIG6_TAXI_COUNTS)):
+        stable = min(td["NSTD-P"][index], td["NSTD-T"][index])
+        assert stable < td["Greedy"][index]
+    assert min(td["NSTD-P"][0], td["NSTD-T"][0]) < td["MCBM"][0]

@@ -1,0 +1,25 @@
+"""Fig. 7 — Boston non-sharing averages across the clock.
+
+Simulates a full Boston day and buckets the three metrics by hour of
+request.  Expected shape (paper Section VI-C): pronounced stress around
+the 9 am and 6 pm commute peaks — larger average dispatch delay and
+higher passenger dissatisfaction when demand outruns the fleet.
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.experiments import ExperimentScale, run_figure
+
+
+def test_fig7_clock_time_profile(benchmark, figure_report_sink):
+    scale = ExperimentScale(factor=scale_factor(0.04), seed=2017)
+    result = benchmark.pedantic(lambda: run_figure("fig7", scale), rounds=1, iterations=1)
+    figure_report_sink("fig7", result.report)
+
+    delays = result.series["mean_dispatch_delay_min"]
+    for name, by_hour in delays.items():
+        assert len(by_hour) == 24
+        # Rush-hour stress: the 8-10 am window must be slower than the
+        # overnight trough (3-5 am) for every algorithm that serves both.
+        morning = max(by_hour[8:11])
+        night = min(by_hour[3:6])
+        assert morning >= night, name

@@ -1,0 +1,31 @@
+"""Fig. 8 — sharing dispatch CDFs on the New York workload.
+
+Regenerates the sharing evaluation: STD-P, STD-T (Algorithm 3) against
+RAII, SARP and the ILP heuristic.  Expected shape (paper Section VI-D):
+unlike the non-sharing case, the stable packed dispatchers clearly
+outperform every baseline on **all three** metrics — RAII's index is
+information-lossy and SARP's insertion order locks in early mistakes.
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.experiments import ExperimentScale, run_figure
+
+
+def test_fig8_new_york_sharing(benchmark, figure_report_sink):
+    scale = ExperimentScale(factor=scale_factor(0.015), seed=2017, hours=(6.0, 12.0))
+    result = benchmark.pedantic(lambda: run_figure("fig8", scale), rounds=1, iterations=1)
+    figure_report_sink("fig8", result.report)
+
+    summaries = result.summaries
+    assert set(summaries) == {"STD-P", "STD-T", "RAII", "SARP", "ILP"}
+    stable_worst_td = max(
+        summaries[n]["mean_taxi_dissatisfaction"] for n in ("STD-P", "STD-T")
+    )
+    stable_worst_pd = max(
+        summaries[n]["mean_passenger_dissatisfaction"] for n in ("STD-P", "STD-T")
+    )
+    for baseline in ("RAII", "SARP"):
+        assert stable_worst_td < summaries[baseline]["mean_taxi_dissatisfaction"]
+        assert stable_worst_pd < summaries[baseline]["mean_passenger_dissatisfaction"]
+    # Sharing actually happens under every policy.
+    assert all(s["shared_ride_fraction"] > 0 for s in summaries.values())

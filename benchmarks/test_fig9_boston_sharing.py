@@ -1,0 +1,22 @@
+"""Fig. 9 — sharing dispatch CDFs on the Boston workload.
+
+The Boston counterpart of Fig. 8; same expected ordering with smaller
+absolute dissatisfaction values (compact service area).
+"""
+
+from benchmarks.conftest import scale_factor
+from repro.experiments import ExperimentScale, run_figure
+
+
+def test_fig9_boston_sharing(benchmark, figure_report_sink):
+    scale = ExperimentScale(factor=scale_factor(0.04), seed=2017, hours=(6.0, 12.0))
+    result = benchmark.pedantic(lambda: run_figure("fig9", scale), rounds=1, iterations=1)
+    figure_report_sink("fig9", result.report)
+
+    summaries = result.summaries
+    stable_worst_td = max(
+        summaries[n]["mean_taxi_dissatisfaction"] for n in ("STD-P", "STD-T")
+    )
+    for baseline in ("RAII", "SARP"):
+        assert stable_worst_td < summaries[baseline]["mean_taxi_dissatisfaction"]
+    assert all(s["shared_ride_fraction"] > 0 for s in summaries.values())

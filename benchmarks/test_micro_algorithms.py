@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the core algorithmic kernels.
+
+Times the primitives that dominate a dispatch frame: preference
+construction, deferred acceptance, stable-matching enumeration, the
+bipartite matchers, group feasibility enumeration, set packing, and the
+90-sequence exhaustive route search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.geometry import EuclideanDistance, Point
+from repro.matching import (
+    all_stable_matchings,
+    build_nonsharing_table,
+    deferred_acceptance,
+    min_cost_matching,
+    minimax_matching,
+)
+from repro.packing import enumerate_feasible_groups, local_search_packing
+from repro.routing import optimal_shared_route
+
+ORACLE = EuclideanDistance()
+
+
+def frame(seed, n_taxis, n_requests, spread=6.0):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.normal(0, spread, 2))) for i in range(n_taxis)]
+    requests = [
+        PassengerRequest(j, Point(*rng.normal(0, spread, 2)), Point(*rng.normal(0, spread, 2)))
+        for j in range(n_requests)
+    ]
+    return taxis, requests
+
+
+class TestMatchingKernels:
+    def test_bench_preference_table_200x100(self, benchmark):
+        taxis, requests = frame(0, 100, 200)
+        config = DispatchConfig()
+        table = benchmark(build_nonsharing_table, taxis, requests, ORACLE, config)
+        assert len(table.proposer_prefs) == 200
+
+    def test_bench_deferred_acceptance_200x100(self, benchmark):
+        taxis, requests = frame(1, 100, 200)
+        table = build_nonsharing_table(taxis, requests, ORACLE, DispatchConfig())
+        matching = benchmark(deferred_acceptance, table)
+        assert matching.size == 100
+
+    def test_bench_enumeration_8x8(self, benchmark):
+        taxis, requests = frame(2, 8, 8)
+        table = build_nonsharing_table(taxis, requests, ORACLE, DispatchConfig())
+        matchings = benchmark(all_stable_matchings, table)
+        assert len(matchings) >= 1
+
+    def test_bench_min_cost_matching_200x100(self, benchmark):
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(0, 20, size=(200, 100))
+        pairs = benchmark(min_cost_matching, matrix)
+        assert len(pairs) == 100
+
+    def test_bench_minimax_matching_100x60(self, benchmark):
+        rng = np.random.default_rng(4)
+        matrix = rng.uniform(0, 20, size=(100, 60))
+        pairs = benchmark(minimax_matching, matrix)
+        assert len(pairs) == 60
+
+
+class TestSharingKernels:
+    def test_bench_route_search_three_riders(self, benchmark):
+        rng = np.random.default_rng(5)
+        requests = [
+            PassengerRequest(i, Point(*rng.normal(0, 2, 2)), Point(*rng.normal(0, 2, 2)))
+            for i in range(3)
+        ]
+        route = benchmark(optimal_shared_route, requests, ORACLE)
+        assert len(route.stops) == 6
+
+    def test_bench_feasibility_enumeration_40_requests(self, benchmark):
+        _, requests = frame(6, 1, 40, spread=3.0)
+        config = DispatchConfig(theta_km=5.0)
+        groups = benchmark(
+            enumerate_feasible_groups, requests, ORACLE, config
+        )
+        assert isinstance(groups, list)
+
+    def test_bench_local_search_packing(self, benchmark):
+        rng = np.random.default_rng(7)
+        sets = [
+            frozenset(rng.choice(60, size=int(rng.integers(2, 4)), replace=False).tolist())
+            for _ in range(300)
+        ]
+        result = benchmark(local_search_packing, sets)
+        assert result.size >= 1

@@ -1,0 +1,45 @@
+"""A full (scaled) Boston day under all five non-sharing dispatchers.
+
+Reproduces the Fig. 5 comparison at example scale: simulates the same
+synthetic Boston trace under NSTD-P, NSTD-T, Greedy, MCBM and MMCM and
+prints summary metrics plus dispatch-delay CDF samples.
+
+Run:  python examples/nonsharing_city_day.py [scale]
+"""
+
+import sys
+
+from repro.analysis import empirical_cdf, format_cdf_table, format_summary_table
+from repro.experiments import (
+    NONSHARING_ALGORITHMS,
+    ExperimentScale,
+    run_city_experiment,
+)
+from repro.trace import boston_profile
+
+
+def main(scale_arg: float = 0.02) -> None:
+    scale = ExperimentScale(factor=scale_arg, seed=7)
+    profile = boston_profile()
+    print(
+        f"simulating one synthetic Boston day at scale {scale_arg:g} "
+        f"(~{profile.scaled(scale_arg).daily_requests} requests, "
+        f"{profile.scaled(scale_arg).n_taxis} taxis)"
+    )
+    results = run_city_experiment(profile, NONSHARING_ALGORITHMS, scale)
+
+    print("\nsummary (means; dissatisfaction in km, delay in minutes)")
+    print(format_summary_table({name: r.summary() for name, r in results.items()}))
+
+    delay_cdfs = {name: empirical_cdf(r.dispatch_delays_min()) for name, r in results.items()}
+    print("\ndispatch delay CDF (fraction of requests dispatched within X minutes)")
+    print(format_cdf_table(delay_cdfs, [1, 2, 5, 10, 30, 60], value_label="min"))
+
+    taxi_cdfs = {name: empirical_cdf(r.taxi_dissatisfactions()) for name, r in results.items()}
+    grid = sorted({round(taxi_cdfs[n].quantile(q), 1) for n in taxi_cdfs for q in (0.25, 0.5, 0.9)})
+    print("\ntaxi dissatisfaction CDF (fraction of rides below X km)")
+    print(format_cdf_table(taxi_cdfs, grid, value_label="km"))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

@@ -1,0 +1,77 @@
+"""Ties from quantized scores: why Király's algorithm earns its keep.
+
+Fare meters and map-matched distances are quantized in practice, so
+drivers are routinely *indifferent* between requests.  With ties and
+thresholds, maximum weakly stable matching is NP-hard (the paper's
+[14]); Király's promotion algorithm ([15]) guarantees 3/2 of the
+optimum in linear time.  This example quantizes the paper's preference
+scores at increasing resolutions and compares
+
+* arbitrary tie-breaking + Algorithm 1 (what a naive port would do),
+* Király's promotion algorithm, and
+* the exact optimum (brute force, small instance)
+
+on how many passengers get served.
+
+Run:  python examples/quantized_fares_ties.py
+"""
+
+import numpy as np
+
+from repro import DispatchConfig, EuclideanDistance, PassengerRequest, Point, Taxi
+from repro.analysis import format_table
+from repro.matching import (
+    build_nonsharing_table,
+    build_tied_nonsharing_table,
+    deferred_acceptance,
+    kiraly_max_stable,
+    max_weakly_stable_brute_force,
+    weakly_stable,
+)
+
+
+def build_market(seed: int, n: int = 7):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.normal(0, 2, 2))) for i in range(n)]
+    requests = [
+        PassengerRequest(j, Point(*rng.normal(0, 2, 2)), Point(*rng.normal(0, 2, 2)))
+        for j in range(n + 2)
+    ]
+    return taxis, requests
+
+
+def main() -> None:
+    oracle = EuclideanDistance()
+    config = DispatchConfig(passenger_threshold_km=3.0, taxi_threshold_km=1.0)
+    rows = []
+    for resolution in (0.05, 0.25, 0.5, 1.0):
+        naive_total = kiraly_total = optimal_total = 0
+        for seed in range(12):
+            taxis, requests = build_market(seed)
+            tied = build_tied_nonsharing_table(
+                taxis, requests, oracle, config, resolution_km=resolution
+            )
+            strict = build_nonsharing_table(taxis, requests, oracle, config)
+            naive = deferred_acceptance(strict)  # ties broken by id
+            kiraly = kiraly_max_stable(tied)
+            assert weakly_stable(tied, kiraly)
+            optimum = max_weakly_stable_brute_force(tied)
+            naive_total += naive.size
+            kiraly_total += kiraly.size
+            optimal_total += optimum.size
+        rows.append([resolution, naive_total, kiraly_total, optimal_total])
+    print("served passengers over 12 markets (7 taxis, 9 requests each)")
+    print(
+        format_table(
+            ["resolution km", "naive GS", "Kiraly", "optimum"], rows, float_format="{:.2f}"
+        )
+    )
+    print(
+        "\nCoarser quantization = more ties = more room for the promotion "
+        "mechanism to recover matches a naive tie-break leaves on the "
+        "table. Kiraly is guaranteed within 3/2 of the optimum."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: dispatch one frame of taxis with matching stability.
+
+Builds a six-taxi, eight-request frame, runs the paper's Algorithm 1
+(NSTD-P), verifies the result is stable, and prints who got which taxi
+with both sides' dissatisfaction scores.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DispatchConfig,
+    EuclideanDistance,
+    PassengerRequest,
+    Point,
+    Taxi,
+    assignment_metrics,
+    build_nonsharing_table,
+    find_blocking_pairs,
+    nstd_p,
+)
+from repro.matching import Matching
+
+
+def main() -> None:
+    oracle = EuclideanDistance()
+    config = DispatchConfig(passenger_threshold_km=6.0, taxi_threshold_km=6.0)
+
+    taxis = [
+        Taxi(0, Point(0.0, 0.0)),
+        Taxi(1, Point(2.0, 1.0)),
+        Taxi(2, Point(-1.5, 2.0)),
+        Taxi(3, Point(4.0, -1.0)),
+        Taxi(4, Point(-3.0, -2.0)),
+        Taxi(5, Point(1.0, 3.5)),
+    ]
+    requests = [
+        PassengerRequest(0, Point(0.5, 0.5), Point(5.0, 2.0)),
+        PassengerRequest(1, Point(2.5, 0.0), Point(-2.0, -3.0)),
+        PassengerRequest(2, Point(-1.0, 1.0), Point(0.0, 6.0)),
+        PassengerRequest(3, Point(3.5, -0.5), Point(3.0, 4.0)),
+        PassengerRequest(4, Point(-2.5, -1.0), Point(2.0, -2.0)),
+        PassengerRequest(5, Point(1.5, 3.0), Point(-4.0, 0.0)),
+        PassengerRequest(6, Point(9.0, 9.0), Point(10.0, 10.0)),  # too remote
+        PassengerRequest(7, Point(0.0, -1.0), Point(0.5, -1.2)),  # short hop
+    ]
+
+    dispatcher = nstd_p(oracle, config)
+    schedule = dispatcher.dispatch(taxis, requests)
+
+    table = build_nonsharing_table(taxis, requests, oracle, config)
+    blocking = find_blocking_pairs(table, Matching(schedule.taxi_of))
+    print(f"dispatcher: {dispatcher.name}")
+    print(f"stable:     {not blocking} (blocking pairs: {blocking})")
+    print()
+
+    taxis_by_id = {t.taxi_id: t for t in taxis}
+    requests_by_id = {r.request_id: r for r in requests}
+    print(f"{'request':>8} {'taxi':>5} {'pickup km':>10} {'passenger':>10} {'driver':>8}")
+    for assignment in schedule.assignments:
+        metrics = assignment_metrics(
+            taxis_by_id[assignment.taxi_id], assignment, requests_by_id, oracle, config
+        )
+        for rid in assignment.request_ids:
+            print(
+                f"{rid:>8} {assignment.taxi_id:>5} "
+                f"{metrics.pickup_distance_km[rid]:>10.2f} "
+                f"{metrics.passenger_dissatisfaction[rid]:>10.2f} "
+                f"{metrics.taxi_dissatisfaction:>8.2f}"
+            )
+    unserved = sorted(set(requests_by_id) - schedule.served_request_ids)
+    print(f"\nunserved requests (matched to dummy): {unserved}")
+
+
+if __name__ == "__main__":
+    main()

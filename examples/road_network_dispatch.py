@@ -1,0 +1,77 @@
+"""Stable dispatch on a road network instead of the Euclidean plane.
+
+Generates a Manhattan-style street lattice, uses true shortest-path
+distances as the oracle for both preference building and simulation,
+and contrasts the resulting metrics against the same workload measured
+with straight-line distances.
+
+Run:  python examples/road_network_dispatch.py
+"""
+
+import numpy as np
+
+from repro import (
+    DispatchConfig,
+    EuclideanDistance,
+    PassengerRequest,
+    Point,
+    SimulationConfig,
+    Taxi,
+    Simulator,
+    nstd_p,
+)
+from repro.analysis import format_table
+from repro.network import grid_city
+
+
+def build_workload(seed: int, span_km: float, n_taxis: int, n_requests: int):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.uniform(0, span_km, 2))) for i in range(n_taxis)]
+    requests = [
+        PassengerRequest(
+            j,
+            Point(*rng.uniform(0, span_km, 2)),
+            Point(*rng.uniform(0, span_km, 2)),
+            request_time_s=float(rng.uniform(0, 1800)),
+        )
+        for j in range(n_requests)
+    ]
+    return taxis, requests
+
+
+def main() -> None:
+    # A 4 km x 4 km downtown with 200 m blocks.
+    network = grid_city(21, 21, 0.2)
+    euclid = EuclideanDistance()
+    taxis, requests = build_workload(seed=3, span_km=4.0, n_taxis=8, n_requests=40)
+
+    rows = []
+    for label, oracle in (("euclidean", euclid), ("road network", network)):
+        config = SimulationConfig(
+            frame_length_s=60.0,
+            taxi_speed_kmh=20.0,
+            horizon_s=3600.0,
+            dispatch=DispatchConfig(),
+        )
+        result = Simulator(nstd_p(oracle, config.dispatch), oracle, config).run(taxis, requests)
+        summary = result.summary()
+        rows.append(
+            [
+                label,
+                summary["service_rate"],
+                summary["mean_dispatch_delay_min"],
+                summary["mean_passenger_dissatisfaction"],
+                summary["mean_taxi_dissatisfaction"],
+            ]
+        )
+    print("NSTD-P on the same workload under two distance oracles")
+    print(format_table(["oracle", "service_rate", "delay_min", "pass. dissat", "taxi dissat"], rows))
+    print(
+        "\nStreet-grid shortest paths are never shorter than straight lines, "
+        "so pickup distances (passenger dissatisfaction) rise; the dispatch "
+        "algorithm code is identical — only the injected oracle changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Morning rush with shared taxis: Algorithm 3 versus the baselines.
+
+Simulates a Boston morning rush window (7–10 am) where demand outruns
+the fleet and sharing pays off, comparing STD-P/STD-T against RAII,
+SARP and the ILP heuristic.  Prints per-algorithm summaries and the
+group-size mix each policy produced.
+
+Run:  python examples/sharing_rush_hour.py [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro.analysis import format_summary_table, format_table
+from repro.experiments import SHARING_ALGORITHMS, ExperimentScale, run_city_experiment
+from repro.trace import boston_profile
+
+
+def main(scale_arg: float = 0.03) -> None:
+    scale = ExperimentScale(factor=scale_arg, seed=11, hours=(7.0, 10.0))
+    profile = boston_profile()
+    print(f"simulating the 7-10 am Boston rush at scale {scale_arg:g}")
+    results = run_city_experiment(profile, SHARING_ALGORITHMS, scale)
+
+    print("\nsummary (means; dissatisfaction in km, delay in minutes)")
+    print(format_summary_table({name: r.summary() for name, r in results.items()}))
+
+    rows = []
+    for name, result in results.items():
+        mix = Counter(record.group_size for record in result.assignments)
+        total = sum(mix.values()) or 1
+        rows.append(
+            [
+                name,
+                mix.get(1, 0),
+                mix.get(2, 0),
+                mix.get(3, 0),
+                100.0 * (total - mix.get(1, 0)) / total,
+            ]
+        )
+    print("\nride mix (dispatches by on-board group size)")
+    print(format_table(["algorithm", "solo", "pairs", "triples", "shared %"], rows))
+
+    print(
+        "\nreading guide: STD-P/STD-T should lead all three dissatisfaction "
+        "metrics (the paper's Fig. 9); RAII trails because its index "
+        "retrieval is lossy, SARP because insertion order locks in early "
+        "mistakes."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.03)

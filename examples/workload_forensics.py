@@ -1,0 +1,85 @@
+"""Forensics on one simulated day: load timeline and driver incomes.
+
+Runs the scaled Boston day under NSTD-P, then answers the questions a
+fleet operator would actually ask: when did the queue build, how many
+passengers walked away, and how evenly did drivers earn?  Also freezes
+the exact workload to CSV so the run can be replayed elsewhere.
+
+Run:  python examples/workload_forensics.py [scale]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import (
+    driver_income_report,
+    format_table,
+    load_profile,
+    timeline_table,
+)
+from repro.dispatch import nstd_p
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.geometry import EuclideanDistance
+from repro.simulation import Simulator
+from repro.trace import boston_profile
+from repro.trace.persistence import load_requests_csv, save_requests_csv
+
+
+def main(scale_arg: float = 0.03) -> None:
+    profile = boston_profile()
+    scale = ExperimentScale(factor=scale_arg, seed=23)
+    fleet, requests = build_workload(profile, scale)
+    sim_config = city_simulation_config(profile.scaled(scale.factor))
+    oracle = EuclideanDistance()
+
+    result = Simulator(nstd_p(oracle, sim_config.dispatch), oracle, sim_config).run(
+        fleet, requests
+    )
+
+    print(timeline_table(result, buckets=12))
+    indicators = load_profile(result)
+    print(
+        f"\npeak queue {indicators['peak_queue']:.0f}, mean queue "
+        f"{indicators['mean_queue']:.1f}, abandonment rate "
+        f"{indicators['abandonment_rate']:.1%}"
+    )
+
+    report = driver_income_report({"NSTD-P": result})["NSTD-P"]
+    print("\ndriver income")
+    print(
+        format_table(
+            ["mean revenue km", "gini", "jain", "paid ratio", "idle drivers"],
+            [[
+                report["mean_revenue_km"],
+                report["revenue_gini"],
+                report["revenue_jain"],
+                report["mean_paid_ratio"],
+                report["idle_driver_share"],
+            ]],
+        )
+    )
+
+    top_earners = sorted(
+        result.taxi_stats.values(), key=lambda s: s.revenue_km, reverse=True
+    )[:5]
+    print("\ntop-earning drivers")
+    print(
+        format_table(
+            ["taxi", "revenue km", "driven km", "rides", "paid ratio"],
+            [[s.taxi_id, s.revenue_km, s.driven_km, s.rides, s.paid_ratio] for s in top_earners],
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "workload.csv"
+        written = save_requests_csv(requests, path)
+        replayed = load_requests_csv(path)
+        print(
+            f"\nworkload frozen and replayed: {written} requests saved, "
+            f"{len(replayed)} loaded back bit-faithfully"
+        )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.03)

@@ -1,0 +1,8 @@
+"""Legacy setup shim.
+
+Allows `pip install -e . --no-use-pep517` in offline environments where
+the `wheel` package (needed by the PEP 517 editable path) is missing.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""repro — O2O urban taxi dispatching with passenger-driver matching stability.
+
+A full reproduction of Zheng & Wu, *"Online to Offline Business: Urban
+Taxi Dispatching with Passenger-Driver Matching Stability"* (ICDCS
+2017): the stable-marriage dispatchers NSTD-P/NSTD-T, the all-stable-
+matchings enumeration, the set-packing sharing dispatchers STD-P/STD-T,
+every comparison baseline, and the trace-driven simulation used to
+evaluate them.
+
+Quickstart::
+
+    from repro import (EuclideanDistance, PassengerRequest, Taxi, Point,
+                       DispatchConfig, nstd_p)
+
+    oracle = EuclideanDistance()
+    taxis = [Taxi(0, Point(0.0, 0.0)), Taxi(1, Point(5.0, 0.0))]
+    requests = [PassengerRequest(0, Point(1.0, 0.0), Point(9.0, 0.0))]
+    schedule = nstd_p(oracle, DispatchConfig()).dispatch(taxis, requests)
+    print(schedule.taxi_of)  # {0: 0}
+
+See ``examples/`` for full city-day simulations and ``benchmarks/`` for
+the per-figure reproduction harnesses.
+"""
+
+from repro.core import (
+    Assignment,
+    DispatchConfig,
+    DispatchSchedule,
+    PassengerRequest,
+    ReproError,
+    RideGroup,
+    RouteStop,
+    SimulationConfig,
+    Taxi,
+)
+from repro.dispatch import (
+    Dispatcher,
+    GreedyNearestDispatcher,
+    ILPDispatcher,
+    MinCostDispatcher,
+    MinimaxDispatcher,
+    NSTDDispatcher,
+    RAIIDispatcher,
+    SARPDispatcher,
+    STDDispatcher,
+    assignment_metrics,
+    nstd_p,
+    nstd_t,
+    std_p,
+    std_t,
+)
+from repro.geometry import (
+    EuclideanDistance,
+    GridSpatialIndex,
+    HaversineDistance,
+    ManhattanDistance,
+    Point,
+)
+from repro.matching import (
+    Matching,
+    PreferenceTable,
+    all_stable_matchings,
+    build_nonsharing_table,
+    deferred_acceptance,
+    find_blocking_pairs,
+    is_stable,
+    passenger_optimal,
+    taxi_optimal,
+)
+from repro.simulation import SimulationResult, Simulator
+from repro.trace import (
+    CityProfile,
+    SyntheticTraceGenerator,
+    boston_profile,
+    generate_day,
+    generate_fleet,
+    nyc_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Point",
+    "Taxi",
+    "PassengerRequest",
+    "RideGroup",
+    "RouteStop",
+    "Assignment",
+    "DispatchSchedule",
+    "DispatchConfig",
+    "SimulationConfig",
+    "ReproError",
+    # geometry
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "HaversineDistance",
+    "GridSpatialIndex",
+    # matching
+    "PreferenceTable",
+    "build_nonsharing_table",
+    "Matching",
+    "deferred_acceptance",
+    "all_stable_matchings",
+    "passenger_optimal",
+    "taxi_optimal",
+    "is_stable",
+    "find_blocking_pairs",
+    # dispatch
+    "Dispatcher",
+    "NSTDDispatcher",
+    "nstd_p",
+    "nstd_t",
+    "GreedyNearestDispatcher",
+    "MinCostDispatcher",
+    "MinimaxDispatcher",
+    "STDDispatcher",
+    "std_p",
+    "std_t",
+    "RAIIDispatcher",
+    "SARPDispatcher",
+    "ILPDispatcher",
+    "assignment_metrics",
+    # simulation
+    "Simulator",
+    "SimulationResult",
+    # traces
+    "CityProfile",
+    "nyc_profile",
+    "boston_profile",
+    "SyntheticTraceGenerator",
+    "generate_day",
+    "generate_fleet",
+]

@@ -1,0 +1,55 @@
+"""Aggregations behind Figs. 6 and 7: averages by fleet size and clock hour."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.simulation.engine import SimulationResult
+
+__all__ = ["hourly_averages", "HourlyStats", "summarize_by_label"]
+
+
+class HourlyStats(dict):
+    """hour (0–23) → dict of metric means for that hour's requests."""
+
+
+def hourly_averages(result: SimulationResult) -> HourlyStats:
+    """Per-clock-hour means of the three paper metrics (Fig. 7).
+
+    A request belongs to the hour it was *issued* in; taxi
+    dissatisfaction is attributed through the assignment's frame time.
+    """
+    delays: dict[int, list[float]] = defaultdict(list)
+    pd: dict[int, list[float]] = defaultdict(list)
+    for outcome in result.outcomes:
+        hour = int(outcome.request_time_s // 3600) % 24
+        if outcome.dispatch_delay_min is not None:
+            delays[hour].append(outcome.dispatch_delay_min)
+        if outcome.passenger_dissatisfaction is not None:
+            pd[hour].append(outcome.passenger_dissatisfaction)
+    td: dict[int, list[float]] = defaultdict(list)
+    for record in result.assignments:
+        hour = int(record.frame_time_s // 3600) % 24
+        td[hour].append(record.taxi_dissatisfaction)
+
+    stats = HourlyStats()
+    for hour in range(24):
+        stats[hour] = {
+            "mean_dispatch_delay_min": _mean(delays.get(hour, [])),
+            "mean_passenger_dissatisfaction": _mean(pd.get(hour, [])),
+            "mean_taxi_dissatisfaction": _mean(td.get(hour, [])),
+            "requests": len(delays.get(hour, [])) + 0,
+        }
+    return stats
+
+
+def summarize_by_label(
+    results: Sequence[tuple[str, SimulationResult]],
+) -> dict[str, dict[str, float]]:
+    """label → summary dict, for sweep experiments (Fig. 6's x-axis)."""
+    return {label: result.summary() for label, result in results}
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,54 @@
+"""Empirical CDFs — the paper's Figs. 4, 5, 8 and 9 are CDF plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF", "empirical_cdf"]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical cumulative distribution over observed values."""
+
+    values: np.ndarray  # sorted ascending
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    def at(self, x: float) -> float:
+        """``P(V ≤ x)``."""
+        if self.n == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right")) / self.n
+
+    def quantile(self, q: float) -> float:
+        """The smallest value with CDF ≥ q (0 < q ≤ 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.n == 0:
+            raise ValueError("empty CDF has no quantiles")
+        index = min(self.n - 1, max(0, int(np.ceil(q * self.n)) - 1))
+        return float(self.values[index])
+
+    def sample_points(self, grid: Sequence[float]) -> list[tuple[float, float]]:
+        """``(x, F(x))`` pairs over ``grid`` — one plotted series."""
+        return [(float(x), self.at(float(x))) for x in grid]
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if self.n else 0.0
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+
+def empirical_cdf(values: Sequence[float]) -> EmpiricalCDF:
+    """Build an :class:`EmpiricalCDF` from raw observations."""
+    array = np.asarray(sorted(values), dtype=float)
+    return EmpiricalCDF(values=array)

@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same series the paper plots; these
+helpers format them as aligned tables so benchmark output is directly
+comparable to the figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.analysis.cdf import EmpiricalCDF
+
+__all__ = ["format_table", "format_cdf_table", "format_summary_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, float_format: str = "{:.3f}"
+) -> str:
+    """A fixed-width table; floats use ``float_format``."""
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [float_format.format(v) if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_cdf_table(
+    series: Mapping[str, EmpiricalCDF], grid: Sequence[float], *, value_label: str = "x"
+) -> str:
+    """One row per grid point, one column per algorithm (a CDF figure)."""
+    headers = [value_label] + list(series)
+    rows: list[list[object]] = []
+    for x in grid:
+        rows.append([float(x)] + [cdf.at(float(x)) for cdf in series.values()])
+    return format_table(headers, rows)
+
+
+def format_summary_table(summaries: Mapping[str, Mapping[str, float]]) -> str:
+    """One row per algorithm over its summary metrics."""
+    if not summaries:
+        return "(no results)"
+    metric_names = list(next(iter(summaries.values())))
+    headers = ["algorithm"] + metric_names
+    rows = [[label] + [summary[m] for m in metric_names] for label, summary in summaries.items()]
+    return format_table(headers, rows)

@@ -1,0 +1,86 @@
+"""Rendering the simulator's per-frame telemetry.
+
+The frame-stats series (queue length, idle taxis, dispatches,
+abandonments) is the quickest way to see *why* a run produced its
+metrics: a queue ramp through the morning peak means patience-bound
+delays; a flat near-zero queue means the paper's light-load regime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.report import format_table
+from repro.simulation.engine import SimulationResult
+from repro.simulation.events import FrameStats
+
+__all__ = ["downsample_frames", "timeline_table", "load_profile"]
+
+
+def downsample_frames(frames: Sequence[FrameStats], buckets: int = 24) -> list[dict[str, float]]:
+    """Aggregate frame stats into ``buckets`` equal time windows.
+
+    Queue length and idle taxis are averaged over each window;
+    dispatches and abandonments are summed.
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    if not frames:
+        return []
+    start = frames[0].time_s
+    end = frames[-1].time_s
+    width = max((end - start) / buckets, 1e-9)
+    grouped: list[list[FrameStats]] = [[] for _ in range(buckets)]
+    for frame in frames:
+        index = min(int((frame.time_s - start) / width), buckets - 1)
+        grouped[index].append(frame)
+    result = []
+    for index, group in enumerate(grouped):
+        if not group:
+            continue
+        result.append(
+            {
+                "window_start_s": start + index * width,
+                "mean_queue": sum(f.queue_length for f in group) / len(group),
+                "mean_idle": sum(f.idle_taxis for f in group) / len(group),
+                "dispatched": float(sum(f.dispatched_requests for f in group)),
+                "abandoned": float(sum(f.abandoned for f in group)),
+            }
+        )
+    return result
+
+
+def timeline_table(result: SimulationResult, buckets: int = 24) -> str:
+    """A printable load timeline for one simulation result."""
+    rows = [
+        [
+            f"{int(window['window_start_s'] // 3600):02d}:{int(window['window_start_s'] % 3600 // 60):02d}",
+            window["mean_queue"],
+            window["mean_idle"],
+            int(window["dispatched"]),
+            int(window["abandoned"]),
+        ]
+        for window in downsample_frames(result.frame_stats, buckets)
+    ]
+    header = f"load timeline — {result.dispatcher_name}"
+    return header + "\n" + format_table(
+        ["window", "mean_queue", "mean_idle", "dispatched", "abandoned"], rows
+    )
+
+
+def load_profile(result: SimulationResult) -> dict[str, float]:
+    """Scalar load indicators for one run.
+
+    ``peak_queue`` and ``mean_queue`` diagnose saturation;
+    ``abandonment_rate`` is the fraction of requests lost to patience.
+    """
+    frames = result.frame_stats
+    if not frames:
+        return {"peak_queue": 0.0, "mean_queue": 0.0, "abandonment_rate": 0.0}
+    total_requests = len(result.outcomes)
+    abandoned = sum(f.abandoned for f in frames)
+    return {
+        "peak_queue": float(max(f.queue_length for f in frames)),
+        "mean_queue": sum(f.queue_length for f in frames) / len(frames),
+        "abandonment_rate": abandoned / total_requests if total_requests else 0.0,
+    }

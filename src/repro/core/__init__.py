@@ -1,0 +1,46 @@
+"""Core domain types, configuration, and errors."""
+
+from repro.core.config import DispatchConfig, SimulationConfig
+from repro.core.errors import (
+    ConfigurationError,
+    DispatchError,
+    ExperimentError,
+    MatchingError,
+    PackingError,
+    PreferenceError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TraceFormatError,
+    UnstableMatchingError,
+)
+from repro.core.types import (
+    Assignment,
+    DispatchSchedule,
+    PassengerRequest,
+    RideGroup,
+    RouteStop,
+    Taxi,
+)
+
+__all__ = [
+    "DispatchConfig",
+    "SimulationConfig",
+    "PassengerRequest",
+    "Taxi",
+    "RideGroup",
+    "RouteStop",
+    "Assignment",
+    "DispatchSchedule",
+    "ReproError",
+    "ConfigurationError",
+    "TraceFormatError",
+    "PreferenceError",
+    "MatchingError",
+    "UnstableMatchingError",
+    "PackingError",
+    "RoutingError",
+    "DispatchError",
+    "SimulationError",
+    "ExperimentError",
+]

@@ -1,0 +1,114 @@
+"""Configuration objects for dispatching and simulation.
+
+Defaults follow the paper's experimental settings (Section VI-A/B):
+α = 1, β = 1, θ = 5 km, one-minute frames, taxi speed 20 km/h, groups of
+at most three requests sharing a taxi.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["DispatchConfig", "SimulationConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchConfig:
+    """Parameters of the preference model and sharing model.
+
+    Attributes
+    ----------
+    alpha:
+        Driver trade-off coefficient: the driver score of serving ``r_j``
+        is ``D(t_i, r_j^s) − α·D(r_j^s, r_j^d)`` (smaller is better).
+    beta:
+        Passenger sharing coefficient: the passenger score of a shared
+        ride is ``D_ck(t_i, r_j^s) + β·[detour]``.
+    theta_km:
+        Sharing feasibility threshold θ: a group is feasible only if every
+        member's detour is at most θ kilometres.
+    max_group_size:
+        Maximum requests per shared taxi (the paper observes ≤ 3 in
+        practice and relies on it for exhaustive routing).
+    passenger_threshold_km:
+        Dummy position in a passenger's preference order: taxis farther
+        than this are less preferred than no dispatch.  ``inf`` disables
+        the threshold (every taxi is acceptable).
+    taxi_threshold_km:
+        Dummy position in a taxi's preference order: requests whose driver
+        score exceeds this are less preferred than no service.  With
+        α = 1 a score below 0 means the fare out-earns the deadhead; the
+        default 0.0 encodes "only profitable rides are acceptable is too
+        strict", so we default to ``inf`` and let experiments set it.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    theta_km: float = 5.0
+    max_group_size: int = 3
+    passenger_threshold_km: float = math.inf
+    taxi_threshold_km: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0.0:
+            raise ConfigurationError(f"alpha must be non-negative, got {self.alpha}")
+        if self.beta < 0.0:
+            raise ConfigurationError(f"beta must be non-negative, got {self.beta}")
+        if self.theta_km < 0.0:
+            raise ConfigurationError(f"theta_km must be non-negative, got {self.theta_km}")
+        if not 1 <= self.max_group_size <= 4:
+            raise ConfigurationError(
+                f"max_group_size must be in [1, 4] (exhaustive routing), got {self.max_group_size}"
+            )
+        if self.passenger_threshold_km <= 0.0:
+            raise ConfigurationError("passenger_threshold_km must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Parameters of the discrete-time simulation engine.
+
+    Attributes
+    ----------
+    frame_length_s:
+        Batching period; the paper schedules on one-minute frames.
+    taxi_speed_kmh:
+        Constant taxi speed (the paper uses 20 km/h, citing [24]).
+    passenger_patience_s:
+        How long an unserved request stays in the queue before it is
+        abandoned.  ``inf`` keeps requests queued forever.
+    horizon_s:
+        Total simulated time; requests beyond the horizon are ignored.
+    dispatch:
+        The preference-model parameters used by dispatchers.
+    """
+
+    frame_length_s: float = 60.0
+    taxi_speed_kmh: float = 20.0
+    passenger_patience_s: float = math.inf
+    horizon_s: float = 24.0 * 3600.0
+    dispatch: DispatchConfig = field(default_factory=DispatchConfig)
+
+    def __post_init__(self) -> None:
+        if self.frame_length_s <= 0.0:
+            raise ConfigurationError(f"frame_length_s must be positive, got {self.frame_length_s}")
+        if self.taxi_speed_kmh <= 0.0:
+            raise ConfigurationError(f"taxi_speed_kmh must be positive, got {self.taxi_speed_kmh}")
+        if self.passenger_patience_s <= 0.0:
+            raise ConfigurationError("passenger_patience_s must be positive")
+        if self.horizon_s <= 0.0:
+            raise ConfigurationError(f"horizon_s must be positive, got {self.horizon_s}")
+
+    @property
+    def taxi_speed_kms(self) -> float:
+        """Taxi speed in kilometres per second."""
+        return self.taxi_speed_kmh / 3600.0
+
+    def travel_time_s(self, distance_km: float) -> float:
+        """Seconds needed to drive ``distance_km`` at the configured speed."""
+        if distance_km < 0.0:
+            raise ValueError(f"distance must be non-negative, got {distance_km}")
+        return distance_km / self.taxi_speed_kms

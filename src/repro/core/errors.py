@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch one base class.  Specific subclasses mark the
+subsystem that failed, which keeps error handling explicit at call sites
+(e.g. a simulation driver may tolerate a :class:`DispatchError` for one
+frame but must never swallow a :class:`ConfigurationError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TraceFormatError",
+    "PreferenceError",
+    "MatchingError",
+    "UnstableMatchingError",
+    "PackingError",
+    "RoutingError",
+    "DispatchError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record does not match the expected schema."""
+
+
+class PreferenceError(ReproError):
+    """A preference table is malformed (unknown ids, missing dummy, ...)."""
+
+
+class MatchingError(ReproError):
+    """A matching routine received invalid input or reached a bad state."""
+
+
+class UnstableMatchingError(MatchingError):
+    """A produced matching violates the stability invariant.
+
+    Raised by verification helpers when asked to *assert* stability; the
+    offending blocking pairs are attached for diagnosis.
+    """
+
+    def __init__(self, message: str, blocking_pairs: list | None = None):
+        super().__init__(message)
+        self.blocking_pairs = list(blocking_pairs or [])
+
+
+class PackingError(ReproError):
+    """Set-packing input is invalid (e.g. an empty candidate subset)."""
+
+
+class RoutingError(ReproError):
+    """Shared-route computation received an infeasible or oversized group."""
+
+
+class DispatchError(ReproError):
+    """A dispatcher produced an invalid decision for the current frame."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was misconfigured or referenced unknown data."""

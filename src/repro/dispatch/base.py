@@ -1,0 +1,86 @@
+"""Dispatcher interface and assignment construction helpers.
+
+A dispatcher sees one frame's idle taxis and pending requests and
+returns a :class:`DispatchSchedule`; the simulation engine owns taxi
+motion and request queueing across frames.  Dispatchers are constructed
+once with their distance oracle and :class:`DispatchConfig` and must be
+stateless across frames (the engine may re-run a frame during tests).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import DispatchError
+from repro.core.types import (
+    Assignment,
+    DispatchSchedule,
+    PassengerRequest,
+    RideGroup,
+    RouteStop,
+    Taxi,
+)
+from repro.geometry.distance import DistanceOracle
+
+__all__ = ["Dispatcher", "single_assignment", "group_assignment"]
+
+
+class Dispatcher(abc.ABC):
+    """Base class of every dispatch algorithm in the evaluation."""
+
+    #: Short identifier used in experiment reports (e.g. "NSTD-P").
+    name: str = "base"
+
+    def __init__(self, oracle: DistanceOracle, config: DispatchConfig | None = None):
+        self.oracle = oracle
+        self.config = config if config is not None else DispatchConfig()
+
+    @abc.abstractmethod
+    def dispatch(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        """Assign idle ``taxis`` to pending ``requests`` for one frame.
+
+        Implementations must leave unassigned requests out of the
+        schedule (they stay queued) and must never assign a taxi or
+        request twice; the engine validates this and raises
+        :class:`DispatchError` on violations.
+        """
+
+    def _validated(
+        self,
+        schedule: DispatchSchedule,
+        taxis: Sequence[Taxi],
+        requests: Sequence[PassengerRequest],
+    ) -> DispatchSchedule:
+        try:
+            schedule.validate(list(taxis), list(requests))
+        except ValueError as exc:
+            raise DispatchError(f"{self.name}: {exc}") from exc
+        return schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def single_assignment(taxi: Taxi, request: PassengerRequest) -> Assignment:
+    """A non-sharing assignment: drive to the pickup, then the dropoff."""
+    return Assignment(
+        taxi_id=taxi.taxi_id,
+        request_ids=(request.request_id,),
+        stops=(
+            RouteStop(request_id=request.request_id, is_pickup=True, point=request.pickup),
+            RouteStop(request_id=request.request_id, is_pickup=False, point=request.dropoff),
+        ),
+    )
+
+
+def group_assignment(taxi: Taxi, group: RideGroup) -> Assignment:
+    """A sharing assignment following the group's precomputed route."""
+    return Assignment(
+        taxi_id=taxi.taxi_id,
+        request_ids=group.request_ids,
+        stops=group.route,
+    )

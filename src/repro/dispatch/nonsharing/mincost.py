@@ -1,0 +1,58 @@
+"""MCBM baseline: minimum-cost bipartite matching (Hanna et al. [3], ii).
+
+Costs are pickup distances ``D(t_i, r_j^s)``; the Hungarian algorithm
+matches ``min(|R|, |T|)`` pairs minimizing the total.  Pairs beyond the
+passenger wait threshold or without enough seats are forbidden.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
+from repro.dispatch.base import Dispatcher, single_assignment
+from repro.matching.bipartite import min_cost_matching
+
+__all__ = ["MinCostDispatcher", "build_cost_matrix"]
+
+
+def build_cost_matrix(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle,
+    threshold_km: float = math.inf,
+) -> np.ndarray:
+    """``cost[j][i] = D(t_i, r_j^s)``; ``inf`` marks forbidden pairs."""
+    matrix = np.full((len(requests), len(taxis)), math.inf)
+    for j, request in enumerate(requests):
+        for i, taxi in enumerate(taxis):
+            if not taxi.can_carry(request):
+                continue
+            distance = oracle.distance(taxi.location, request.pickup)
+            if distance <= threshold_km:
+                matrix[j, i] = distance
+    return matrix
+
+
+class MinCostDispatcher(Dispatcher):
+    """Minimum total pickup distance over a maximum set of pairs."""
+
+    name = "MCBM"
+
+    def dispatch(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        schedule = DispatchSchedule()
+        if not taxis or not requests:
+            return schedule
+        ordered_requests = sorted(requests, key=lambda r: r.request_id)
+        ordered_taxis = sorted(taxis, key=lambda t: t.taxi_id)
+        matrix = build_cost_matrix(
+            ordered_taxis, ordered_requests, self.oracle, self.config.passenger_threshold_km
+        )
+        for j, i in min_cost_matching(matrix):
+            schedule.add(single_assignment(ordered_taxis[i], ordered_requests[j]))
+        return self._validated(schedule, taxis, requests)

@@ -1,0 +1,89 @@
+"""NSTD-P and NSTD-T: the paper's stable non-sharing dispatchers.
+
+``NSTD-P`` runs Algorithm 1 directly (passenger-optimal).  ``NSTD-T``
+selects the taxi-optimal stable matching; by default it uses the
+taxi-proposing fast path (provably equal to Algorithm 2's taxi-best
+pick — see :mod:`repro.matching.optimality`), with an ``exact`` switch
+that runs the full Algorithm 2 enumeration instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
+from repro.dispatch.base import Dispatcher, single_assignment
+from repro.geometry.distance import DistanceOracle
+from repro.matching.lattice import median_stable_matching
+from repro.matching.optimality import passenger_optimal, taxi_optimal, taxi_optimal_exact
+from repro.matching.preferences import build_nonsharing_table
+
+__all__ = ["NSTDDispatcher", "nstd_p", "nstd_t", "nstd_m"]
+
+
+class NSTDDispatcher(Dispatcher):
+    """Non-Sharing Taxi Dispatch via stable matching (Algorithms 1 and 2)."""
+
+    _NAMES = {"passenger": "NSTD-P", "taxi": "NSTD-T", "median": "NSTD-M"}
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        config: DispatchConfig | None = None,
+        *,
+        optimize_for: str = "passenger",
+        exact: bool = False,
+        alpha_by_taxi: Mapping[int, float] | None = None,
+    ):
+        super().__init__(oracle, config)
+        if optimize_for not in self._NAMES:
+            raise ValueError(
+                f"optimize_for must be one of {sorted(self._NAMES)}, got {optimize_for!r}"
+            )
+        self.optimize_for = optimize_for
+        self.exact = exact
+        self.alpha_by_taxi = dict(alpha_by_taxi) if alpha_by_taxi else None
+        self.name = self._NAMES[optimize_for]
+
+    def dispatch(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        schedule = DispatchSchedule()
+        if not taxis or not requests:
+            return schedule
+        table = build_nonsharing_table(
+            taxis, requests, self.oracle, self.config, alpha_by_taxi=self.alpha_by_taxi
+        )
+        if self.optimize_for == "passenger":
+            matching = passenger_optimal(table)
+        elif self.optimize_for == "median":
+            # The Teo-Sethuraman compromise the paper cites as [13]:
+            # every matched side gets its median stable partner.
+            matching = median_stable_matching(table)
+        elif self.exact:
+            matching = taxi_optimal_exact(table)
+        else:
+            matching = taxi_optimal(table)
+        taxis_by_id = {t.taxi_id: t for t in taxis}
+        requests_by_id = {r.request_id: r for r in requests}
+        for request_id, taxi_id in sorted(matching.pairs):
+            schedule.add(single_assignment(taxis_by_id[taxi_id], requests_by_id[request_id]))
+        return self._validated(schedule, taxis, requests)
+
+
+def nstd_p(oracle: DistanceOracle, config: DispatchConfig | None = None) -> NSTDDispatcher:
+    """The passenger-optimal stable dispatcher (Algorithm 1)."""
+    return NSTDDispatcher(oracle, config, optimize_for="passenger")
+
+
+def nstd_t(
+    oracle: DistanceOracle, config: DispatchConfig | None = None, *, exact: bool = False
+) -> NSTDDispatcher:
+    """The taxi-optimal stable dispatcher (Algorithms 1 + 2)."""
+    return NSTDDispatcher(oracle, config, optimize_for="taxi", exact=exact)
+
+
+def nstd_m(oracle: DistanceOracle, config: DispatchConfig | None = None) -> NSTDDispatcher:
+    """The median-stable compromise dispatcher (Sethuraman et al. [13])."""
+    return NSTDDispatcher(oracle, config, optimize_for="median")

@@ -1,0 +1,100 @@
+"""Dissatisfaction metrics (Section VI-B) computed from assignments.
+
+One pair of formulas covers both modes because an :class:`Assignment`
+always carries the taxi's full labeled stop plan:
+
+* **Passenger dissatisfaction** of ``r_j`` served by ``t_i``:
+  ``D_ck(t_i, r_j^s) + β·[D_ck(r_j^s, r_j^d) − D(r_j^s, r_j^d)]`` where
+  ``D_ck(t_i, r_j^s)`` is the distance the taxi drives before reaching
+  ``r_j``'s pickup.  For a non-sharing assignment the detour term is
+  zero and this reduces to ``D(t_i, r_j^s)``, the paper's non-sharing
+  metric.
+* **Taxi dissatisfaction** of the assignment:
+  ``D_ck(t_i) − (α+1)·Σ_j D(r_j^s, r_j^d)`` where ``D_ck(t_i)`` is the
+  taxi's total driving distance.  For a single request this reduces to
+  ``D(t_i, r_j^s) − α·D(r_j^s, r_j^d)``.
+
+Smaller values mean happier parties; units are kilometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import DispatchError
+from repro.core.types import Assignment, PassengerRequest, Taxi
+from repro.geometry.distance import DistanceOracle
+
+__all__ = ["AssignmentMetrics", "assignment_metrics", "route_leg_lengths"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentMetrics:
+    """Per-assignment dissatisfaction values."""
+
+    taxi_id: int
+    taxi_dissatisfaction: float
+    passenger_dissatisfaction: dict[int, float]
+    pickup_distance_km: dict[int, float]
+    total_drive_km: float
+
+
+def route_leg_lengths(taxi: Taxi, assignment: Assignment, oracle: DistanceOracle) -> list[float]:
+    """Cumulative driven distance at each stop, starting from the taxi."""
+    cumulative = 0.0
+    previous = taxi.location
+    result = []
+    for stop in assignment.stops:
+        cumulative += oracle.distance(previous, stop.point)
+        result.append(cumulative)
+        previous = stop.point
+    return result
+
+
+def assignment_metrics(
+    taxi: Taxi,
+    assignment: Assignment,
+    requests_by_id: Mapping[int, PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+) -> AssignmentMetrics:
+    """Compute both parties' dissatisfaction for one assignment."""
+    config = config if config is not None else DispatchConfig()
+    if taxi.taxi_id != assignment.taxi_id:
+        raise DispatchError(
+            f"assignment belongs to taxi {assignment.taxi_id}, got taxi {taxi.taxi_id}"
+        )
+    cumulative = route_leg_lengths(taxi, assignment, oracle)
+    pickup_at: dict[int, float] = {}
+    dropoff_at: dict[int, float] = {}
+    for stop, dist in zip(assignment.stops, cumulative):
+        if stop.is_pickup:
+            pickup_at[stop.request_id] = dist
+        else:
+            dropoff_at[stop.request_id] = dist
+
+    passenger: dict[int, float] = {}
+    pickup_distance: dict[int, float] = {}
+    total_pay_distance = 0.0
+    for request_id in assignment.request_ids:
+        request = requests_by_id.get(request_id)
+        if request is None:
+            raise DispatchError(f"assignment references unknown request {request_id}")
+        direct = request.trip_distance(oracle)
+        total_pay_distance += direct
+        onboard = dropoff_at[request_id] - pickup_at[request_id]
+        detour = onboard - direct
+        pickup_distance[request_id] = pickup_at[request_id]
+        passenger[request_id] = pickup_at[request_id] + config.beta * detour
+
+    total_drive = cumulative[-1]
+    taxi_dissatisfaction = total_drive - (config.alpha + 1.0) * total_pay_distance
+    return AssignmentMetrics(
+        taxi_id=taxi.taxi_id,
+        taxi_dissatisfaction=taxi_dissatisfaction,
+        passenger_dissatisfaction=passenger,
+        pickup_distance_km=pickup_distance,
+        total_drive_km=total_drive,
+    )

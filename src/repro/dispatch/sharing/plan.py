@@ -1,0 +1,135 @@
+"""Incremental per-frame taxi plans for insertion-based baselines.
+
+RAII and SARP grow taxi routes one request at a time inside a frame.
+:class:`TaxiPlan` wraps a taxi and its stop sequence, offering the
+cheapest feasible insertion under the sharing constraints (seat
+capacity, member detours within θ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DispatchConfig
+from repro.core.types import Assignment, PassengerRequest, RouteStop, Taxi
+from repro.geometry.distance import DistanceOracle
+from repro.routing.insertion import route_length
+
+__all__ = ["TaxiPlan", "InsertionQuote"]
+
+
+@dataclass(frozen=True, slots=True)
+class InsertionQuote:
+    """A feasible insertion and its marginal cost."""
+
+    stops: tuple[RouteStop, ...]
+    added_km: float
+
+
+@dataclass(slots=True)
+class TaxiPlan:
+    """One taxi's tentative plan while a frame is being built."""
+
+    taxi: Taxi
+    requests: list[PassengerRequest] = field(default_factory=list)
+    stops: tuple[RouteStop, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.requests
+
+    @property
+    def passengers(self) -> int:
+        return sum(r.passengers for r in self.requests)
+
+    def quote(
+        self,
+        request: PassengerRequest,
+        oracle: DistanceOracle,
+        config: DispatchConfig,
+        *,
+        max_group_size: int | None = None,
+    ) -> InsertionQuote | None:
+        """The cheapest feasible insertion of ``request``, or ``None``.
+
+        Feasibility: seat capacity, group size, and — when the plan
+        already carries passengers — every member's detour staying
+        within θ after the insertion.
+        """
+        limit = max_group_size if max_group_size is not None else config.max_group_size
+        if len(self.requests) + 1 > limit:
+            return None
+        if self.passengers + request.passengers > self.taxi.seats:
+            return None
+        if not self.stops:
+            stops = (
+                RouteStop(request_id=request.request_id, is_pickup=True, point=request.pickup),
+                RouteStop(request_id=request.request_id, is_pickup=False, point=request.dropoff),
+            )
+            added = oracle.distance(self.taxi.location, request.pickup) + request.trip_distance(
+                oracle
+            )
+            return InsertionQuote(stops=stops, added_km=added)
+        # Cheapest insertion *among the θ-feasible ones*: the globally
+        # cheapest position may blow another member's detour budget while
+        # a slightly longer one (e.g. appending sequentially) is fine.
+        pickup = RouteStop(request_id=request.request_id, is_pickup=True, point=request.pickup)
+        dropoff = RouteStop(request_id=request.request_id, is_pickup=False, point=request.dropoff)
+        base = route_length(self.stops, oracle, start=self.taxi.location)
+        best: InsertionQuote | None = None
+        n = len(self.stops)
+        for i in range(n + 1):
+            with_pickup = list(self.stops[:i]) + [pickup] + list(self.stops[i:])
+            for j in range(i + 1, n + 2):
+                candidate = tuple(with_pickup[:j] + [dropoff] + with_pickup[j:])
+                added = route_length(candidate, oracle, start=self.taxi.location) - base
+                if best is not None and added >= best.added_km - 1e-12:
+                    continue
+                if not self._detours_ok(candidate, oracle, config.theta_km, request):
+                    continue
+                best = InsertionQuote(stops=candidate, added_km=added)
+        return best
+
+    def _detours_ok(
+        self,
+        stops: tuple[RouteStop, ...],
+        oracle: DistanceOracle,
+        theta_km: float,
+        new_request: PassengerRequest,
+    ) -> bool:
+        members = {r.request_id: r for r in self.requests}
+        members[new_request.request_id] = new_request
+        cumulative = 0.0
+        previous = None
+        pickup_at: dict[int, float] = {}
+        for stop in stops:
+            if previous is not None:
+                cumulative += oracle.distance(previous, stop.point)
+            previous = stop.point
+            if stop.is_pickup:
+                pickup_at[stop.request_id] = cumulative
+            else:
+                onboard = cumulative - pickup_at[stop.request_id]
+                direct = members[stop.request_id].trip_distance(oracle)
+                if onboard - direct > theta_km + 1e-9:
+                    return False
+        return True
+
+    def commit(self, request: PassengerRequest, quote: InsertionQuote) -> None:
+        self.requests.append(request)
+        self.stops = quote.stops
+
+    def to_assignment(self) -> Assignment:
+        assert self.requests, "cannot emit an empty plan"
+        return Assignment(
+            taxi_id=self.taxi.taxi_id,
+            request_ids=tuple(r.request_id for r in self.requests),
+            stops=self.stops,
+        )
+
+    def end_point(self):
+        """Where the plan currently terminates (for spatial indexing)."""
+        return self.stops[-1].point if self.stops else self.taxi.location
+
+    def current_length(self, oracle: DistanceOracle) -> float:
+        return route_length(self.stops, oracle, start=self.taxi.location)

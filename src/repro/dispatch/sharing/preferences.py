@@ -1,0 +1,103 @@
+"""Sharing preference orders (Section V-A).
+
+After packing, every dispatch unit is a :class:`RideGroup` (leftover
+requests become singleton groups, for which all formulas reduce to the
+non-sharing ones — a point the paper makes explicitly):
+
+* a group's (averaged) passenger score for taxi ``t_i`` is
+  ``mean_j [ D_ck(t_i, r_j^s) + β·(D_ck(r_j^s, r_j^d) − D(r_j^s, r_j^d)) ]``
+  with ``D_ck(t_i, r_j^s) = D(t_i, route_start) + pickup_offset_j``;
+* the taxi's score for the group is
+  ``D_ck(t_i) − (α+1)·Σ_j D(r_j^s, r_j^d)`` with
+  ``D_ck(t_i) = D(t_i, route_start) + route_length``.
+
+Acceptability mirrors the non-sharing table: seat feasibility plus the
+two dummy thresholds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import PreferenceError
+from repro.core.types import RideGroup, Taxi
+from repro.geometry.distance import DistanceOracle
+from repro.matching.preferences import PreferenceTable
+
+__all__ = ["build_sharing_table", "group_passenger_score", "group_taxi_score"]
+
+
+def group_passenger_score(
+    taxi: Taxi, group: RideGroup, oracle: DistanceOracle, beta: float
+) -> float:
+    """Mean member dissatisfaction of being served by ``taxi``."""
+    approach = oracle.distance(taxi.location, group.route_start)
+    total = 0.0
+    for request in group.requests:
+        offset = group.pickup_offset_km[request.request_id]
+        detour = group.onboard_distance_km[request.request_id] - request.trip_distance(oracle)
+        total += approach + offset + beta * detour
+    return total / len(group.requests)
+
+
+def group_taxi_score(taxi: Taxi, group: RideGroup, oracle: DistanceOracle, alpha: float) -> float:
+    """The driver's expense-minus-payoff score for serving ``group``."""
+    total_drive = oracle.distance(taxi.location, group.route_start) + group.route_length_km
+    return total_drive - (alpha + 1.0) * group.total_trip_distance(oracle)
+
+
+def build_sharing_table(
+    taxis: Sequence[Taxi],
+    units: Sequence[RideGroup],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    alpha_by_taxi: Mapping[int, float] | None = None,
+) -> PreferenceTable:
+    """Preference table with ride groups as proposers and taxis as reviewers.
+
+    Unit ids are the groups' ``group_id`` values and must be unique.
+    ``alpha_by_taxi`` mirrors the non-sharing extension: a per-driver
+    fare coefficient (missing ids use ``config.alpha``).
+    """
+    config = config if config is not None else DispatchConfig()
+    alphas = {
+        taxi.taxi_id: (alpha_by_taxi or {}).get(taxi.taxi_id, config.alpha) for taxi in taxis
+    }
+    for taxi_id, alpha in alphas.items():
+        if alpha < 0.0:
+            raise PreferenceError(f"taxi {taxi_id} has negative alpha {alpha}")
+    unit_ids = [g.group_id for g in units]
+    if len(set(unit_ids)) != len(unit_ids):
+        raise PreferenceError("duplicate group ids")
+    taxi_ids = [t.taxi_id for t in taxis]
+    if len(set(taxi_ids)) != len(taxi_ids):
+        raise PreferenceError("duplicate taxi ids")
+
+    proposer_scores: dict[tuple[int, int], float] = {}
+    reviewer_scores: dict[tuple[int, int], float] = {}
+    by_unit: dict[int, list[tuple[float, int]]] = {g.group_id: [] for g in units}
+    by_taxi: dict[int, list[tuple[float, int]]] = {t.taxi_id: [] for t in taxis}
+
+    for group in units:
+        for taxi in taxis:
+            if group.total_passengers > taxi.seats:
+                continue
+            p_score = group_passenger_score(taxi, group, oracle, config.beta)
+            if p_score > config.passenger_threshold_km:
+                continue
+            t_score = group_taxi_score(taxi, group, oracle, alphas[taxi.taxi_id])
+            if t_score > config.taxi_threshold_km:
+                continue
+            proposer_scores[(group.group_id, taxi.taxi_id)] = p_score
+            reviewer_scores[(group.group_id, taxi.taxi_id)] = t_score
+            by_unit[group.group_id].append((p_score, taxi.taxi_id))
+            by_taxi[taxi.taxi_id].append((t_score, group.group_id))
+
+    return PreferenceTable(
+        proposer_prefs={u: tuple(t for _, t in sorted(pairs)) for u, pairs in by_unit.items()},
+        reviewer_prefs={t: tuple(u for _, u in sorted(pairs)) for t, pairs in by_taxi.items()},
+        proposer_scores=proposer_scores,
+        reviewer_scores=reviewer_scores,
+    )

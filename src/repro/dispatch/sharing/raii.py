@@ -1,0 +1,88 @@
+"""RAII baseline (Ma et al. [7]): index-assisted minimum-travel sharing.
+
+RAII serves requests in arrival order, inserting each into the taxi
+whose route grows the least, retrieving candidate taxis through a
+spatio-temporal index.  The index retrieval is what the paper calls
+"information-lossy": only the ``candidate_count`` taxis nearest to the
+pickup are evaluated, so the globally cheapest insertion can be missed —
+which is exactly the behaviour that separates RAII from SARP in the
+evaluation figures.  (With ``candidate_count`` at or above the idle
+fleet size RAII degenerates into SARP, so the default is deliberately
+small relative to the benchmark fleets.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
+from repro.dispatch.base import Dispatcher
+from repro.dispatch.sharing.plan import TaxiPlan
+from repro.dispatch.sharing.std import clip_batch
+from repro.geometry.distance import DistanceOracle
+from repro.geometry.spatial_index import GridSpatialIndex
+
+__all__ = ["RAIIDispatcher"]
+
+
+class RAIIDispatcher(Dispatcher):
+    """Minimum additional travel distance with index-pruned candidates."""
+
+    name = "RAII"
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        config: DispatchConfig | None = None,
+        *,
+        candidate_count: int = 3,
+        max_batch: int | None = None,
+    ):
+        super().__init__(oracle, config)
+        if candidate_count < 1:
+            raise ValueError(f"candidate_count must be positive, got {candidate_count}")
+        self.candidate_count = candidate_count
+        self.max_batch = max_batch
+
+    def dispatch(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        schedule = DispatchSchedule()
+        if not taxis or not requests:
+            return schedule
+        plans = {t.taxi_id: TaxiPlan(taxi=t) for t in taxis}
+        index = GridSpatialIndex(cell_size=self._cell_size(taxis), oracle=self.oracle)
+        index.bulk_load((t.taxi_id, t.location) for t in taxis)
+
+        for request in clip_batch(requests, taxis, self.config, self.max_batch):
+            candidates = index.nearest(request.pickup, k=self.candidate_count)
+            best_plan: TaxiPlan | None = None
+            best_quote = None
+            for taxi_id, _ in candidates:
+                plan = plans[int(taxi_id)]
+                quote = plan.quote(request, self.oracle, self.config)
+                if quote is None:
+                    continue
+                if best_quote is None or quote.added_km < best_quote.added_km - 1e-12:
+                    best_plan, best_quote = plan, quote
+            if best_plan is None or best_quote is None:
+                continue
+            best_plan.commit(request, best_quote)
+            # Keep the index keyed on where the plan now ends, so later
+            # requests retrieve taxis heading their way.
+            index.move(best_plan.taxi.taxi_id, best_plan.end_point())
+
+        for plan in plans.values():
+            if not plan.is_empty:
+                schedule.add(plan.to_assignment())
+        return self._validated(schedule, taxis, requests)
+
+    @staticmethod
+    def _cell_size(taxis: Sequence[Taxi]) -> float:
+        xs = [t.location.x for t in taxis]
+        ys = [t.location.y for t in taxis]
+        span = max(max(xs) - min(xs), max(ys) - min(ys), 1e-6)
+        # Same 250 m floor as the greedy dispatcher: degenerate idle sets
+        # must not create microscopic cells.
+        return max(span / max(len(taxis) ** 0.5, 1.0), 0.25)

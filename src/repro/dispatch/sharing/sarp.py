@@ -1,0 +1,53 @@
+"""SARP baseline (Li et al. [8]): TSP-style minimum-detour insertion.
+
+SARP routes requests like the two-stage share-a-ride problem: each new
+request is inserted into the route — over **all** taxis, not an
+index-pruned candidate set — that grows by the least extra travel
+distance, respecting seats and the θ detour budget.  Evaluating every
+taxi is what lets SARP beat RAII slightly at the cost of more
+computation per request.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
+from repro.dispatch.base import Dispatcher
+from repro.dispatch.sharing.plan import TaxiPlan
+from repro.dispatch.sharing.std import clip_batch
+
+__all__ = ["SARPDispatcher"]
+
+
+class SARPDispatcher(Dispatcher):
+    """Globally cheapest insertion per request, in arrival order."""
+
+    name = "SARP"
+
+    def __init__(self, oracle, config=None, *, max_batch: int | None = None):
+        super().__init__(oracle, config)
+        self.max_batch = max_batch
+
+    def dispatch(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        schedule = DispatchSchedule()
+        if not taxis or not requests:
+            return schedule
+        plans = [TaxiPlan(taxi=t) for t in sorted(taxis, key=lambda t: t.taxi_id)]
+        for request in clip_batch(requests, taxis, self.config, self.max_batch):
+            best_plan: TaxiPlan | None = None
+            best_quote = None
+            for plan in plans:
+                quote = plan.quote(request, self.oracle, self.config)
+                if quote is None:
+                    continue
+                if best_quote is None or quote.added_km < best_quote.added_km - 1e-12:
+                    best_plan, best_quote = plan, quote
+            if best_plan is not None and best_quote is not None:
+                best_plan.commit(request, best_quote)
+        for plan in plans:
+            if not plan.is_empty:
+                schedule.add(plan.to_assignment())
+        return self._validated(schedule, taxis, requests)

@@ -1,0 +1,183 @@
+"""STD-P and STD-T: Algorithm 3 — sharing taxi dispatch.
+
+Two stages, exactly as in the paper:
+
+1. **Pack** — enumerate every feasible sharing group (member detours
+   within θ along the group's optimal route) and solve the Maximum Set
+   Packing Problem so as many groups as possible ride together.  The
+   default solver is the local-search approximation behind the paper's
+   cited (max|c|+2)/3 ratio [21]; greedy and exact solvers are
+   selectable.
+2. **Match** — treat each packed group, and every leftover request as a
+   singleton group, as one dispatch unit, then run Algorithm 1 on units
+   versus taxis with the sharing preference orders of Section V-A.
+   ``optimize_for`` picks the passenger-optimal (STD-P) or taxi-optimal
+   (STD-T) stable matching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import DispatchError
+from repro.core.types import DispatchSchedule, PassengerRequest, RideGroup, Taxi
+from repro.dispatch.base import Dispatcher, group_assignment
+from repro.dispatch.sharing.preferences import build_sharing_table
+from repro.geometry.distance import DistanceOracle
+from repro.matching.optimality import passenger_optimal, taxi_optimal
+from repro.packing.feasibility import enumerate_feasible_groups
+from repro.packing.set_packing import (
+    exact_set_packing,
+    greedy_set_packing,
+    local_search_packing,
+)
+from repro.routing.shared_route import build_ride_group
+
+__all__ = ["STDDispatcher", "std_p", "std_t", "pack_requests", "clip_batch"]
+
+
+def clip_batch(
+    requests: Sequence[PassengerRequest],
+    taxis: Sequence[Taxi],
+    config: DispatchConfig,
+    max_batch: int | None,
+) -> list[PassengerRequest]:
+    """Limit one frame's sharing workload to what the fleet can absorb.
+
+    A frame can serve at most ``max_group_size × |idle taxis|`` requests,
+    so feeding the whole backlog into the O(|R|²)–O(|R|³) group
+    enumeration buys nothing once the queue outgrows the fleet.  The
+    oldest requests (lowest ids = earliest arrivals) are kept, plus
+    slack so the packer still has pairing choices.  Pass ``max_batch``
+    explicitly to override the automatic bound (any value ≥ len(requests)
+    disables clipping, reproducing the paper's unbounded enumeration).
+    """
+    bound = (
+        max_batch
+        if max_batch is not None
+        else config.max_group_size * len(taxis) + 8 * config.max_group_size
+    )
+    ordered = sorted(requests, key=lambda r: r.request_id)
+    return ordered[: max(bound, 1)]
+
+_PACKERS = {
+    "greedy": lambda sets: greedy_set_packing(sets),
+    "local": lambda sets: local_search_packing(sets),
+    "exact": lambda sets: exact_set_packing(sets),
+}
+
+
+def pack_requests(
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig,
+    *,
+    packer: str = "local",
+    max_passengers: int | None = 4,
+    pairing_radius_km: float | None = None,
+    cache: dict | None = None,
+) -> list[RideGroup]:
+    """Stage one of Algorithm 3: the dispatch units ``R' ∪ C'``.
+
+    Returns packed multi-request groups plus singleton groups for every
+    unpacked request, with consecutive group ids in deterministic order.
+    """
+    if packer not in _PACKERS:
+        raise DispatchError(f"unknown packer {packer!r}; choose from {sorted(_PACKERS)}")
+    candidates = enumerate_feasible_groups(
+        requests,
+        oracle,
+        config,
+        max_passengers=max_passengers,
+        pairing_radius_km=pairing_radius_km,
+        cache=cache,
+    )
+    member_sets = [frozenset(g.request_ids) for g in candidates]
+    chosen_indices = _PACKERS[packer](member_sets).chosen if member_sets else ()
+
+    units: list[RideGroup] = []
+    packed_ids: set[int] = set()
+    for index in chosen_indices:
+        group = candidates[index]
+        units.append(
+            RideGroup(
+                group_id=len(units),
+                requests=group.requests,
+                route=group.route,
+                route_length_km=group.route_length_km,
+                onboard_distance_km=group.onboard_distance_km,
+                pickup_offset_km=group.pickup_offset_km,
+            )
+        )
+        packed_ids.update(group.request_ids)
+    for request in sorted(requests, key=lambda r: r.request_id):
+        if request.request_id not in packed_ids:
+            units.append(build_ride_group(len(units), (request,), oracle))
+    return units
+
+
+class STDDispatcher(Dispatcher):
+    """Sharing Taxi Dispatch via set packing + stable matching."""
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        config: DispatchConfig | None = None,
+        *,
+        optimize_for: str = "passenger",
+        packer: str = "local",
+        pairing_radius_km: float | None = None,
+        max_batch: int | None = None,
+    ):
+        super().__init__(oracle, config)
+        if optimize_for not in ("passenger", "taxi"):
+            raise ValueError(f"optimize_for must be 'passenger' or 'taxi', got {optimize_for!r}")
+        self.optimize_for = optimize_for
+        self.packer = packer
+        self.pairing_radius_km = pairing_radius_km
+        self.max_batch = max_batch
+        self.name = "STD-P" if optimize_for == "passenger" else "STD-T"
+        # Cross-frame feasibility memo: queued requests keep their ids,
+        # so group routes computed in earlier frames stay valid.
+        self._group_cache: dict = {}
+
+    def dispatch(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        schedule = DispatchSchedule()
+        if not taxis or not requests:
+            return schedule
+        max_seats = max(t.seats for t in taxis)
+        batch = clip_batch(requests, taxis, self.config, self.max_batch)
+        if len(self._group_cache) > 500_000:
+            self._group_cache.clear()
+        units = pack_requests(
+            batch,
+            self.oracle,
+            self.config,
+            packer=self.packer,
+            max_passengers=max_seats,
+            pairing_radius_km=self.pairing_radius_km,
+            cache=self._group_cache,
+        )
+        table = build_sharing_table(taxis, units, self.oracle, self.config)
+        if self.optimize_for == "passenger":
+            matching = passenger_optimal(table)
+        else:
+            matching = taxi_optimal(table)
+        taxis_by_id = {t.taxi_id: t for t in taxis}
+        units_by_id = {g.group_id: g for g in units}
+        for unit_id, taxi_id in sorted(matching.pairs):
+            schedule.add(group_assignment(taxis_by_id[taxi_id], units_by_id[unit_id]))
+        return self._validated(schedule, taxis, requests)
+
+
+def std_p(oracle: DistanceOracle, config: DispatchConfig | None = None, **kwargs) -> STDDispatcher:
+    """The packed passenger-optimal stable dispatcher."""
+    return STDDispatcher(oracle, config, optimize_for="passenger", **kwargs)
+
+
+def std_t(oracle: DistanceOracle, config: DispatchConfig | None = None, **kwargs) -> STDDispatcher:
+    """The packed taxi-optimal stable dispatcher."""
+    return STDDispatcher(oracle, config, optimize_for="taxi", **kwargs)

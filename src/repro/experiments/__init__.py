@@ -1,0 +1,33 @@
+"""Experiment harnesses reproducing the paper's evaluation figures."""
+
+from repro.experiments.figures import FIGURES, FigureResult, run_figure
+from repro.experiments.runners import (
+    build_workload,
+    make_dispatcher,
+    run_city_experiment,
+    run_taxi_sweep,
+)
+from repro.experiments.settings import (
+    NONSHARING_ALGORITHMS,
+    SHARING_ALGORITHMS,
+    ExperimentScale,
+    city_dispatch_config,
+    city_simulation_config,
+    profile_by_name,
+)
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "run_figure",
+    "make_dispatcher",
+    "build_workload",
+    "run_city_experiment",
+    "run_taxi_sweep",
+    "ExperimentScale",
+    "city_dispatch_config",
+    "city_simulation_config",
+    "profile_by_name",
+    "NONSHARING_ALGORITHMS",
+    "SHARING_ALGORITHMS",
+]

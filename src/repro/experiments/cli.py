@@ -1,0 +1,99 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Examples
+--------
+Run the Boston non-sharing evaluation at the default laptop scale::
+
+    repro-taxi fig5
+
+Run the New York sharing evaluation at 2% of the paper's workload with
+a fixed seed::
+
+    repro-taxi fig8 --scale 0.02 --seed 7
+
+Restrict the day to the morning rush, write the report to a file, and
+freeze the exact workload next to it::
+
+    repro-taxi fig5 --hours 7 11 --output fig5.txt --save-trace fig5_trace.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.settings import ExperimentScale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-taxi",
+        description="Reproduce the figures of the ICDCS'17 stable taxi-dispatch paper.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES),
+        help="which evaluation figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.03,
+        help="fraction of the paper-sized workload to simulate (default 0.03; 1.0 = paper size)",
+    )
+    parser.add_argument("--seed", type=int, default=2017, help="trace random seed")
+    parser.add_argument(
+        "--hours",
+        type=float,
+        nargs=2,
+        metavar=("START", "END"),
+        default=None,
+        help="restrict the simulated day to a clock window, e.g. --hours 7 11",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--save-trace",
+        type=str,
+        default=None,
+        help="freeze the figure's request workload to a CSV for exact replay",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = ExperimentScale(
+        factor=args.scale,
+        seed=args.seed,
+        hours=tuple(args.hours) if args.hours is not None else None,
+    )
+    result = run_figure(args.figure, scale)
+    print(result.report)
+    if args.output is not None:
+        Path(args.output).write_text(result.report + "\n")
+        print(f"\nreport written to {args.output}")
+    if args.save_trace is not None:
+        from repro.experiments.figures import FIGURE_CITIES
+        from repro.experiments.runners import build_workload
+        from repro.experiments.settings import profile_by_name
+        from repro.trace.persistence import save_requests_csv
+
+        profile = profile_by_name(FIGURE_CITIES[args.figure])
+        _, requests = build_workload(profile, scale)
+        written = save_requests_csv(requests, args.save_trace)
+        print(f"workload frozen to {args.save_trace} ({written} requests)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

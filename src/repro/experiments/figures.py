@@ -1,0 +1,217 @@
+"""Per-figure experiment harnesses.
+
+One entry per figure of the paper's evaluation (Section VI).  Each
+harness returns a :class:`FigureResult` bundling the structured series
+and a printable report that mirrors the figure's content:
+
+* ``fig4`` — non-sharing CDFs, New York (Fig. 4 a–c)
+* ``fig5`` — non-sharing CDFs, Boston (Fig. 5 a–c)
+* ``fig6`` — averages vs. number of taxis, Boston (Fig. 6 a–c)
+* ``fig7`` — averages vs. clock time, Boston (Fig. 7 a–c)
+* ``fig8`` — sharing CDFs, New York (Fig. 8)
+* ``fig9`` — sharing CDFs, Boston (Fig. 9)
+
+Figs. 1–3 are worked micro-examples, reproduced as unit tests in
+``tests/matching/test_paper_examples.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.aggregate import hourly_averages
+from repro.analysis.cdf import EmpiricalCDF, empirical_cdf
+from repro.analysis.report import format_cdf_table, format_summary_table, format_table
+from repro.core.errors import ExperimentError
+from repro.experiments.runners import run_city_experiment, run_taxi_sweep
+from repro.experiments.settings import (
+    NONSHARING_ALGORITHMS,
+    SHARING_ALGORITHMS,
+    ExperimentScale,
+    profile_by_name,
+)
+from repro.simulation.engine import SimulationResult
+
+__all__ = ["FigureResult", "FIGURES", "FIGURE_CITIES", "run_figure"]
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """Structured output of one figure harness."""
+
+    figure_id: str
+    title: str
+    report: str
+    series: dict = field(default_factory=dict)
+    summaries: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def _metric_cdfs(
+    results: dict[str, SimulationResult],
+) -> tuple[dict[str, EmpiricalCDF], dict[str, EmpiricalCDF], dict[str, EmpiricalCDF]]:
+    delay = {name: empirical_cdf(r.dispatch_delays_min()) for name, r in results.items()}
+    passenger = {name: empirical_cdf(r.passenger_dissatisfactions()) for name, r in results.items()}
+    taxi = {name: empirical_cdf(r.taxi_dissatisfactions()) for name, r in results.items()}
+    return delay, passenger, taxi
+
+
+def _grid(cdfs: dict[str, EmpiricalCDF], points: int = 9) -> list[float]:
+    values = np.concatenate([c.values for c in cdfs.values() if c.n]) if cdfs else np.array([])
+    if values.size == 0:
+        return [0.0]
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        return [lo]
+    return list(np.linspace(lo, hi, points))
+
+
+def _cdf_figure(
+    figure_id: str,
+    title: str,
+    city: str,
+    algorithms: Sequence[str],
+    scale: ExperimentScale,
+) -> FigureResult:
+    profile = profile_by_name(city)
+    results = run_city_experiment(profile, algorithms, scale)
+    delay, passenger, taxi = _metric_cdfs(results)
+    report_parts = [
+        f"== {title} ==",
+        "",
+        "(a) dispatch delay CDF (minutes)",
+        format_cdf_table(delay, _grid(delay), value_label="delay_min"),
+        "",
+        "(b) passenger dissatisfaction CDF (km)",
+        format_cdf_table(passenger, _grid(passenger), value_label="pd_km"),
+        "",
+        "(c) taxi dissatisfaction CDF (km)",
+        format_cdf_table(taxi, _grid(taxi), value_label="td_km"),
+        "",
+        "summary",
+        format_summary_table({name: r.summary() for name, r in results.items()}),
+    ]
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        report="\n".join(report_parts),
+        series={"delay": delay, "passenger": passenger, "taxi": taxi},
+        summaries={name: r.summary() for name, r in results.items()},
+    )
+
+
+def fig4(scale: ExperimentScale) -> FigureResult:
+    """Fig. 4: non-sharing performance in the New York trace."""
+    return _cdf_figure("fig4", "Fig. 4 — non-sharing, New York", "new-york", NONSHARING_ALGORITHMS, scale)
+
+
+def fig5(scale: ExperimentScale) -> FigureResult:
+    """Fig. 5: non-sharing performance in the Boston trace."""
+    return _cdf_figure("fig5", "Fig. 5 — non-sharing, Boston", "boston", NONSHARING_ALGORITHMS, scale)
+
+
+def fig8(scale: ExperimentScale) -> FigureResult:
+    """Fig. 8: sharing performance in the New York trace."""
+    return _cdf_figure("fig8", "Fig. 8 — sharing, New York", "new-york", SHARING_ALGORITHMS, scale)
+
+
+def fig9(scale: ExperimentScale) -> FigureResult:
+    """Fig. 9: sharing performance in the Boston trace."""
+    return _cdf_figure("fig9", "Fig. 9 — sharing, Boston", "boston", SHARING_ALGORITHMS, scale)
+
+
+#: Paper-scale fleet sizes swept in Fig. 6 (Boston, 200 is the default).
+FIG6_TAXI_COUNTS = (100, 150, 200, 250, 300)
+
+
+def fig6(scale: ExperimentScale) -> FigureResult:
+    """Fig. 6: Boston non-sharing averages under different fleet sizes."""
+    profile = profile_by_name("boston")
+    sweep = run_taxi_sweep(profile, NONSHARING_ALGORITHMS, FIG6_TAXI_COUNTS, scale)
+    metrics = (
+        ("mean_dispatch_delay_min", "(a) average dispatch delay (min)"),
+        ("mean_passenger_dissatisfaction", "(b) average passenger dissatisfaction (km)"),
+        ("mean_taxi_dissatisfaction", "(c) average taxi dissatisfaction (km)"),
+    )
+    algorithms = list(next(iter(sweep.values())))
+    parts = ["== Fig. 6 — non-sharing vs number of taxis, Boston =="]
+    series: dict = {}
+    for key, caption in metrics:
+        rows = []
+        for count in FIG6_TAXI_COUNTS:
+            rows.append([count] + [sweep[count][name].summary()[key] for name in algorithms])
+        series[key] = {
+            name: [sweep[count][name].summary()[key] for count in FIG6_TAXI_COUNTS]
+            for name in algorithms
+        }
+        parts += ["", caption, format_table(["taxis"] + algorithms, rows)]
+    return FigureResult(
+        figure_id="fig6",
+        title="Fig. 6 — non-sharing vs number of taxis, Boston",
+        report="\n".join(parts),
+        series=series,
+        summaries={
+            f"{name}@{count}": sweep[count][name].summary()
+            for count in FIG6_TAXI_COUNTS
+            for name in algorithms
+        },
+    )
+
+
+def fig7(scale: ExperimentScale) -> FigureResult:
+    """Fig. 7: Boston non-sharing averages across the clock."""
+    profile = profile_by_name("boston")
+    results = run_city_experiment(profile, NONSHARING_ALGORITHMS, scale)
+    hourly = {name: hourly_averages(result) for name, result in results.items()}
+    metrics = (
+        ("mean_dispatch_delay_min", "(a) average dispatch delay (min)"),
+        ("mean_passenger_dissatisfaction", "(b) average passenger dissatisfaction (km)"),
+        ("mean_taxi_dissatisfaction", "(c) average taxi dissatisfaction (km)"),
+    )
+    algorithms = list(results)
+    parts = ["== Fig. 7 — non-sharing vs clock time, Boston =="]
+    series: dict = {}
+    for key, caption in metrics:
+        rows = [
+            [f"{hour:02d}h"] + [hourly[name][hour][key] for name in algorithms]
+            for hour in range(24)
+        ]
+        series[key] = {name: [hourly[name][h][key] for h in range(24)] for name in algorithms}
+        parts += ["", caption, format_table(["hour"] + algorithms, rows)]
+    return FigureResult(
+        figure_id="fig7",
+        title="Fig. 7 — non-sharing vs clock time, Boston",
+        report="\n".join(parts),
+        series=series,
+        summaries={name: r.summary() for name, r in results.items()},
+    )
+
+
+#: Which city trace backs each figure (fig6/fig7 are Boston sweeps).
+FIGURE_CITIES: dict[str, str] = {
+    "fig4": "new-york",
+    "fig5": "boston",
+    "fig6": "boston",
+    "fig7": "boston",
+    "fig8": "new-york",
+    "fig9": "boston",
+}
+
+FIGURES: dict[str, Callable[[ExperimentScale], FigureResult]] = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+}
+
+
+def run_figure(figure_id: str, scale: ExperimentScale | None = None) -> FigureResult:
+    """Run one figure harness by id ('fig4' … 'fig9')."""
+    key = figure_id.strip().lower()
+    if key not in FIGURES:
+        raise ExperimentError(f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}")
+    return FIGURES[key](scale if scale is not None else ExperimentScale())

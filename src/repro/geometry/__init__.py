@@ -1,0 +1,24 @@
+"""Geometry substrate: points, distance oracles, and a spatial index."""
+
+from repro.geometry.distance import (
+    EARTH_RADIUS_KM,
+    DistanceOracle,
+    EuclideanDistance,
+    HaversineDistance,
+    ManhattanDistance,
+    ScaledDistance,
+)
+from repro.geometry.point import ORIGIN, Point
+from repro.geometry.spatial_index import GridSpatialIndex
+
+__all__ = [
+    "Point",
+    "ORIGIN",
+    "DistanceOracle",
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "HaversineDistance",
+    "ScaledDistance",
+    "GridSpatialIndex",
+    "EARTH_RADIUS_KM",
+]

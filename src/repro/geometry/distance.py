@@ -1,0 +1,103 @@
+"""Distance oracles.
+
+All dispatch algorithms in the paper consume a single shortest-path
+distance function ``D(a, b)`` (Section III-A).  We expose that as the
+:class:`DistanceOracle` protocol so the same algorithm code runs against
+
+* :class:`EuclideanDistance` — the paper's planar city surface (default),
+* :class:`ManhattanDistance` — a grid-street approximation,
+* :class:`HaversineDistance` — great-circle distance for raw lat/lon
+  traces before projection, and
+* :class:`repro.network.graph.RoadNetwork` — true shortest paths on a
+  road graph (implemented in the network substrate).
+
+Oracles must be symmetric in our usage only when the underlying metric
+is; the algorithms never assume symmetry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+from repro.geometry.point import Point
+
+__all__ = [
+    "DistanceOracle",
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "HaversineDistance",
+    "ScaledDistance",
+    "EARTH_RADIUS_KM",
+]
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Anything that measures the travel distance between two points, in km."""
+
+    def distance(self, a: Point, b: Point) -> float:
+        """Travel distance from ``a`` to ``b`` in kilometres."""
+        ...
+
+
+class EuclideanDistance:
+    """Straight-line distance on the planar city surface."""
+
+    def distance(self, a: Point, b: Point) -> float:
+        return math.hypot(a.x - b.x, a.y - b.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EuclideanDistance()"
+
+
+class ManhattanDistance:
+    """L1 distance; a cheap stand-in for grid street networks."""
+
+    def distance(self, a: Point, b: Point) -> float:
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ManhattanDistance()"
+
+
+class HaversineDistance:
+    """Great-circle distance, interpreting points as (lon, lat) degrees."""
+
+    def distance(self, a: Point, b: Point) -> float:
+        lon1, lat1 = math.radians(a.x), math.radians(a.y)
+        lon2, lat2 = math.radians(b.x), math.radians(b.y)
+        dlat = lat2 - lat1
+        dlon = lon2 - lon1
+        h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+        return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HaversineDistance()"
+
+
+class ScaledDistance:
+    """Wraps another oracle and multiplies its output by a detour factor.
+
+    Real road distances exceed straight-line distances by a roughly
+    constant circuity factor (~1.3 for US cities); this wrapper lets
+    experiments model that without a full road network.
+    """
+
+    def __init__(self, base: DistanceOracle, factor: float):
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        self._base = base
+        self._factor = float(factor)
+
+    @property
+    def factor(self) -> float:
+        return self._factor
+
+    def distance(self, a: Point, b: Point) -> float:
+        return self._factor * self._base.distance(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScaledDistance({self._base!r}, factor={self._factor})"

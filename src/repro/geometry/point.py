@@ -1,0 +1,50 @@
+"""Planar points for the city model.
+
+The paper models the city as a Euclidean surface; we use kilometre-scaled
+planar coordinates so every distance the algorithms consume is directly in
+kilometres (the paper's dissatisfaction unit).  :class:`Point` is a frozen
+dataclass so points are hashable and safe to share between requests,
+taxis, and routes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "ORIGIN"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A location on the planar city surface, in kilometres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in kilometres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 (grid-street) distance to ``other`` in kilometres."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)`` kilometres."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The ``(x, y)`` coordinate pair."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+ORIGIN = Point(0.0, 0.0)

@@ -1,0 +1,98 @@
+"""Algorithm 1: non-sharing taxi dispatch via deferred acceptance.
+
+This is the paper's passenger-proposing Gale–Shapley variant with dummy
+partners.  Each passenger request proposes down its preference order
+(sub-algorithm *Proposal*); a taxi holds its best proposal so far and
+refuses the rest (sub-algorithm *Refusal*); a request whose list is
+exhausted falls to its dummy partner and stays unserved.
+
+The paper presents the cascade recursively; we run it with an explicit
+work stack so deep refusal chains cannot overflow Python's recursion
+limit.  The result is the **passenger-optimal** stable matching
+(Property 2), and by Theorem 2 its unserved requests are unserved in
+every stable matching.
+
+Complexity: O(|R|·|T|) proposals, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.preferences import PreferenceTable
+from repro.matching.result import Matching
+
+__all__ = ["deferred_acceptance", "DeferredAcceptanceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeferredAcceptanceStats:
+    """Counters describing one deferred-acceptance run."""
+
+    proposals: int
+    refusals: int
+    matched_pairs: int
+
+
+def deferred_acceptance(
+    table: PreferenceTable, *, with_stats: bool = False
+) -> Matching | tuple[Matching, DeferredAcceptanceStats]:
+    """Run Algorithm 1 on ``table`` and return the proposer-optimal matching.
+
+    Parameters
+    ----------
+    table:
+        Mutually consistent preference lists (dummies are implicit list
+        ends).
+    with_stats:
+        When true, also return proposal/refusal counters.
+    """
+    # next_choice[p] = index of the next entry p will propose to.
+    next_choice: dict[int, int] = {p: 0 for p in table.proposer_prefs}
+    current_partner: dict[int, int] = {}  # reviewer -> proposer currently held
+    engaged_to: dict[int, int] = {}  # proposer -> reviewer currently holding it
+
+    reviewer_ranks = table._reviewer_ranks()  # cached rank maps; hot path
+
+    proposals = 0
+    refusals = 0
+
+    # Requests propose "one by one" (Algorithm 1, lines 20-21); a refusal
+    # pushes the refused request back onto the stack (line 14/16).
+    stack: list[int] = sorted(table.proposer_prefs, reverse=True)
+    while stack:
+        proposer = stack.pop()
+        prefs = table.proposer_prefs[proposer]
+        while next_choice[proposer] < len(prefs):
+            reviewer = prefs[next_choice[proposer]]
+            next_choice[proposer] += 1
+            proposals += 1
+            holder = current_partner.get(reviewer)
+            if holder is None:
+                # Refusal lines 10-11: an undispatched taxi accepts any
+                # proposer it prefers over its dummy; every entry in the
+                # preference list is above the dummy by construction.
+                current_partner[reviewer] = proposer
+                engaged_to[proposer] = reviewer
+                break
+            ranks = reviewer_ranks[reviewer]
+            if ranks[proposer] < ranks[holder]:
+                # Refusal lines 12-14: keep the preferred proposer, push
+                # the displaced one back to Proposal.
+                current_partner[reviewer] = proposer
+                engaged_to[proposer] = reviewer
+                del engaged_to[holder]
+                refusals += 1
+                stack.append(holder)
+                break
+            refusals += 1  # line 16: proposer is refused, tries next entry
+        # Falling out of the while means the proposer reached its dummy
+        # (Proposal lines 6-7) and stays unserved.
+
+    matching = Matching(engaged_to)
+    if with_stats:
+        stats = DeferredAcceptanceStats(
+            proposals=proposals, refusals=refusals, matched_pairs=matching.size
+        )
+        return matching, stats
+    return matching

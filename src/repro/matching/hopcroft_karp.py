@@ -1,0 +1,75 @@
+"""Hopcroft–Karp maximum bipartite matching.
+
+Self-contained O(E·√V) implementation used by the minimax matcher
+(feasibility checks under a cost threshold) and by tests as an
+independent cardinality oracle.  Vertices are 0-based integers on each
+side; the graph is an adjacency list from left to right.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+__all__ = ["hopcroft_karp", "maximum_matching_size"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]) -> dict[int, int]:
+    """Maximum matching as a left → right dict.
+
+    ``adjacency[u]`` lists the right vertices adjacent to left vertex
+    ``u``; indices out of range raise ``IndexError`` eagerly.
+    """
+    if len(adjacency) != n_left:
+        raise ValueError(f"adjacency has {len(adjacency)} rows for {n_left} left vertices")
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            if not 0 <= v < n_right:
+                raise IndexError(f"right vertex {v} out of range in row {u}")
+
+    match_left: list[int] = [-1] * n_left
+    match_right: list[int] = [-1] * n_right
+    dist: list[float] = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        reachable_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    reachable_free = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1.0
+                    queue.append(w)
+        return reachable_free
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1.0 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dfs(u)
+    return {u: v for u, v in enumerate(match_left) if v != -1}
+
+
+def maximum_matching_size(n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]) -> int:
+    """Cardinality of a maximum matching."""
+    return len(hopcroft_karp(n_left, n_right, adjacency))

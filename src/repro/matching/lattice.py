@@ -1,0 +1,109 @@
+"""The distributive lattice of stable matchings.
+
+Two classic structural results the paper leans on implicitly:
+
+* **Lattice (Conway)**: for stable matchings ``M`` and ``M'``, giving
+  every proposer the better (resp. worse) of its two partners yields a
+  stable matching again — the *join* (resp. *meet*).  The
+  passenger-optimal and taxi-optimal matchings of Section IV are the
+  lattice's top and bottom.
+* **Median stable matching (Sethuraman et al., the paper's [13])**:
+  assigning every proposer the median of its partners across all stable
+  matchings is itself stable, and is simultaneously the median for the
+  reviewers — a natural "fair compromise" the company could deploy
+  instead of either extreme.
+
+Both are implemented over explicit matching collections (Algorithm 2
+provides them), so they work for any thresholded market.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import MatchingError
+from repro.matching.enumeration import all_stable_matchings
+from repro.matching.preferences import PreferenceTable
+from repro.matching.result import Matching
+
+__all__ = ["join", "meet", "median_stable_matching", "lattice_extremes"]
+
+
+def _combine(table: PreferenceTable, a: Matching, b: Matching, *, take_best: bool) -> Matching:
+    if a.matched_proposers != b.matched_proposers:
+        raise MatchingError(
+            "lattice operations need two stable matchings of the same market "
+            "(their matched sets must coincide)"
+        )
+    pairs: dict[int, int] = {}
+    for proposer in a.matched_proposers:
+        ra = a.reviewer_of(proposer)
+        rb = b.reviewer_of(proposer)
+        assert ra is not None and rb is not None
+        if ra == rb:
+            pairs[proposer] = ra
+        elif table.proposer_prefers(proposer, ra, rb) == take_best:
+            pairs[proposer] = ra
+        else:
+            pairs[proposer] = rb
+    return Matching(pairs)
+
+
+def join(table: PreferenceTable, a: Matching, b: Matching) -> Matching:
+    """Proposer-wise best of two stable matchings (stable by the lattice
+    theorem; verified in the tests rather than assumed)."""
+    return _combine(table, a, b, take_best=True)
+
+
+def meet(table: PreferenceTable, a: Matching, b: Matching) -> Matching:
+    """Proposer-wise worst of two stable matchings."""
+    return _combine(table, a, b, take_best=False)
+
+
+def median_stable_matching(
+    table: PreferenceTable, matchings: Sequence[Matching] | None = None
+) -> Matching:
+    """The (lower) median stable matching.
+
+    For every matched proposer, sort its partners across all stable
+    matchings by its own preference and take the element at index
+    ``(k − 1) // 2`` (the generalized median; for odd ``k`` the unique
+    median).  By Teo–Sethuraman's theorem the selection is a stable
+    matching.
+
+    ``matchings`` defaults to the full Algorithm-2 enumeration.
+    """
+    if matchings is None:
+        matchings = all_stable_matchings(table)
+    if not matchings:
+        raise MatchingError("no stable matchings supplied")
+    matched = matchings[0].matched_proposers
+    pairs: dict[int, int] = {}
+    for proposer in matched:
+        partners = []
+        for matching in matchings:
+            reviewer = matching.reviewer_of(proposer)
+            if reviewer is None:
+                raise MatchingError("matchings disagree on the matched set")
+            partners.append(reviewer)
+        ranked = sorted(
+            partners, key=lambda r: table.proposer_rank(proposer, r)  # type: ignore[arg-type]
+        )
+        pairs[proposer] = ranked[(len(ranked) - 1) // 2]
+    return Matching(pairs)
+
+
+def lattice_extremes(table: PreferenceTable) -> tuple[Matching, Matching]:
+    """(proposer-optimal, proposer-pessimal) via repeated meets/joins.
+
+    Mostly a cross-check utility: folding the enumeration with
+    :func:`join` must reproduce Algorithm 1's output, and with
+    :func:`meet` the taxi-optimal matching.
+    """
+    matchings = all_stable_matchings(table)
+    top = matchings[0]
+    bottom = matchings[0]
+    for matching in matchings[1:]:
+        top = join(table, top, matching)
+        bottom = meet(table, bottom, matching)
+    return top, bottom

@@ -1,0 +1,139 @@
+"""Selecting among stable matchings: passenger-optimal, taxi-optimal,
+and company-revenue-optimal.
+
+Property 2 of the paper: Algorithm 1 yields the *passenger-optimal*
+(and simultaneously taxi-pessimal) stable matching.  Its mirror — the
+*taxi-optimal* stable matching (NSTD-T) — is obtained two ways here:
+
+* the **fast path**: deferred acceptance on the role-reversed table,
+  which is proposer-optimal for taxis.  With dummy thresholds the
+  matched sets coincide across all stable matchings (the rural-hospitals
+  invariance behind Theorem 2), so this is exactly the matching
+  Algorithm 2 would select for taxis;
+* the **exact path**: enumerate all stable matchings (Algorithm 2) and
+  pick the taxi-best one.  Used by tests to certify the fast path and by
+  analyses that want the whole lattice anyway.
+
+Section IV-D motivates a third selector: the company "can pick a stable
+matching from all possible ones, such that the most money is made" —
+the company takes a fixed percentage of each fare, so revenue is the
+total trip distance of served requests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.errors import MatchingError
+from repro.core.types import PassengerRequest
+from repro.geometry.distance import DistanceOracle
+from repro.matching.deferred_acceptance import deferred_acceptance
+from repro.matching.enumeration import all_stable_matchings
+from repro.matching.preferences import PreferenceTable
+from repro.matching.result import Matching
+
+__all__ = [
+    "passenger_optimal",
+    "taxi_optimal",
+    "taxi_optimal_exact",
+    "company_revenue",
+    "company_optimal",
+    "rank_profile",
+]
+
+
+def passenger_optimal(table: PreferenceTable) -> Matching:
+    """NSTD-P: the passenger-optimal stable matching (Algorithm 1)."""
+    return deferred_acceptance(table)
+
+
+def taxi_optimal(table: PreferenceTable) -> Matching:
+    """NSTD-T fast path: deferred acceptance with taxis proposing.
+
+    Returns a matching in the original orientation (request → taxi).
+    """
+    reversed_matching = deferred_acceptance(table.reversed())
+    return Matching({proposer: reviewer for reviewer, proposer in reversed_matching.pairs})
+
+
+def taxi_optimal_exact(table: PreferenceTable, *, limit: int | None = None) -> Matching:
+    """NSTD-T via the paper's route: enumerate with Algorithm 2, then pick
+    the matching every taxi weakly prefers (the taxi-best lattice point).
+
+    Selection minimizes the sum of taxi-side ranks; on the stable-matching
+    lattice this is uniquely minimized by the taxi-optimal matching.
+    """
+    matchings = all_stable_matchings(table, limit=limit)
+    if not matchings:
+        raise MatchingError("no stable matchings found")
+    return min(matchings, key=lambda m: (_taxi_rank_sum(table, m), sorted(m.pairs)))
+
+
+def _taxi_rank_sum(table: PreferenceTable, matching: Matching) -> int:
+    total = 0
+    for proposer_id, reviewer_id in matching.pairs:
+        rank = table.reviewer_rank(reviewer_id, proposer_id)
+        assert rank is not None
+        total += rank
+    return total
+
+
+def company_revenue(
+    matching: Matching,
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+) -> float:
+    """Total fare-proportional revenue: sum of served trip distances (km)."""
+    by_id = {r.request_id: r for r in requests}
+    return sum(
+        by_id[proposer_id].trip_distance(oracle)
+        for proposer_id, _ in matching.pairs
+        if proposer_id in by_id
+    )
+
+
+def company_optimal(
+    table: PreferenceTable,
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    *,
+    limit: int | None = None,
+    objective: Callable[[Matching], float] | None = None,
+) -> tuple[Matching, float]:
+    """The stable matching maximizing the company's objective.
+
+    By default the objective is :func:`company_revenue`.  Since every
+    stable matching serves the same set of requests (Theorem 2 plus its
+    taxi-side analogue), the default objective ties across the lattice —
+    the function exists for custom objectives (e.g. revenue minus a
+    deadhead-compensation cost) and returns the achieved value.
+    """
+    matchings = all_stable_matchings(table, limit=limit)
+    if not matchings:
+        raise MatchingError("no stable matchings found")
+    if objective is None:
+        score = lambda m: company_revenue(m, requests, oracle)  # noqa: E731
+    else:
+        score = objective
+    best = max(matchings, key=lambda m: (score(m), sorted(m.pairs)))
+    return best, score(best)
+
+
+def rank_profile(table: PreferenceTable, matching: Matching) -> tuple[float, float]:
+    """Mean proposer-side and reviewer-side ranks of the matched pairs.
+
+    Useful to demonstrate the optimal/pessimal duality: the passenger-
+    optimal matching minimizes the first component over the lattice and
+    maximizes the second, and vice versa for the taxi-optimal one.
+    """
+    if matching.size == 0:
+        return (0.0, 0.0)
+    proposer_total = 0
+    reviewer_total = 0
+    for proposer_id, reviewer_id in matching.pairs:
+        p_rank = table.proposer_rank(proposer_id, reviewer_id)
+        r_rank = table.reviewer_rank(reviewer_id, proposer_id)
+        assert p_rank is not None and r_rank is not None
+        proposer_total += p_rank
+        reviewer_total += r_rank
+    return (proposer_total / matching.size, reviewer_total / matching.size)

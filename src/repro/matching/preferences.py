@@ -1,0 +1,250 @@
+"""Preference tables with dummy partners.
+
+Section IV-A of the paper defines two score functions (smaller is
+better):
+
+* passenger ``r_j`` scores taxi ``t_i`` as ``D(t_i, r_j^s)``;
+* driver ``t_i`` scores request ``r_j`` as
+  ``D(t_i, r_j^s) − α·D(r_j^s, r_j^d)``.
+
+Each side's preference order also contains exactly one **dummy entry**
+(Theorem 1): partners scoring beyond a threshold fall *behind* the dummy
+and are therefore unacceptable — proposing to them or accepting them can
+never be part of a stable matching.  A taxi without enough seats and the
+oversized request "are put to the end of the preference order of each
+other", i.e. the pair is mutually unacceptable.
+
+:class:`PreferenceTable` is the role-neutral structure every matching
+algorithm in this package consumes: *proposers* (passenger requests, or
+packed ride groups in the sharing case) and *reviewers* (taxis), each
+with an ordered list of acceptable partners.  A pair appears on one
+side's list iff it appears on the other's, which keeps the stability
+definition symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import PreferenceError
+from repro.core.types import PassengerRequest, Taxi
+from repro.geometry.distance import DistanceOracle
+
+__all__ = [
+    "PreferenceTable",
+    "build_nonsharing_table",
+    "passenger_score",
+    "taxi_score",
+]
+
+
+def passenger_score(taxi: Taxi, request: PassengerRequest, oracle: DistanceOracle) -> float:
+    """``D(t_i, r_j^s)``: the passenger dissatisfaction of this pairing."""
+    return oracle.distance(taxi.location, request.pickup)
+
+
+def taxi_score(
+    taxi: Taxi, request: PassengerRequest, oracle: DistanceOracle, alpha: float
+) -> float:
+    """``D(t_i, r_j^s) − α·D(r_j^s, r_j^d)``: the taxi dissatisfaction."""
+    return oracle.distance(taxi.location, request.pickup) - alpha * request.trip_distance(oracle)
+
+
+@dataclass(frozen=True)
+class PreferenceTable:
+    """Mutually consistent preference lists over acceptable partners.
+
+    Attributes
+    ----------
+    proposer_prefs:
+        For each proposer id, the acceptable reviewer ids in strictly
+        decreasing preference (best first).  The implicit dummy sits at
+        the end of every list.
+    reviewer_prefs:
+        Symmetric structure for reviewers.
+    proposer_scores / reviewer_scores:
+        Optional raw scores (smaller = better) behind the orders, keyed
+        by ``(proposer_id, reviewer_id)``; kept for metrics and for
+        deterministic re-ranking in the sharing pipeline.
+    """
+
+    proposer_prefs: dict[int, tuple[int, ...]]
+    reviewer_prefs: dict[int, tuple[int, ...]]
+    proposer_scores: dict[tuple[int, int], float] = field(default_factory=dict)
+    reviewer_scores: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        pairs_from_proposers = {
+            (p, r) for p, prefs in self.proposer_prefs.items() for r in prefs
+        }
+        pairs_from_reviewers = {
+            (p, r) for r, prefs in self.reviewer_prefs.items() for p in prefs
+        }
+        if pairs_from_proposers != pairs_from_reviewers:
+            diff = pairs_from_proposers ^ pairs_from_reviewers
+            raise PreferenceError(f"preference lists are not mutually consistent: {sorted(diff)[:5]}")
+        for p, prefs in self.proposer_prefs.items():
+            if len(set(prefs)) != len(prefs):
+                raise PreferenceError(f"proposer {p} has duplicate entries")
+        for r, prefs in self.reviewer_prefs.items():
+            if len(set(prefs)) != len(prefs):
+                raise PreferenceError(f"reviewer {r} has duplicate entries")
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def proposer_ids(self) -> tuple[int, ...]:
+        return tuple(self.proposer_prefs)
+
+    @property
+    def reviewer_ids(self) -> tuple[int, ...]:
+        return tuple(self.reviewer_prefs)
+
+    def proposer_rank(self, proposer_id: int, reviewer_id: int) -> int | None:
+        """Rank of ``reviewer_id`` in the proposer's list; ``None`` if
+        unacceptable (i.e. behind the dummy)."""
+        ranks = self._proposer_ranks().get(proposer_id, {})
+        return ranks.get(reviewer_id)
+
+    def reviewer_rank(self, reviewer_id: int, proposer_id: int) -> int | None:
+        ranks = self._reviewer_ranks().get(reviewer_id, {})
+        return ranks.get(proposer_id)
+
+    def mutually_acceptable(self, proposer_id: int, reviewer_id: int) -> bool:
+        return self.proposer_rank(proposer_id, reviewer_id) is not None
+
+    def proposer_prefers(self, proposer_id: int, reviewer_a: int, reviewer_b: int) -> bool:
+        """Whether the proposer strictly prefers ``reviewer_a`` over ``reviewer_b``."""
+        rank_a = self.proposer_rank(proposer_id, reviewer_a)
+        rank_b = self.proposer_rank(proposer_id, reviewer_b)
+        if rank_a is None:
+            return False
+        if rank_b is None:
+            return True
+        return rank_a < rank_b
+
+    def reviewer_prefers(self, reviewer_id: int, proposer_a: int, proposer_b: int) -> bool:
+        rank_a = self.reviewer_rank(reviewer_id, proposer_a)
+        rank_b = self.reviewer_rank(reviewer_id, proposer_b)
+        if rank_a is None:
+            return False
+        if rank_b is None:
+            return True
+        return rank_a < rank_b
+
+    def reversed(self) -> "PreferenceTable":
+        """The same market with roles swapped (taxis propose).
+
+        Used for the taxi-optimal fast path: deferred acceptance on the
+        reversed table is reviewer-optimal for the original table.
+        """
+        return PreferenceTable(
+            proposer_prefs=dict(self.reviewer_prefs),
+            reviewer_prefs=dict(self.proposer_prefs),
+            proposer_scores={(r, p): s for (p, r), s in self.reviewer_scores.items()} if self.reviewer_scores else {},
+            reviewer_scores={(r, p): s for (p, r), s in self.proposer_scores.items()} if self.proposer_scores else {},
+        )
+
+    # Rank maps are derived lazily and cached on the instance; the table
+    # itself is frozen so the caches are stored via object.__setattr__.
+
+    def _proposer_ranks(self) -> dict[int, dict[int, int]]:
+        cached = getattr(self, "_proposer_rank_cache", None)
+        if cached is None:
+            cached = {
+                p: {r: k for k, r in enumerate(prefs)} for p, prefs in self.proposer_prefs.items()
+            }
+            object.__setattr__(self, "_proposer_rank_cache", cached)
+        return cached
+
+    def _reviewer_ranks(self) -> dict[int, dict[int, int]]:
+        cached = getattr(self, "_reviewer_rank_cache", None)
+        if cached is None:
+            cached = {
+                r: {p: k for k, p in enumerate(prefs)} for r, prefs in self.reviewer_prefs.items()
+            }
+            object.__setattr__(self, "_reviewer_rank_cache", cached)
+        return cached
+
+
+def build_nonsharing_table(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    alpha_by_taxi: Mapping[int, float] | None = None,
+) -> PreferenceTable:
+    """The paper's non-sharing preference orders (Section IV-A).
+
+    Requests are proposers, taxis are reviewers.  A pair is kept (i.e.
+    acceptable to both) when
+
+    * the taxi has enough seats for the whole party,
+    * the pickup distance is within ``config.passenger_threshold_km``, and
+    * the driver score is within ``config.taxi_threshold_km``.
+
+    Orders are deterministic: ties in score break by partner id.
+
+    ``alpha_by_taxi`` optionally assigns each driver a personal fare
+    coefficient (missing ids fall back to ``config.alpha``).  This is an
+    extension beyond the paper: with one shared α the two sides' scores
+    for a pair differ only by a request-side term, every trading cycle's
+    inequalities cancel, and the stable matching is **unique** (so
+    NSTD-P ≡ NSTD-T).  Heterogeneous drivers break that alignment and
+    make the stable lattice — and the company's Algorithm-2 choice —
+    meaningful.
+    """
+    config = config if config is not None else DispatchConfig()
+    _check_unique_ids(taxis, requests)
+    alphas = {
+        taxi.taxi_id: (alpha_by_taxi or {}).get(taxi.taxi_id, config.alpha) for taxi in taxis
+    }
+    for taxi_id, alpha in alphas.items():
+        if alpha < 0.0:
+            raise PreferenceError(f"taxi {taxi_id} has negative alpha {alpha}")
+
+    proposer_scores: dict[tuple[int, int], float] = {}
+    reviewer_scores: dict[tuple[int, int], float] = {}
+    acceptable_by_request: dict[int, list[tuple[float, int]]] = {r.request_id: [] for r in requests}
+    acceptable_by_taxi: dict[int, list[tuple[float, int]]] = {t.taxi_id: [] for t in taxis}
+
+    for request in requests:
+        trip = request.trip_distance(oracle)
+        for taxi in taxis:
+            if not taxi.can_carry(request):
+                continue
+            pickup_km = oracle.distance(taxi.location, request.pickup)
+            if pickup_km > config.passenger_threshold_km:
+                continue
+            driver = pickup_km - alphas[taxi.taxi_id] * trip
+            if driver > config.taxi_threshold_km:
+                continue
+            proposer_scores[(request.request_id, taxi.taxi_id)] = pickup_km
+            reviewer_scores[(request.request_id, taxi.taxi_id)] = driver
+            acceptable_by_request[request.request_id].append((pickup_km, taxi.taxi_id))
+            acceptable_by_taxi[taxi.taxi_id].append((driver, request.request_id))
+
+    proposer_prefs = {
+        rid: tuple(t for _, t in sorted(pairs)) for rid, pairs in acceptable_by_request.items()
+    }
+    reviewer_prefs = {
+        tid: tuple(r for _, r in sorted(pairs)) for tid, pairs in acceptable_by_taxi.items()
+    }
+    return PreferenceTable(
+        proposer_prefs=proposer_prefs,
+        reviewer_prefs=reviewer_prefs,
+        proposer_scores=proposer_scores,
+        reviewer_scores=reviewer_scores,
+    )
+
+
+def _check_unique_ids(taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]) -> None:
+    taxi_ids = [t.taxi_id for t in taxis]
+    request_ids = [r.request_id for r in requests]
+    if len(set(taxi_ids)) != len(taxi_ids):
+        raise PreferenceError("duplicate taxi ids")
+    if len(set(request_ids)) != len(request_ids):
+        raise PreferenceError("duplicate request ids")

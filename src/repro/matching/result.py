@@ -1,0 +1,111 @@
+"""The :class:`Matching` value object.
+
+A matching is a partial one-to-one map between proposers and reviewers;
+entities absent from the map are matched to their dummy partner (i.e.
+unserved / undispatched).  Matchings are immutable, hashable, and compare
+by their pair set, which lets enumeration code deduplicate with a set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.errors import MatchingError
+
+__all__ = ["Matching"]
+
+
+class Matching:
+    """An immutable proposer↔reviewer matching."""
+
+    __slots__ = ("_by_proposer", "_by_reviewer", "_pairs")
+
+    def __init__(self, pairs: Mapping[int, int] | Iterable[tuple[int, int]]):
+        items = list(pairs.items()) if isinstance(pairs, Mapping) else list(pairs)
+        by_proposer: dict[int, int] = {}
+        by_reviewer: dict[int, int] = {}
+        for proposer_id, reviewer_id in items:
+            if proposer_id in by_proposer:
+                raise MatchingError(f"proposer {proposer_id} matched twice")
+            if reviewer_id in by_reviewer:
+                raise MatchingError(f"reviewer {reviewer_id} matched twice")
+            by_proposer[proposer_id] = reviewer_id
+            by_reviewer[reviewer_id] = proposer_id
+        self._by_proposer = by_proposer
+        self._by_reviewer = by_reviewer
+        self._pairs = frozenset(by_proposer.items())
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def pairs(self) -> frozenset[tuple[int, int]]:
+        """The matched ``(proposer_id, reviewer_id)`` pairs."""
+        return self._pairs
+
+    @property
+    def size(self) -> int:
+        return len(self._by_proposer)
+
+    def reviewer_of(self, proposer_id: int) -> int | None:
+        """The reviewer matched to ``proposer_id``; ``None`` means dummy."""
+        return self._by_proposer.get(proposer_id)
+
+    def proposer_of(self, reviewer_id: int) -> int | None:
+        """The proposer matched to ``reviewer_id``; ``None`` means dummy."""
+        return self._by_reviewer.get(reviewer_id)
+
+    @property
+    def matched_proposers(self) -> frozenset[int]:
+        return frozenset(self._by_proposer)
+
+    @property
+    def matched_reviewers(self) -> frozenset[int]:
+        return frozenset(self._by_reviewer)
+
+    def unmatched_proposers(self, proposer_ids: Iterable[int]) -> list[int]:
+        return [p for p in proposer_ids if p not in self._by_proposer]
+
+    def unmatched_reviewers(self, reviewer_ids: Iterable[int]) -> list[int]:
+        return [r for r in reviewer_ids if r not in self._by_reviewer]
+
+    def as_dict(self) -> dict[int, int]:
+        """A mutable copy of the proposer → reviewer map."""
+        return dict(self._by_proposer)
+
+    # -- mutation-by-copy --------------------------------------------------
+
+    def with_pair(self, proposer_id: int, reviewer_id: int) -> "Matching":
+        """A new matching with ``(proposer_id, reviewer_id)`` added; any
+        existing partners of either side are released."""
+        mapping = dict(self._by_proposer)
+        old_partner = self._by_reviewer.get(reviewer_id)
+        if old_partner is not None:
+            del mapping[old_partner]
+        mapping[proposer_id] = reviewer_id
+        return Matching(mapping)
+
+    def without_proposer(self, proposer_id: int) -> "Matching":
+        """A new matching with ``proposer_id`` released to its dummy."""
+        mapping = dict(self._by_proposer)
+        mapping.pop(proposer_id, None)
+        return Matching(mapping)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._by_proposer)
+
+    def __iter__(self):
+        return iter(sorted(self._by_proposer.items()))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{p}->{r}" for p, r in sorted(self._by_proposer.items()))
+        return f"Matching({{{pairs}}})"

@@ -1,0 +1,136 @@
+"""Rotations: the classical structure underlying Algorithm 2.
+
+In the stable marriage literature (Irving/Gusfield), the moves between
+stable matchings are *rotations*: cyclic sequences
+``ρ = (p_0, r_0), …, (p_{k−1}, r_{k−1})`` where each proposer's best
+attainable alternative ``s_M(p_i)`` is exactly the next pair's reviewer.
+Eliminating a rotation shifts every ``p_i`` to ``r_{i+1}``, moving one
+step down the lattice; every stable matching is reachable by
+eliminating an antichain-closed set of rotations.
+
+This module implements rotation detection and elimination for
+**complete, equal-sized markets** (the textbook setting — the paper's
+Theorem 1 reduces the dummy-threshold market to it) and an
+enumeration built on them.  It serves as an independent engine to
+cross-validate the `BreakDispatch`-based Algorithm 2: both must produce
+the identical lattice.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import MatchingError
+from repro.matching.deferred_acceptance import deferred_acceptance
+from repro.matching.preferences import PreferenceTable
+from repro.matching.result import Matching
+
+__all__ = ["Rotation", "exposed_rotations", "eliminate_rotation", "all_stable_matchings_by_rotations"]
+
+Rotation = tuple[tuple[int, int], ...]
+
+
+def _require_complete(table: PreferenceTable, matching: Matching) -> None:
+    proposers = set(table.proposer_prefs)
+    reviewers = set(table.reviewer_prefs)
+    if len(proposers) != len(reviewers):
+        raise MatchingError("rotation machinery needs equal-sized sides")
+    for p, prefs in table.proposer_prefs.items():
+        if set(prefs) != reviewers:
+            raise MatchingError(f"proposer {p} does not rank every reviewer")
+    for r, prefs in table.reviewer_prefs.items():
+        if set(prefs) != proposers:
+            raise MatchingError(f"reviewer {r} does not rank every proposer")
+    if matching.matched_proposers != proposers:
+        raise MatchingError("matching must be perfect for rotation analysis")
+
+
+def _best_alternative(table: PreferenceTable, matching: Matching, proposer: int) -> int | None:
+    """``s_M(p)``: the first reviewer below ``M(p)`` on p's list that
+    strictly prefers ``p`` over its current partner."""
+    current = matching.reviewer_of(proposer)
+    assert current is not None
+    prefs = table.proposer_prefs[proposer]
+    start = table.proposer_rank(proposer, current)
+    assert start is not None
+    for reviewer in prefs[start + 1 :]:
+        holder = matching.proposer_of(reviewer)
+        assert holder is not None  # perfect matching
+        if table.reviewer_prefers(reviewer, proposer, holder):
+            return reviewer
+    return None
+
+
+def exposed_rotations(table: PreferenceTable, matching: Matching) -> list[Rotation]:
+    """All rotations exposed in a stable matching of a complete market.
+
+    Each rotation is a tuple of ``(proposer, reviewer)`` pairs in cycle
+    order, normalized to start at its smallest proposer id.
+    """
+    _require_complete(table, matching)
+    successor: dict[int, int] = {}
+    for proposer in table.proposer_prefs:
+        alternative = _best_alternative(table, matching, proposer)
+        if alternative is not None:
+            next_proposer = matching.proposer_of(alternative)
+            assert next_proposer is not None
+            successor[proposer] = next_proposer
+
+    rotations: list[Rotation] = []
+    seen: set[int] = set()
+    for start in sorted(successor):
+        if start in seen:
+            continue
+        # Walk the functional graph until a repeat; extract the cycle.
+        path: list[int] = []
+        index_of: dict[int, int] = {}
+        node = start
+        while node in successor and node not in index_of and node not in seen:
+            index_of[node] = len(path)
+            path.append(node)
+            node = successor[node]
+        seen.update(path)
+        if node in index_of:
+            cycle = path[index_of[node] :]
+            pivot = cycle.index(min(cycle))
+            ordered = cycle[pivot:] + cycle[:pivot]
+            rotation = tuple(
+                (p, matching.reviewer_of(p)) for p in ordered  # type: ignore[misc]
+            )
+            rotations.append(rotation)
+    return sorted(rotations)
+
+
+def eliminate_rotation(matching: Matching, rotation: Rotation) -> Matching:
+    """The matching after shifting every ``p_i`` to ``r_{i+1}``."""
+    if len(rotation) < 2:
+        raise MatchingError("a rotation involves at least two pairs")
+    pairs = matching.as_dict()
+    k = len(rotation)
+    for index, (proposer, reviewer) in enumerate(rotation):
+        if pairs.get(proposer) != reviewer:
+            raise MatchingError("rotation does not match the given matching")
+        pairs[proposer] = rotation[(index + 1) % k][1]
+    return Matching(pairs)
+
+
+def all_stable_matchings_by_rotations(table: PreferenceTable) -> list[Matching]:
+    """Enumerate the lattice by rotation elimination (complete markets).
+
+    The proposer-optimal matching comes first; the rest follow in
+    breadth-first elimination order, deduplicated.
+    """
+    optimal = deferred_acceptance(table)
+    _require_complete(table, optimal)
+    seen = {optimal}
+    ordered = [optimal]
+    frontier = [optimal]
+    while frontier:
+        next_frontier: list[Matching] = []
+        for matching in frontier:
+            for rotation in exposed_rotations(table, matching):
+                produced = eliminate_rotation(matching, rotation)
+                if produced not in seen:
+                    seen.add(produced)
+                    ordered.append(produced)
+                    next_frontier.append(produced)
+        frontier = next_frontier
+    return ordered

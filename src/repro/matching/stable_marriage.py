@@ -1,0 +1,113 @@
+"""Classic Stable Marriage (complete, equal-sized lists).
+
+The reference Gale–Shapley algorithm [12] the paper builds on, plus the
+dummy-completion construction from the proof of Theorem 1: an unequal
+market with dummy entries is turned into a classic ``(|R|+|T|)``-a-side
+marriage instance whose stable matchings project onto the original
+market's.  The completion is used by tests to certify the thresholded
+algorithms against the textbook theory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import PreferenceError
+from repro.matching.preferences import PreferenceTable
+from repro.matching.result import Matching
+
+__all__ = ["gale_shapley", "complete_with_dummies", "project_completed_matching"]
+
+
+def gale_shapley(
+    proposer_prefs: Mapping[int, Sequence[int]],
+    reviewer_prefs: Mapping[int, Sequence[int]],
+) -> dict[int, int]:
+    """Textbook Gale–Shapley on complete, equal-sized preference lists.
+
+    Returns the proposer-optimal stable matching as proposer → reviewer.
+    Raises :class:`PreferenceError` when lists are not complete
+    permutations of the opposite side.
+    """
+    proposers = sorted(proposer_prefs)
+    reviewers = sorted(reviewer_prefs)
+    if len(proposers) != len(reviewers):
+        raise PreferenceError(
+            f"classic SMP needs equal sides, got {len(proposers)} vs {len(reviewers)}"
+        )
+    reviewer_set = set(reviewers)
+    proposer_set = set(proposers)
+    for p in proposers:
+        if set(proposer_prefs[p]) != reviewer_set:
+            raise PreferenceError(f"proposer {p} does not rank every reviewer")
+    for r in reviewers:
+        if set(reviewer_prefs[r]) != proposer_set:
+            raise PreferenceError(f"reviewer {r} does not rank every proposer")
+
+    rank = {r: {p: k for k, p in enumerate(reviewer_prefs[r])} for r in reviewers}
+    next_choice = {p: 0 for p in proposers}
+    partner_of_reviewer: dict[int, int] = {}
+    free = list(reversed(proposers))
+    while free:
+        p = free.pop()
+        r = proposer_prefs[p][next_choice[p]]
+        next_choice[p] += 1
+        held = partner_of_reviewer.get(r)
+        if held is None:
+            partner_of_reviewer[r] = p
+        elif rank[r][p] < rank[r][held]:
+            partner_of_reviewer[r] = p
+            free.append(held)
+        else:
+            free.append(p)
+    return {p: r for r, p in partner_of_reviewer.items()}
+
+
+# Dummy ids are offset into a disjoint range so they can never collide
+# with real ids; callers should keep real ids below this bound.
+DUMMY_ID_BASE = 10**9
+
+
+def complete_with_dummies(table: PreferenceTable) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+    """Theorem 1's construction: a classic SMP instance of size |R|+|T|.
+
+    * ``|T|`` dummy proposers replace the dummy entry of each reviewer;
+    * ``|R|`` dummy reviewers replace the dummy entry of each proposer;
+    * dummies prefer non-dummies over dummies; order within each tier is
+      by id (any fixed order proves the theorem);
+    * unacceptable real partners are appended after the dummy block, so
+      they remain below the dummy exactly as in the thresholded market.
+    """
+    real_proposers = sorted(table.proposer_prefs)
+    real_reviewers = sorted(table.reviewer_prefs)
+    dummy_proposers = [DUMMY_ID_BASE + i for i in range(len(real_reviewers))]
+    dummy_reviewers = [DUMMY_ID_BASE + j for j in range(len(real_proposers))]
+
+    proposer_prefs: dict[int, list[int]] = {}
+    for p in real_proposers:
+        acceptable = list(table.proposer_prefs[p])
+        unacceptable = [r for r in real_reviewers if r not in set(acceptable)]
+        proposer_prefs[p] = acceptable + dummy_reviewers + unacceptable
+
+    reviewer_prefs: dict[int, list[int]] = {}
+    for r in real_reviewers:
+        acceptable = list(table.reviewer_prefs[r])
+        unacceptable = [p for p in real_proposers if p not in set(acceptable)]
+        reviewer_prefs[r] = acceptable + dummy_proposers + unacceptable
+
+    for dp in dummy_proposers:
+        proposer_prefs[dp] = real_reviewers + dummy_reviewers
+    for dr in dummy_reviewers:
+        reviewer_prefs[dr] = real_proposers + dummy_proposers
+    return proposer_prefs, reviewer_prefs
+
+
+def project_completed_matching(completed: Mapping[int, int]) -> Matching:
+    """Drop dummy pairs from a completed-market matching (Theorem 1)."""
+    return Matching(
+        {
+            p: r
+            for p, r in completed.items()
+            if p < DUMMY_ID_BASE and r < DUMMY_ID_BASE
+        }
+    )

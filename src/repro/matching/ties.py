@@ -1,0 +1,250 @@
+"""Stable matching with ties and incomplete lists (SMTI).
+
+The paper's related-work section leans on two facts (its refs [14],
+[15]): with both ties and incomplete lists, *maximum* weakly stable
+matching is NP-hard, and Király gave a linear-time local algorithm with
+a 3/2 approximation guarantee.  Ties are not hypothetical here —
+quantized distances (fare meters, grid snapping, Manhattan metrics)
+produce them routinely, and how they are broken changes how many
+passengers get served.
+
+This module provides
+
+* :class:`TiedPreferenceTable` — strict proposer lists, reviewer lists
+  as tie groups;
+* :func:`weakly_stable` / :func:`find_weak_blocking_pairs` — weak
+  stability (no pair *strictly* preferring each other);
+* :func:`kiraly_max_stable` — Király's promotion algorithm (ties on
+  the reviewer side), which matches at least 2/3 of the optimum;
+* :func:`max_weakly_stable_brute_force` — exponential ground truth for
+  the tests;
+* :func:`build_tied_nonsharing_table` — the paper's preference model
+  with scores quantized to a resolution, which is what actually
+  produces ties in a dispatch setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import PreferenceError
+from repro.core.types import PassengerRequest, Taxi
+from repro.geometry.distance import DistanceOracle
+from repro.matching.result import Matching
+
+__all__ = [
+    "TiedPreferenceTable",
+    "find_weak_blocking_pairs",
+    "weakly_stable",
+    "kiraly_max_stable",
+    "max_weakly_stable_brute_force",
+    "build_tied_nonsharing_table",
+]
+
+
+@dataclass(frozen=True)
+class TiedPreferenceTable:
+    """Strict proposer lists; reviewer lists as ordered tie groups.
+
+    ``reviewer_prefs[r]`` is a tuple of tie groups, best group first;
+    proposers inside one group are equally preferred.  A pair must be
+    acceptable to both sides or to neither.
+    """
+
+    proposer_prefs: dict[int, tuple[int, ...]]
+    reviewer_prefs: dict[int, tuple[tuple[int, ...], ...]]
+    _reviewer_rank: dict[int, dict[int, int]] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        reviewer_rank: dict[int, dict[int, int]] = {}
+        for reviewer, groups in self.reviewer_prefs.items():
+            ranks: dict[int, int] = {}
+            for level, group in enumerate(groups):
+                for proposer in group:
+                    if proposer in ranks:
+                        raise PreferenceError(
+                            f"reviewer {reviewer} lists proposer {proposer} twice"
+                        )
+                    ranks[proposer] = level
+            reviewer_rank[reviewer] = ranks
+        object.__setattr__(self, "_reviewer_rank", reviewer_rank)
+
+        pairs_from_proposers = {
+            (p, r) for p, prefs in self.proposer_prefs.items() for r in prefs
+        }
+        pairs_from_reviewers = {
+            (p, r) for r, ranks in reviewer_rank.items() for p in ranks
+        }
+        if pairs_from_proposers != pairs_from_reviewers:
+            diff = pairs_from_proposers ^ pairs_from_reviewers
+            raise PreferenceError(f"tied table not mutually consistent: {sorted(diff)[:5]}")
+        for p, prefs in self.proposer_prefs.items():
+            if len(set(prefs)) != len(prefs):
+                raise PreferenceError(f"proposer {p} has duplicate entries")
+
+    def proposer_rank(self, proposer: int, reviewer: int) -> int | None:
+        prefs = self.proposer_prefs.get(proposer, ())
+        try:
+            return prefs.index(reviewer)
+        except ValueError:
+            return None
+
+    def reviewer_tie_level(self, reviewer: int, proposer: int) -> int | None:
+        return self._reviewer_rank.get(reviewer, {}).get(proposer)
+
+
+def find_weak_blocking_pairs(table: TiedPreferenceTable, matching: Matching) -> list[tuple[int, int]]:
+    """Pairs where both sides *strictly* prefer each other (weak stability)."""
+    blocking: list[tuple[int, int]] = []
+    for proposer, prefs in table.proposer_prefs.items():
+        current = matching.reviewer_of(proposer)
+        current_rank = None if current is None else table.proposer_rank(proposer, current)
+        for rank, reviewer in enumerate(prefs):
+            if current_rank is not None and rank >= current_rank:
+                break  # not strictly better for the proposer
+            holder = matching.proposer_of(reviewer)
+            if holder is None:
+                blocking.append((proposer, reviewer))
+                continue
+            mine = table.reviewer_tie_level(reviewer, proposer)
+            theirs = table.reviewer_tie_level(reviewer, holder)
+            assert mine is not None and theirs is not None
+            if mine < theirs:
+                blocking.append((proposer, reviewer))
+    return sorted(blocking)
+
+
+def weakly_stable(table: TiedPreferenceTable, matching: Matching) -> bool:
+    for proposer, reviewer in matching.pairs:
+        if table.proposer_rank(proposer, reviewer) is None:
+            return False
+    return not find_weak_blocking_pairs(table, matching)
+
+
+def kiraly_max_stable(table: TiedPreferenceTable) -> Matching:
+    """Király's promotion algorithm (3/2-approximate max weakly stable).
+
+    Proposers run down their strict lists.  A reviewer holding a
+    proposal prefers a strictly better tie level; *within* a tie it
+    prefers a promoted proposer over an unpromoted one.  A proposer
+    exhausting its list unmatched gets promoted once and retries from
+    the top; exhausting it promoted means staying unmatched.  The
+    result is weakly stable and matches ≥ 2/3 of the maximum.
+    """
+    next_choice = {p: 0 for p in table.proposer_prefs}
+    promoted = {p: False for p in table.proposer_prefs}
+    holder: dict[int, int] = {}
+    engaged: dict[int, int] = {}
+
+    stack = sorted(table.proposer_prefs, reverse=True)
+    while stack:
+        proposer = stack.pop()
+        prefs = table.proposer_prefs[proposer]
+        placed = False
+        while next_choice[proposer] < len(prefs):
+            reviewer = prefs[next_choice[proposer]]
+            next_choice[proposer] += 1
+            current = holder.get(reviewer)
+            if current is None:
+                holder[reviewer] = proposer
+                engaged[proposer] = reviewer
+                placed = True
+                break
+            mine = table.reviewer_tie_level(reviewer, proposer)
+            theirs = table.reviewer_tie_level(reviewer, current)
+            assert mine is not None and theirs is not None
+            accepts = mine < theirs or (
+                mine == theirs and promoted[proposer] and not promoted[current]
+            )
+            if accepts:
+                holder[reviewer] = proposer
+                engaged[proposer] = reviewer
+                del engaged[current]
+                stack.append(current)
+                placed = True
+                break
+        if not placed:
+            if not promoted[proposer]:
+                promoted[proposer] = True
+                next_choice[proposer] = 0
+                stack.append(proposer)
+            # else: stays unmatched for good.
+    return Matching(engaged)
+
+
+def max_weakly_stable_brute_force(table: TiedPreferenceTable) -> Matching:
+    """Largest weakly stable matching by exhaustive search (tiny inputs)."""
+    proposers = sorted(table.proposer_prefs)
+    best: list[Matching] = [Matching({})]
+
+    def extend(index: int, taken: dict[int, int]) -> None:
+        if index == len(proposers):
+            candidate = Matching(dict(taken))
+            if weakly_stable(table, candidate) and candidate.size > best[0].size:
+                best[0] = candidate
+            return
+        proposer = proposers[index]
+        extend(index + 1, taken)
+        used = set(taken.values())
+        for reviewer in table.proposer_prefs[proposer]:
+            if reviewer in used:
+                continue
+            taken[proposer] = reviewer
+            extend(index + 1, taken)
+            del taken[proposer]
+
+    extend(0, {})
+    return best[0]
+
+
+def build_tied_nonsharing_table(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    resolution_km: float = 0.1,
+) -> TiedPreferenceTable:
+    """The paper's preference model with driver scores quantized to
+    ``resolution_km``, producing reviewer-side ties.
+
+    Passenger lists stay strict (quantized score, ties broken by taxi
+    id) because Király's guarantee needs one strict side; taxi lists
+    keep genuine tie groups.
+    """
+    if resolution_km <= 0.0:
+        raise PreferenceError(f"resolution must be positive, got {resolution_km}")
+    config = config if config is not None else DispatchConfig()
+
+    def bucket(value: float) -> int:
+        return round(value / resolution_km)
+
+    proposer_entries: dict[int, list[tuple[int, int]]] = {r.request_id: [] for r in requests}
+    reviewer_buckets: dict[int, dict[int, list[int]]] = {t.taxi_id: {} for t in taxis}
+    for request in requests:
+        trip = request.trip_distance(oracle)
+        for taxi in taxis:
+            if not taxi.can_carry(request):
+                continue
+            pickup = oracle.distance(taxi.location, request.pickup)
+            if pickup > config.passenger_threshold_km:
+                continue
+            driver = pickup - config.alpha * trip
+            if driver > config.taxi_threshold_km:
+                continue
+            proposer_entries[request.request_id].append((bucket(pickup), taxi.taxi_id))
+            reviewer_buckets[taxi.taxi_id].setdefault(bucket(driver), []).append(
+                request.request_id
+            )
+
+    proposer_prefs = {
+        rid: tuple(t for _, t in sorted(entries))
+        for rid, entries in proposer_entries.items()
+    }
+    reviewer_prefs = {
+        tid: tuple(tuple(sorted(buckets[key])) for key in sorted(buckets))
+        for tid, buckets in reviewer_buckets.items()
+    }
+    return TiedPreferenceTable(proposer_prefs=proposer_prefs, reviewer_prefs=reviewer_prefs)

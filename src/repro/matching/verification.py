@@ -1,0 +1,76 @@
+"""Independent stability verification (Definition 1).
+
+A matching is stable iff no passenger request and taxi would *both*
+rather be with each other than with their current partners, where an
+unmatched entity's partner is its dummy and any acceptable partner beats
+the dummy.  Concretely, a mutually acceptable pair ``(p, r)`` blocks a
+matching ``M`` when
+
+* ``p`` is unmatched, or prefers ``r`` over ``M(p)``; **and**
+* ``r`` is unmatched, or prefers ``p`` over ``M(r)``.
+
+This module is deliberately written against the raw definition (no reuse
+of deferred-acceptance internals) so it can act as an oracle in tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnstableMatchingError
+from repro.matching.preferences import PreferenceTable
+from repro.matching.result import Matching
+
+__all__ = ["find_blocking_pairs", "is_stable", "assert_stable", "is_valid_matching"]
+
+
+def is_valid_matching(table: PreferenceTable, matching: Matching) -> bool:
+    """Every matched pair must be mutually acceptable and ids must exist."""
+    for proposer_id, reviewer_id in matching.pairs:
+        if proposer_id not in table.proposer_prefs:
+            return False
+        if reviewer_id not in table.reviewer_prefs:
+            return False
+        if not table.mutually_acceptable(proposer_id, reviewer_id):
+            return False
+    return True
+
+
+def find_blocking_pairs(table: PreferenceTable, matching: Matching) -> list[tuple[int, int]]:
+    """All pairs that block ``matching``, sorted for determinism.
+
+    An empty result means the matching is stable in the sense of
+    Definition 1 (with dummy partners).
+    """
+    blocking: list[tuple[int, int]] = []
+    for proposer_id, prefs in table.proposer_prefs.items():
+        matched_reviewer = matching.reviewer_of(proposer_id)
+        if matched_reviewer is None:
+            # Unmatched: every acceptable reviewer beats the dummy.
+            better_reviewers = prefs
+        else:
+            rank = table.proposer_rank(proposer_id, matched_reviewer)
+            assert rank is not None, "matched pair must be acceptable"
+            better_reviewers = prefs[:rank]
+        for reviewer_id in better_reviewers:
+            holder = matching.proposer_of(reviewer_id)
+            if holder is None:
+                blocking.append((proposer_id, reviewer_id))
+            elif table.reviewer_prefers(reviewer_id, proposer_id, holder):
+                blocking.append((proposer_id, reviewer_id))
+    return sorted(blocking)
+
+
+def is_stable(table: PreferenceTable, matching: Matching) -> bool:
+    """Whether ``matching`` is valid and has no blocking pair."""
+    return is_valid_matching(table, matching) and not find_blocking_pairs(table, matching)
+
+
+def assert_stable(table: PreferenceTable, matching: Matching) -> None:
+    """Raise :class:`UnstableMatchingError` when ``matching`` is not stable."""
+    if not is_valid_matching(table, matching):
+        raise UnstableMatchingError("matching contains an unacceptable or unknown pair")
+    blocking = find_blocking_pairs(table, matching)
+    if blocking:
+        raise UnstableMatchingError(
+            f"matching has {len(blocking)} blocking pair(s), e.g. {blocking[:3]}",
+            blocking_pairs=blocking,
+        )

@@ -1,0 +1,130 @@
+"""A road network that doubles as a :class:`DistanceOracle`.
+
+Nodes are intersections at planar coordinates; edges are road segments
+weighted by length.  Arbitrary query points (taxi positions, pickups)
+are snapped to their nearest node through a grid spatial index, and the
+oracle distance is::
+
+    D(a, b) = |a - snap(a)| + shortest_path(snap(a), snap(b)) + |snap(b) - b|
+
+which keeps the oracle a metric-like function usable as a drop-in
+replacement for :class:`repro.geometry.EuclideanDistance`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.geometry.point import Point
+from repro.geometry.spatial_index import GridSpatialIndex
+from repro.network.shortest_path import SingleSourceCache
+
+__all__ = ["RoadNetwork"]
+
+
+class RoadNetwork:
+    """A weighted road graph with point snapping and cached shortest paths."""
+
+    def __init__(self, cache_sources: int = 512):
+        self._coords: dict[int, Point] = {}
+        self._adjacency: dict[int, list[tuple[int, float]]] = {}
+        self._index: GridSpatialIndex | None = None
+        self._cache: SingleSourceCache | None = None
+        self._cache_sources = cache_sources
+
+    # -- construction --------------------------------------------------
+
+    def add_node(self, node_id: int, point: Point) -> None:
+        """Add an intersection; re-adding an id raises ``ValueError``."""
+        if node_id in self._coords:
+            raise ValueError(f"node {node_id} already exists")
+        self._coords[node_id] = point
+        self._adjacency[node_id] = []
+        self._invalidate()
+
+    def add_edge(self, u: int, v: int, length_km: float | None = None, *, oneway: bool = False) -> None:
+        """Add a road segment; length defaults to the Euclidean gap."""
+        if u not in self._coords or v not in self._coords:
+            raise KeyError(f"both endpoints must exist before adding edge ({u}, {v})")
+        if length_km is None:
+            length_km = self._coords[u].distance_to(self._coords[v])
+        if length_km < 0.0:
+            raise ValueError(f"edge length must be non-negative, got {length_km}")
+        self._adjacency[u].append((v, length_km))
+        if not oneway:
+            self._adjacency[v].append((u, length_km))
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._index = None
+        self._cache = None
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._coords)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed adjacency entries (undirected edges count twice)."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values())
+
+    def node_point(self, node_id: int) -> Point:
+        return self._coords[node_id]
+
+    def nodes(self) -> Iterable[int]:
+        return self._coords.keys()
+
+    def neighbors(self, node_id: int) -> list[tuple[int, float]]:
+        return list(self._adjacency[node_id])
+
+    # -- queries ---------------------------------------------------------
+
+    def _ensure_ready(self) -> None:
+        if self._index is None:
+            if not self._coords:
+                raise ValueError("road network has no nodes")
+            span = self._typical_spacing()
+            self._index = GridSpatialIndex(cell_size=span)
+            self._index.bulk_load(self._coords.items())
+        if self._cache is None:
+            self._cache = SingleSourceCache(self._adjacency, max_sources=self._cache_sources)
+
+    def _typical_spacing(self) -> float:
+        xs = [p.x for p in self._coords.values()]
+        ys = [p.y for p in self._coords.values()]
+        area = max(max(xs) - min(xs), 1e-9) * max(max(ys) - min(ys), 1e-9)
+        return max(math.sqrt(area / max(len(self._coords), 1)), 1e-6)
+
+    def snap(self, point: Point) -> tuple[int, float]:
+        """The nearest node id and its straight-line offset from ``point``."""
+        self._ensure_ready()
+        assert self._index is not None
+        results = self._index.nearest(point, k=1)
+        if not results:
+            raise ValueError("road network has no nodes")
+        node_id, offset = results[0]
+        return int(node_id), offset
+
+    def node_distance(self, u: int, v: int) -> float:
+        """Shortest-path distance between two nodes; ``inf`` if disconnected."""
+        self._ensure_ready()
+        assert self._cache is not None
+        return self._cache.distance(u, v)
+
+    def distance(self, a: Point, b: Point) -> float:
+        """DistanceOracle interface: snapped shortest-path distance in km."""
+        u, offset_a = self.snap(a)
+        v, offset_b = self.snap(b)
+        if u == v:
+            return a.distance_to(b)
+        return offset_a + self.node_distance(u, v) + offset_b
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the single-source cache since construction."""
+        if self._cache is None:
+            return (0, 0)
+        return (self._cache.hits, self._cache.misses)

@@ -1,0 +1,25 @@
+"""Maximum set packing substrate (Algorithm 3's first stage)."""
+
+from repro.packing.feasibility import (
+    FeasibilityStats,
+    enumerate_feasible_groups,
+    group_is_feasible,
+)
+from repro.packing.set_packing import (
+    PackingResult,
+    exact_set_packing,
+    greedy_set_packing,
+    local_search_packing,
+    verify_packing,
+)
+
+__all__ = [
+    "FeasibilityStats",
+    "enumerate_feasible_groups",
+    "group_is_feasible",
+    "PackingResult",
+    "greedy_set_packing",
+    "local_search_packing",
+    "exact_set_packing",
+    "verify_packing",
+]

@@ -1,0 +1,155 @@
+"""Enumerating feasible sharing groups (Algorithm 3, line 1).
+
+A subset ``c_k`` of requests is feasible when, along the group's optimal
+shared route, every member's detour ``D_ck(r_j^s, r_j^d) − D(r_j^s,
+r_j^d)`` is at most θ.  The paper enumerates subsets of size ≤ 3
+exhaustively in O(|R|³).
+
+By default triples are only *tested* when all three member pairs are
+feasible.  This pruning is motivated by a near-downward-closure: for
+metric oracles, deleting a member's stops from a feasible triple's
+route yields a θ-respecting pair route, so the pair *could* share
+within θ — though the pair's own length-optimal route (which the
+feasibility definition inspects) may occasionally differ.  The pruning
+is therefore a documented heuristic that removes the vast majority of
+the 90-sequence route searches while rarely dropping a candidate
+triple; pass ``assume_metric=False`` to reproduce the paper's exact
+O(|R|³) enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from collections.abc import Sequence
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import PackingError
+from repro.core.types import PassengerRequest, RideGroup
+from repro.geometry.distance import DistanceOracle
+from repro.routing.shared_route import build_ride_group, feasible_shared_route
+
+__all__ = ["FeasibilityStats", "group_is_feasible", "enumerate_feasible_groups"]
+
+
+@dataclass(slots=True)
+class FeasibilityStats:
+    """Accounting of one feasible-group enumeration."""
+
+    pairs_tested: int = 0
+    pairs_feasible: int = 0
+    triples_tested: int = 0
+    triples_feasible: int = 0
+    triples_pruned: int = 0
+    groups: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def group_is_feasible(
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    theta_km: float,
+    *,
+    max_passengers: int | None = None,
+) -> bool:
+    """Whether every member's detour is within θ on the group's optimal
+    (shortest total length) route — the paper's feasibility definition.
+
+    The length-optimal route is the one Theorem 5's exhaustive search
+    produces and the taxi is assumed to drive; checking θ on *that*
+    route (rather than searching for any θ-respecting route) is what
+    filters out groups whose efficient route mistreats a member.
+    """
+    if not requests:
+        raise PackingError("cannot test an empty group")
+    if max_passengers is not None and sum(r.passengers for r in requests) > max_passengers:
+        return False
+    route = feasible_shared_route(requests, oracle)
+    assert route is not None  # unconstrained search always finds a route
+    return all(route.detour_km(r, oracle) <= theta_km + 1e-9 for r in requests)
+
+
+def enumerate_feasible_groups(
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    max_passengers: int | None = 4,
+    assume_metric: bool = True,
+    pairing_radius_km: float | None = None,
+    cache: dict[tuple[int, ...], RideGroup | None] | None = None,
+    with_stats: bool = False,
+) -> list[RideGroup] | tuple[list[RideGroup], FeasibilityStats]:
+    """All feasible sharing groups of size 2..``config.max_group_size``.
+
+    Group ids are consecutive from 0 in deterministic (member-id) order.
+    ``max_passengers`` bounds the group's total party size (a group no
+    taxi could seat is pointless to pack); ``None`` disables the bound.
+
+    ``pairing_radius_km`` optionally skips pairs whose pickups are
+    farther apart than the radius.  The detour definition alone admits
+    degenerate "sequential" shares between arbitrarily distant requests
+    (serve one fully, then drive to the other — both detours are zero),
+    which are worthless rides for the later passenger and inflate the
+    O(|R|³) enumeration; a radius of a few θ keeps every plausibly
+    attractive group while restoring city-scale tractability.  ``None``
+    reproduces the paper's unpruned enumeration.
+    """
+    config = config if config is not None else DispatchConfig()
+    stats = FeasibilityStats()
+    ordered = sorted(requests, key=lambda r: r.request_id)
+    groups: list[RideGroup] = []
+    feasible_pairs: set[tuple[int, int]] = set()
+
+    def evaluate(members: tuple[PassengerRequest, ...], is_pair: bool) -> None:
+        key = tuple(r.request_id for r in members)
+        if cache is not None and key in cache:
+            cached = cache[key]
+            if cached is not None:
+                if is_pair:
+                    feasible_pairs.add(key)
+                groups.append(replace(cached, group_id=len(groups)))
+            return
+        if is_pair:
+            stats.pairs_tested += 1
+        else:
+            stats.triples_tested += 1
+        if group_is_feasible(members, oracle, config.theta_km, max_passengers=max_passengers):
+            if is_pair:
+                stats.pairs_feasible += 1
+                feasible_pairs.add(key)
+            else:
+                stats.triples_feasible += 1
+            group = build_ride_group(len(groups), members, oracle)
+            groups.append(group)
+            if cache is not None:
+                cache[key] = replace(group, group_id=-1)
+        elif cache is not None:
+            cache[key] = None
+
+    if config.max_group_size >= 2:
+        for a, b in itertools.combinations(ordered, 2):
+            if (
+                pairing_radius_km is not None
+                and oracle.distance(a.pickup, b.pickup) > pairing_radius_km
+            ):
+                continue
+            evaluate((a, b), is_pair=True)
+
+    if config.max_group_size >= 3:
+        for a, b, c in itertools.combinations(ordered, 3):
+            if assume_metric:
+                pairs_ok = (
+                    (a.request_id, b.request_id) in feasible_pairs
+                    and (a.request_id, c.request_id) in feasible_pairs
+                    and (b.request_id, c.request_id) in feasible_pairs
+                )
+                if not pairs_ok:
+                    stats.triples_pruned += 1
+                    continue
+            evaluate((a, b, c), is_pair=False)
+
+    stats.groups = len(groups)
+    if with_stats:
+        return groups, stats
+    return groups

@@ -1,0 +1,225 @@
+"""Maximum Set Packing (Algorithm 3, line 2).
+
+The sharing stage packs passenger requests into disjoint feasible
+groups, maximizing the *number of packed groups* (Eqs. 1–3).  Three
+solvers with one interface (each takes groups as sequences of frozen
+member-id sets and returns chosen indices):
+
+* :func:`greedy_set_packing` — pick sets in order of least conflict;
+  the classic baseline.
+* :func:`local_search_packing` — greedy followed by (p, p+1)-swap local
+  search, the Hurkens–Schrijver scheme behind the paper's cited
+  ``(max_k |c_k| + 2)/3`` approximation regime [21].
+* :func:`exact_set_packing` — branch-and-bound, exponential but exact;
+  ground truth for tests and the core of the ILP baseline.
+
+All solvers are deterministic: ties break by set index.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import PackingError
+
+__all__ = [
+    "PackingResult",
+    "greedy_set_packing",
+    "local_search_packing",
+    "exact_set_packing",
+    "verify_packing",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PackingResult:
+    """Chosen set indices plus the elements they cover."""
+
+    chosen: tuple[int, ...]
+    covered: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.chosen)
+
+
+def _normalize(sets: Sequence[Iterable[int]]) -> list[frozenset[int]]:
+    normalized = [frozenset(s) for s in sets]
+    for index, s in enumerate(normalized):
+        if not s:
+            raise PackingError(f"set {index} is empty")
+    return normalized
+
+
+def verify_packing(sets: Sequence[Iterable[int]], chosen: Sequence[int]) -> bool:
+    """Whether ``chosen`` indices form a valid (pairwise disjoint) packing."""
+    normalized = _normalize(sets)
+    covered: set[int] = set()
+    for index in chosen:
+        if not 0 <= index < len(normalized):
+            return False
+        if covered & normalized[index]:
+            return False
+        covered |= normalized[index]
+    return len(set(chosen)) == len(chosen)
+
+
+def greedy_set_packing(sets: Sequence[Iterable[int]]) -> PackingResult:
+    """Greedy maximum set packing: least-conflicting sets first.
+
+    Sets are taken in increasing order of (conflict degree, size, index),
+    skipping any that overlap the packing so far.  Conflict degree counts
+    how many other sets share an element — picking low-conflict sets
+    first preserves the most future choices.
+    """
+    normalized = _normalize(sets)
+    # element -> indices of sets containing it
+    by_element: dict[int, list[int]] = {}
+    for index, s in enumerate(normalized):
+        for element in s:
+            by_element.setdefault(element, []).append(index)
+    conflict = [
+        len({other for element in s for other in by_element[element]} - {index})
+        for index, s in enumerate(normalized)
+    ]
+    order = sorted(range(len(normalized)), key=lambda i: (conflict[i], len(normalized[i]), i))
+    covered: set[int] = set()
+    chosen: list[int] = []
+    for index in order:
+        if covered & normalized[index]:
+            continue
+        covered |= normalized[index]
+        chosen.append(index)
+    chosen.sort()
+    return PackingResult(chosen=tuple(chosen), covered=frozenset(covered))
+
+
+def local_search_packing(
+    sets: Sequence[Iterable[int]],
+    *,
+    initial: Sequence[int] | None = None,
+    swap_out: int = 2,
+    max_rounds: int = 50,
+) -> PackingResult:
+    """Greedy + (p, p+1)-swap local search for ``p ≤ swap_out``.
+
+    Repeatedly augments: add any disjoint unused set (a (0,1)-swap), or
+    remove ``p`` chosen sets and insert ``p+1`` pairwise-disjoint new
+    ones.  With ``swap_out = 2`` this is the local-search regime that
+    yields the cited (k+2)/3 ratio for k-set packing; rounds are capped
+    defensively, though convergence is typically immediate.
+    """
+    if swap_out < 0:
+        raise PackingError(f"swap_out must be non-negative, got {swap_out}")
+    normalized = _normalize(sets)
+    chosen = set(initial) if initial is not None else set(greedy_set_packing(sets).chosen)
+    if not verify_packing(sets, sorted(chosen)):
+        raise PackingError("initial selection is not a valid packing")
+
+    def covered_by(indices: Iterable[int]) -> set[int]:
+        covered: set[int] = set()
+        for index in indices:
+            covered |= normalized[index]
+        return covered
+
+    for _ in range(max_rounds):
+        improved = False
+        covered = covered_by(chosen)
+
+        # (0, 1)-swaps: free additions.
+        for index in range(len(normalized)):
+            if index not in chosen and not (normalized[index] & covered):
+                chosen.add(index)
+                covered |= normalized[index]
+                improved = True
+        if improved:
+            continue
+
+        # (p, p+1)-swaps.
+        done = False
+        for p in range(1, swap_out + 1):
+            for removal in itertools.combinations(sorted(chosen), p):
+                remaining = chosen - set(removal)
+                base_cover = covered_by(remaining)
+                candidates = [
+                    i
+                    for i in range(len(normalized))
+                    if i not in remaining and not (normalized[i] & base_cover)
+                ]
+                if len(candidates) <= p:
+                    continue
+                addition = _find_disjoint(normalized, candidates, p + 1)
+                if addition is not None:
+                    chosen = remaining | set(addition)
+                    improved = True
+                    done = True
+                    break
+            if done:
+                break
+        if not improved:
+            break
+
+    result = tuple(sorted(chosen))
+    return PackingResult(chosen=result, covered=frozenset(covered_by(result)))
+
+
+def _find_disjoint(
+    normalized: list[frozenset[int]], candidates: list[int], count: int
+) -> tuple[int, ...] | None:
+    """First (by index order) ``count`` pairwise-disjoint candidate sets."""
+
+    def extend(start: int, taken: list[int], covered: frozenset[int]) -> tuple[int, ...] | None:
+        if len(taken) == count:
+            return tuple(taken)
+        for pos in range(start, len(candidates)):
+            index = candidates[pos]
+            if normalized[index] & covered:
+                continue
+            found = extend(pos + 1, taken + [index], covered | normalized[index])
+            if found is not None:
+                return found
+        return None
+
+    return extend(0, [], frozenset())
+
+
+def exact_set_packing(sets: Sequence[Iterable[int]], *, node_limit: int = 2_000_000) -> PackingResult:
+    """Exact maximum set packing by branch-and-bound.
+
+    Branches on include/exclude in index order with an optimistic bound
+    (remaining sets all packable).  ``node_limit`` guards against
+    adversarial inputs; exceeding it raises :class:`PackingError` rather
+    than silently returning a suboptimal answer.
+    """
+    normalized = _normalize(sets)
+    n = len(normalized)
+    best: list[tuple[int, ...]] = [()]
+    nodes = 0
+
+    # The exclude branch is a loop (not a recursive call) so recursion
+    # depth is bounded by the packing size, never by the set count.
+    def branch(index: int, taken: list[int], covered: frozenset[int]) -> None:
+        nonlocal nodes
+        if len(taken) > len(best[0]):
+            best[0] = tuple(taken)
+        while index < n:
+            nodes += 1
+            if nodes > node_limit:
+                raise PackingError(f"branch-and-bound exceeded {node_limit} nodes")
+            # Optimistic bound: every remaining set could be packed.
+            if len(taken) + (n - index) <= len(best[0]):
+                return
+            if not (normalized[index] & covered):
+                taken.append(index)
+                branch(index + 1, taken, covered | normalized[index])
+                taken.pop()
+            index += 1
+
+    branch(0, [], frozenset())
+    chosen = best[0]
+    covered: set[int] = set()
+    for i in chosen:
+        covered |= normalized[i]
+    return PackingResult(chosen=chosen, covered=frozenset(covered))

@@ -1,0 +1,78 @@
+"""Brute-force Shortest Hamiltonian Path (Theorem 5's hardness object).
+
+The paper reduces shared-ride routing from SHPP in weighted directed
+graphs.  This module provides the exact (exponential) solver used by the
+tests to certify :func:`repro.routing.shared_route.optimal_shared_route`:
+the optimal shared route of a group equals the SHPP over its stops
+restricted to precedence-feasible orders, and on instances without
+precedence conflicts the two coincide exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+
+__all__ = ["shortest_hamiltonian_path", "held_karp_path"]
+
+
+def shortest_hamiltonian_path(weights: Sequence[Sequence[float]]) -> tuple[float, tuple[int, ...]]:
+    """Exact SHPP by permutation enumeration (n ≤ 9 recommended).
+
+    ``weights[u][v]`` is the directed edge weight; ``inf`` marks a
+    missing edge.  Returns (length, node order); an infeasible instance
+    returns ``(inf, ())``.
+    """
+    n = len(weights)
+    if n == 0:
+        return (0.0, ())
+    if any(len(row) != n for row in weights):
+        raise ValueError("weight matrix must be square")
+    best_length = math.inf
+    best_order: tuple[int, ...] = ()
+    for order in itertools.permutations(range(n)):
+        length = 0.0
+        for u, v in zip(order, order[1:]):
+            w = weights[u][v]
+            if not math.isfinite(w):
+                length = math.inf
+                break
+            length += w
+        if length < best_length:
+            best_length = length
+            best_order = order
+    return (best_length, best_order if math.isfinite(best_length) else ())
+
+
+def held_karp_path(weights: Sequence[Sequence[float]]) -> float:
+    """SHPP length via Held–Karp dynamic programming, O(n²·2ⁿ).
+
+    Faster than enumeration for n up to ~16; used to cross-check the
+    brute-force solver in tests.
+    """
+    n = len(weights)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return 0.0
+    full = (1 << n) - 1
+    # best[mask][v] = shortest path visiting exactly `mask`, ending at v.
+    best = [[math.inf] * n for _ in range(1 << n)]
+    for v in range(n):
+        best[1 << v][v] = 0.0
+    for mask in range(1 << n):
+        for v in range(n):
+            current = best[mask][v]
+            if not math.isfinite(current) or not mask & (1 << v):
+                continue
+            for u in range(n):
+                if mask & (1 << u):
+                    continue
+                w = weights[v][u]
+                if not math.isfinite(w):
+                    continue
+                nxt = mask | (1 << u)
+                if current + w < best[nxt][u]:
+                    best[nxt][u] = current + w
+    return min(best[full])

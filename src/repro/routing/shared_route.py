@@ -1,0 +1,279 @@
+"""Optimal shared-ride routes by exhaustive search.
+
+Theorem 5 proves that routing a shared taxi — a directed shortest path
+visiting every member's pickup before its dropoff — is NP-hard in
+general.  The paper then observes that real shared rides carry at most
+three requests, so the route can be searched exhaustively: for
+``|c_k| = 3`` there are ``6!/(2·2·2) = 90`` feasible stop sequences.
+
+:func:`optimal_shared_route` enumerates exactly the precedence-feasible
+interleavings (not all permutations) with a recursive generator, scores
+each by total length, and returns a :class:`SharedRoute` carrying the
+per-member quantities the sharing preference model needs:
+
+* ``pickup_offset_km[j]`` — distance from the route start to ``r_j``'s
+  pickup, so ``D_ck(t_i, r_j^s) = D(t_i, route[0]) + offset``;
+* ``onboard_km[j]`` — ``D_ck(r_j^s, r_j^d)``, the member's distance along
+  the route, whose excess over the direct trip is the sharing detour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.core.errors import RoutingError
+from repro.core.types import PassengerRequest, RideGroup, RouteStop
+from repro.geometry.distance import DistanceOracle
+from repro.geometry.point import Point
+
+__all__ = [
+    "RouteStop",
+    "SharedRoute",
+    "feasible_shared_route",
+    "optimal_shared_route",
+    "build_ride_group",
+    "count_feasible_sequences",
+]
+
+MAX_EXHAUSTIVE_GROUP = 4
+
+
+@dataclass(frozen=True, slots=True)
+class SharedRoute:
+    """An optimal stop sequence for one ride group."""
+
+    stops: tuple[RouteStop, ...]
+    length_km: float
+    pickup_offset_km: dict[int, float]
+    onboard_km: dict[int, float]
+
+    @property
+    def start(self) -> Point:
+        return self.stops[0].point
+
+    @property
+    def end(self) -> Point:
+        return self.stops[-1].point
+
+    def detour_km(self, request: PassengerRequest, oracle: DistanceOracle) -> float:
+        """The member's extra on-board distance caused by sharing."""
+        return self.onboard_km[request.request_id] - request.trip_distance(oracle)
+
+
+_SEQUENCE_CACHE: dict[int, tuple[tuple[tuple[int, bool], ...], ...]] = {}
+
+
+def _sequences_for(n: int) -> tuple[tuple[tuple[int, bool], ...], ...]:
+    """Memoized precedence-feasible stop orders for an ``n``-member group."""
+    cached = _SEQUENCE_CACHE.get(n)
+    if cached is None:
+        cached = tuple(_feasible_sequences(n))
+        _SEQUENCE_CACHE[n] = cached
+    return cached
+
+
+def _feasible_sequences(n: int) -> Iterator[tuple[tuple[int, bool], ...]]:
+    """All stop orders where request ``i``'s pickup precedes its dropoff.
+
+    Stops are ``(member_index, is_pickup)``; generated recursively by
+    extending with any un-picked pickup or any picked-but-not-dropped
+    dropoff, which enumerates exactly the ``(2n)!/2^n`` valid orders.
+    """
+    sequence: list[tuple[int, bool]] = []
+    picked = [False] * n
+    dropped = [False] * n
+
+    def extend() -> Iterator[tuple[tuple[int, bool], ...]]:
+        if len(sequence) == 2 * n:
+            yield tuple(sequence)
+            return
+        for i in range(n):
+            if not picked[i]:
+                picked[i] = True
+                sequence.append((i, True))
+                yield from extend()
+                sequence.pop()
+                picked[i] = False
+            elif not dropped[i]:
+                dropped[i] = True
+                sequence.append((i, False))
+                yield from extend()
+                sequence.pop()
+                dropped[i] = False
+
+    yield from extend()
+
+
+def count_feasible_sequences(n: int) -> int:
+    """``(2n)!/2^n``: the count the paper quotes (90 for n = 3)."""
+    return math.factorial(2 * n) // (2**n)
+
+
+def feasible_shared_route(
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    *,
+    start: Point | None = None,
+    max_detour_km: float | None = None,
+) -> SharedRoute | None:
+    """The shortest precedence-feasible route, or ``None`` if constrained
+    away.
+
+    Parameters
+    ----------
+    requests:
+        The group members (1 to ``MAX_EXHAUSTIVE_GROUP`` of them).
+    oracle:
+        Distance oracle for leg lengths.
+    start:
+        Optional taxi position: when given, the objective includes the
+        leg from ``start`` to the first stop (stage-two refinement);
+        when omitted the route is taxi-independent, as in the paper's
+        packing stage.
+    max_detour_km:
+        When given, only sequences keeping **every** member's detour
+        (on-board distance minus direct trip) within this bound compete;
+        the result is the shortest θ-respecting route, and ``None``
+        means the group cannot share within θ.  This is the route a
+        dispatched taxi actually drives, so committed rides always honor
+        the bound the passengers agreed to.  For metric oracles this
+        definition makes sharing feasibility downward-closed (deleting a
+        member's stops never lengthens the others' on-board distances),
+        which the enumeration pruning relies on.
+
+    Ties between equally short sequences break toward the
+    lexicographically smallest ``(request_id, is_pickup)`` sequence, so
+    results are deterministic.
+    """
+    n = len(requests)
+    if n == 0:
+        raise RoutingError("cannot route an empty group")
+    if n > MAX_EXHAUSTIVE_GROUP:
+        raise RoutingError(
+            f"exhaustive routing supports groups of at most {MAX_EXHAUSTIVE_GROUP}, got {n}"
+        )
+    ids = [r.request_id for r in requests]
+    if len(set(ids)) != n:
+        raise RoutingError(f"duplicate request ids in group: {ids}")
+
+    points: list[tuple[Point, Point]] = [(r.pickup, r.dropoff) for r in requests]
+
+    # With at most 8 stops, memoizing the leg distances once beats
+    # re-querying the oracle across the up-to-2520 candidate sequences.
+    stop_points: list[Point] = [p for pair in points for p in pair]
+    leg: dict[tuple[int, int], float] = {}
+    for a in range(len(stop_points)):
+        for b in range(len(stop_points)):
+            if a != b:
+                leg[(a, b)] = oracle.distance(stop_points[a], stop_points[b])
+    start_leg: list[float] | None = None
+    if start is not None:
+        start_leg = [oracle.distance(start, p) for p in stop_points]
+    direct = [leg[(2 * m, 2 * m + 1)] for m in range(n)]
+
+    def stop_index(member: int, is_pickup: bool) -> int:
+        return 2 * member + (0 if is_pickup else 1)
+
+    best_length = math.inf
+    best_sequence: tuple[tuple[int, bool], ...] | None = None
+    best_key: tuple | None = None
+    pickup_cum = [0.0] * n
+    for sequence in _sequences_for(n):
+        first = stop_index(*sequence[0])
+        approach = 0.0 if start_leg is None else start_leg[first]
+        cumulative = 0.0
+        previous = first
+        pickup_cum[sequence[0][0]] = 0.0
+        detour_ok = True
+        for member, is_pickup in sequence[1:]:
+            index = stop_index(member, is_pickup)
+            cumulative += leg[(previous, index)]
+            previous = index
+            if is_pickup:
+                pickup_cum[member] = cumulative
+            elif max_detour_km is not None:
+                onboard = cumulative - pickup_cum[member]
+                if onboard - direct[member] > max_detour_km + 1e-9:
+                    detour_ok = False
+                    break
+        if not detour_ok:
+            continue
+        length = approach + cumulative
+        key = tuple((ids[m], not p) for m, p in sequence)
+        if length < best_length - 1e-12 or (
+            abs(length - best_length) <= 1e-12 and (best_key is None or key < best_key)
+        ):
+            best_length = length
+            best_sequence = sequence
+            best_key = key
+
+    if best_sequence is None:
+        return None
+
+    stops: list[RouteStop] = []
+    cumulative = 0.0
+    offsets_at: list[float] = []
+    previous = None
+    for member, is_pickup in best_sequence:
+        point = points[member][0] if is_pickup else points[member][1]
+        if previous is not None:
+            cumulative += oracle.distance(previous, point)
+        offsets_at.append(cumulative)
+        stops.append(RouteStop(request_id=ids[member], is_pickup=is_pickup, point=point))
+        previous = point
+
+    pickup_offset: dict[int, float] = {}
+    onboard: dict[int, float] = {}
+    for stop, offset in zip(stops, offsets_at):
+        if stop.is_pickup:
+            pickup_offset[stop.request_id] = offset
+        else:
+            onboard[stop.request_id] = offset - pickup_offset[stop.request_id]
+
+    route_length = offsets_at[-1] if start is None else best_length
+    return SharedRoute(
+        stops=tuple(stops),
+        length_km=route_length,
+        pickup_offset_km=pickup_offset,
+        onboard_km=onboard,
+    )
+
+
+def optimal_shared_route(
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    *,
+    start: Point | None = None,
+    max_detour_km: float | None = None,
+) -> SharedRoute:
+    """Like :func:`feasible_shared_route` but raising on infeasibility."""
+    route = feasible_shared_route(
+        requests, oracle, start=start, max_detour_km=max_detour_km
+    )
+    if route is None:
+        raise RoutingError(
+            f"no route keeps every member's detour within {max_detour_km} km"
+        )
+    return route
+
+
+def build_ride_group(
+    group_id: int,
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    *,
+    max_detour_km: float | None = None,
+) -> RideGroup:
+    """A :class:`RideGroup` carrying its optimal taxi-independent route."""
+    ordered = tuple(sorted(requests, key=lambda r: r.request_id))
+    route = optimal_shared_route(ordered, oracle, max_detour_km=max_detour_km)
+    return RideGroup(
+        group_id=group_id,
+        requests=ordered,
+        route=route.stops,
+        route_length_km=route.length_km,
+        onboard_distance_km=dict(route.onboard_km),
+        pickup_offset_km=dict(route.pickup_offset_km),
+    )

@@ -1,0 +1,25 @@
+"""Frame-batched dispatch simulation."""
+
+from repro.simulation.engine import SimulationResult, Simulator
+from repro.simulation.events import AssignmentRecord, RequestOutcome, TaxiStats
+from repro.simulation.repositioning import (
+    DriftToAnchor,
+    DriftToRecentDemand,
+    NoRepositioning,
+    RepositioningPolicy,
+)
+from repro.simulation.taxi_state import StopArrival, TaxiAgent
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "RequestOutcome",
+    "AssignmentRecord",
+    "TaxiStats",
+    "TaxiAgent",
+    "StopArrival",
+    "RepositioningPolicy",
+    "NoRepositioning",
+    "DriftToAnchor",
+    "DriftToRecentDemand",
+]

@@ -1,0 +1,279 @@
+"""The discrete-time, frame-batched dispatch simulator.
+
+Exactly the paper's setup (Section III-A / VI-A): time is cut into
+frames (one minute by default); at each frame boundary the dispatcher
+sees the currently idle taxis and all pending requests and returns a
+schedule; dispatched taxis drive their plan at constant speed and
+return to the idle pool when the last dropoff completes.  Requests not
+dispatched remain queued for later frames ("passengers will wait for
+nearby busy taxis") until their patience expires.
+
+The engine is deterministic given its inputs; all randomness lives in
+the trace generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.errors import SimulationError
+from repro.core.types import PassengerRequest, Taxi
+from repro.dispatch.base import Dispatcher
+from repro.dispatch.scoring import assignment_metrics
+from repro.geometry.distance import DistanceOracle
+from repro.simulation.events import AssignmentRecord, FrameStats, RequestOutcome, TaxiStats
+from repro.simulation.repositioning import RepositioningPolicy
+from repro.simulation.taxi_state import TaxiAgent
+
+__all__ = ["Simulator", "SimulationResult"]
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything a simulation produced, ready for analysis."""
+
+    dispatcher_name: str
+    outcomes: list[RequestOutcome]
+    assignments: list[AssignmentRecord]
+    frames_run: int
+    final_time_s: float
+    taxi_stats: dict[int, TaxiStats] = field(default_factory=dict)
+    frame_stats: list[FrameStats] = field(default_factory=list)
+
+    # -- request-side views ------------------------------------------------
+
+    @property
+    def served(self) -> list[RequestOutcome]:
+        return [o for o in self.outcomes if o.served]
+
+    @property
+    def unserved(self) -> list[RequestOutcome]:
+        return [o for o in self.outcomes if not o.served]
+
+    @property
+    def service_rate(self) -> float:
+        return len(self.served) / len(self.outcomes) if self.outcomes else 0.0
+
+    def dispatch_delays_min(self) -> list[float]:
+        return [o.dispatch_delay_min for o in self.outcomes if o.dispatch_delay_min is not None]
+
+    def passenger_dissatisfactions(self) -> list[float]:
+        return [
+            o.passenger_dissatisfaction
+            for o in self.outcomes
+            if o.passenger_dissatisfaction is not None
+        ]
+
+    # -- taxi-side views ---------------------------------------------------
+
+    def taxi_dissatisfactions(self) -> list[float]:
+        return [a.taxi_dissatisfaction for a in self.assignments]
+
+    @property
+    def shared_ride_fraction(self) -> float:
+        if not self.assignments:
+            return 0.0
+        shared = sum(1 for a in self.assignments if a.group_size > 1)
+        return shared / len(self.assignments)
+
+    def summary(self) -> dict[str, float]:
+        """Headline averages, the quantities Figs. 6 and 7 plot."""
+        delays = self.dispatch_delays_min()
+        pd = self.passenger_dissatisfactions()
+        td = self.taxi_dissatisfactions()
+        return {
+            "service_rate": self.service_rate,
+            "mean_dispatch_delay_min": sum(delays) / len(delays) if delays else 0.0,
+            "mean_passenger_dissatisfaction": sum(pd) / len(pd) if pd else 0.0,
+            "mean_taxi_dissatisfaction": sum(td) / len(td) if td else 0.0,
+            "shared_ride_fraction": self.shared_ride_fraction,
+        }
+
+
+@dataclass(slots=True)
+class _PendingRequest:
+    request: PassengerRequest
+    outcome: RequestOutcome = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.outcome = RequestOutcome(
+            request_id=self.request.request_id,
+            request_time_s=self.request.request_time_s,
+        )
+
+
+class Simulator:
+    """Run one dispatcher over one trace."""
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        oracle: DistanceOracle,
+        sim_config: SimulationConfig | None = None,
+        *,
+        overrun_s: float = 6.0 * 3600.0,
+        repositioning: RepositioningPolicy | None = None,
+    ):
+        self.dispatcher = dispatcher
+        self.oracle = oracle
+        self.sim_config = sim_config if sim_config is not None else SimulationConfig()
+        self.overrun_s = overrun_s
+        self.repositioning = repositioning
+
+    def run(self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]) -> SimulationResult:
+        """Simulate until every request resolves or the horizon+overrun ends."""
+        config = self.sim_config
+        agents = {t.taxi_id: TaxiAgent.from_taxi(t) for t in taxis}
+        if len(agents) != len(taxis):
+            raise SimulationError("duplicate taxi ids in fleet")
+
+        ordered = sorted(requests, key=lambda r: (r.request_time_s, r.request_id))
+        pending_pool = [_PendingRequest(r) for r in ordered]
+        outcomes_by_id = {p.request.request_id: p.outcome for p in pending_pool}
+        if len(outcomes_by_id) != len(pending_pool):
+            raise SimulationError("duplicate request ids in trace")
+
+        arrival_cursor = 0
+        queue: dict[int, _PendingRequest] = {}
+        assignments: list[AssignmentRecord] = []
+        frame_stats: list[FrameStats] = []
+
+        frame = config.frame_length_s
+        deadline = config.horizon_s + self.overrun_s
+        time_s = frame
+        frames_run = 0
+
+        reposition_step_km = config.taxi_speed_kms * frame
+
+        while time_s <= deadline:
+            # Admit requests that arrived during the last frame.
+            admitted: list[PassengerRequest] = []
+            while (
+                arrival_cursor < len(pending_pool)
+                and pending_pool[arrival_cursor].request.request_time_s <= time_s
+            ):
+                entry = pending_pool[arrival_cursor]
+                queue[entry.request.request_id] = entry
+                admitted.append(entry.request)
+                arrival_cursor += 1
+
+            # Optional idle-taxi cruising (off in the paper's model).
+            if self.repositioning is not None:
+                self.repositioning.observe_requests(admitted)
+                for agent in agents.values():
+                    if not agent.is_idle_at(time_s):
+                        continue
+                    target = self.repositioning.target_for(agent.taxi_id, agent.location)
+                    if target is None:
+                        continue
+                    moved = RepositioningPolicy.step_toward(
+                        agent.location, target, reposition_step_km
+                    )
+                    agent.total_driven_km += agent.location.distance_to(moved)
+                    agent.location = moved
+
+            # Expire requests whose patience ran out.
+            abandoned_now = 0
+            if config.passenger_patience_s != float("inf"):
+                expired = [
+                    rid
+                    for rid, entry in queue.items()
+                    if time_s - entry.request.request_time_s > config.passenger_patience_s
+                ]
+                for rid in expired:
+                    queue.pop(rid).outcome.abandoned = True
+                abandoned_now = len(expired)
+
+            queue_length_before = len(queue)
+            dispatched_now = 0
+            assignments_before = len(assignments)
+            idle = [agent.snapshot() for agent in agents.values() if agent.is_idle_at(time_s)]
+            if queue and idle:
+                batch = [entry.request for entry in queue.values()]
+                schedule = self.dispatcher.dispatch(idle, batch)
+                schedule.validate(idle, batch)
+                requests_by_id = {r.request_id: r for r in batch}
+                for assignment in schedule.assignments:
+                    agent = agents[assignment.taxi_id]
+                    metrics = assignment_metrics(
+                        agent.snapshot(),
+                        assignment,
+                        requests_by_id,
+                        self.oracle,
+                        self.dispatcher.config,
+                    )
+                    arrivals = agent.assign(assignment, time_s, self.oracle, config)
+                    revenue = sum(
+                        requests_by_id[rid].trip_distance(self.oracle)
+                        for rid in assignment.request_ids
+                    )
+                    assignments.append(
+                        AssignmentRecord(
+                            frame_time_s=time_s,
+                            taxi_id=assignment.taxi_id,
+                            request_ids=assignment.request_ids,
+                            taxi_dissatisfaction=metrics.taxi_dissatisfaction,
+                            total_drive_km=metrics.total_drive_km,
+                            revenue_km=revenue,
+                        )
+                    )
+                    for arrival in arrivals:
+                        outcome = outcomes_by_id[arrival.request_id]
+                        if arrival.is_pickup:
+                            outcome.pickup_time_s = arrival.time_s
+                        else:
+                            outcome.dropoff_time_s = arrival.time_s
+                    for rid in assignment.request_ids:
+                        outcome = outcomes_by_id[rid]
+                        outcome.dispatch_time_s = time_s
+                        outcome.taxi_id = assignment.taxi_id
+                        outcome.group_size = len(assignment.request_ids)
+                        outcome.passenger_dissatisfaction = (
+                            metrics.passenger_dissatisfaction[rid]
+                        )
+                        del queue[rid]
+                        dispatched_now += 1
+
+            frame_stats.append(
+                FrameStats(
+                    time_s=time_s,
+                    queue_length=queue_length_before,
+                    idle_taxis=len(idle),
+                    dispatched_requests=dispatched_now,
+                    dispatched_taxis=len(assignments) - assignments_before,
+                    abandoned=abandoned_now,
+                )
+            )
+            frames_run += 1
+            # Past the horizon no new requests arrive; stop as soon as the
+            # queue drains (or patience will clear it).
+            if time_s >= config.horizon_s and not queue and arrival_cursor >= len(pending_pool):
+                break
+            time_s += frame
+
+        revenue_by_taxi: dict[int, float] = {t: 0.0 for t in agents}
+        for record in assignments:
+            revenue_by_taxi[record.taxi_id] += record.revenue_km
+        taxi_stats = {
+            taxi_id: TaxiStats(
+                taxi_id=taxi_id,
+                driven_km=agent.total_driven_km,
+                rides=agent.completed_trips,
+                requests_served=agent.served_requests,
+                revenue_km=revenue_by_taxi[taxi_id],
+            )
+            for taxi_id, agent in agents.items()
+        }
+
+        # Anything still queued at the deadline is unserved.
+        return SimulationResult(
+            dispatcher_name=self.dispatcher.name,
+            outcomes=[p.outcome for p in pending_pool],
+            assignments=assignments,
+            frames_run=frames_run,
+            final_time_s=min(time_s, deadline),
+            taxi_stats=taxi_stats,
+            frame_stats=frame_stats,
+        )

@@ -1,0 +1,104 @@
+"""Event records produced by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RequestOutcome", "AssignmentRecord", "TaxiStats", "FrameStats"]
+
+
+@dataclass(slots=True)
+class RequestOutcome:
+    """Lifecycle of one passenger request through the simulation.
+
+    ``dispatch_time_s`` is when a taxi was *assigned* (frame boundary);
+    the paper's dispatch delay is ``dispatch_time_s − request_time_s``.
+    ``None`` timestamps mean the event never happened (request abandoned
+    or simulation ended first).
+    """
+
+    request_id: int
+    request_time_s: float
+    dispatch_time_s: float | None = None
+    pickup_time_s: float | None = None
+    dropoff_time_s: float | None = None
+    passenger_dissatisfaction: float | None = None
+    group_size: int = 0
+    taxi_id: int | None = None
+    abandoned: bool = False
+
+    @property
+    def served(self) -> bool:
+        return self.dispatch_time_s is not None
+
+    @property
+    def dispatch_delay_s(self) -> float | None:
+        if self.dispatch_time_s is None:
+            return None
+        return self.dispatch_time_s - self.request_time_s
+
+    @property
+    def dispatch_delay_min(self) -> float | None:
+        delay = self.dispatch_delay_s
+        return None if delay is None else delay / 60.0
+
+    @property
+    def wait_time_s(self) -> float | None:
+        """Request to physical pickup, the passenger's full wait."""
+        if self.pickup_time_s is None:
+            return None
+        return self.pickup_time_s - self.request_time_s
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentRecord:
+    """One taxi dispatch: the driver-side metrics of an assignment."""
+
+    frame_time_s: float
+    taxi_id: int
+    request_ids: tuple[int, ...]
+    taxi_dissatisfaction: float
+    total_drive_km: float
+    revenue_km: float
+
+    @property
+    def group_size(self) -> int:
+        return len(self.request_ids)
+
+
+@dataclass(frozen=True, slots=True)
+class TaxiStats:
+    """Per-taxi totals over one simulation — the driver's day.
+
+    ``revenue_km`` is the fare-proportional income (sum of served trip
+    distances); ``driven_km`` includes deadheading and repositioning, so
+    ``revenue_km / driven_km`` is the driver's paid-distance efficiency.
+    """
+
+    taxi_id: int
+    driven_km: float
+    rides: int
+    requests_served: int
+    revenue_km: float
+
+    @property
+    def paid_ratio(self) -> float:
+        """Fraction of driven distance that earned a fare."""
+        return self.revenue_km / self.driven_km if self.driven_km > 0 else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class FrameStats:
+    """One dispatch frame's system state, for load diagnostics.
+
+    The queue length / idle count time series is what reveals whether a
+    workload is running at the paper's light-load operating point or in
+    a saturation regime where delays are patience-bound.
+    """
+
+    time_s: float
+    queue_length: int
+    idle_taxis: int
+    dispatched_requests: int
+    dispatched_taxis: int
+    abandoned: int

@@ -1,0 +1,109 @@
+"""Idle-taxi repositioning policies.
+
+The paper's model leaves idle taxis parked at their last dropoff.  Real
+fleets cruise back toward demand, and our saturation analysis (see
+DESIGN.md §4) showed the parked-at-dropoff assumption is what lets
+deadhead legs dominate ride cost when trips radiate out of the demand
+core.  A :class:`RepositioningPolicy` lets experiments quantify that
+effect: each frame, every idle taxi may drive up to one frame's worth
+of distance toward a policy-chosen target.
+
+Policies:
+
+* :class:`NoRepositioning` — the paper's behaviour (default).
+* :class:`DriftToAnchor` — cruise toward a fixed point (the city
+  centre), the simplest demand-seeking heuristic.
+* :class:`DriftToRecentDemand` — cruise toward the centroid of the
+  recent pickups the policy has observed, adapting to moving demand.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections import deque
+from collections.abc import Sequence
+
+from repro.core.types import PassengerRequest
+from repro.geometry.point import Point
+
+__all__ = ["RepositioningPolicy", "NoRepositioning", "DriftToAnchor", "DriftToRecentDemand"]
+
+
+class RepositioningPolicy(abc.ABC):
+    """Chooses where an idle taxi should drift during one frame."""
+
+    @abc.abstractmethod
+    def target_for(self, taxi_id: int, location: Point) -> Point | None:
+        """The point to move toward, or ``None`` to stay parked."""
+
+    def observe_requests(self, requests: Sequence[PassengerRequest]) -> None:
+        """Called once per frame with the newly arrived requests."""
+
+    @staticmethod
+    def step_toward(location: Point, target: Point, max_distance_km: float) -> Point:
+        """The position after driving ``max_distance_km`` toward ``target``."""
+        gap = location.distance_to(target)
+        if gap <= max_distance_km or gap == 0.0:
+            return target
+        fraction = max_distance_km / gap
+        return Point(
+            location.x + (target.x - location.x) * fraction,
+            location.y + (target.y - location.y) * fraction,
+        )
+
+
+class NoRepositioning(RepositioningPolicy):
+    """Idle taxis stay where their last dropoff left them (the paper)."""
+
+    def target_for(self, taxi_id: int, location: Point) -> Point | None:
+        return None
+
+
+class DriftToAnchor(RepositioningPolicy):
+    """Cruise toward a fixed anchor, stopping within ``deadband_km``."""
+
+    def __init__(self, anchor: Point, deadband_km: float = 0.0):
+        if deadband_km < 0.0:
+            raise ValueError(f"deadband must be non-negative, got {deadband_km}")
+        self.anchor = anchor
+        self.deadband_km = deadband_km
+
+    def target_for(self, taxi_id: int, location: Point) -> Point | None:
+        if location.distance_to(self.anchor) <= self.deadband_km:
+            return None
+        return self.anchor
+
+
+class DriftToRecentDemand(RepositioningPolicy):
+    """Cruise toward the centroid of the last ``window`` pickups."""
+
+    def __init__(self, window: int = 50, deadband_km: float = 0.0, fallback: Point | None = None):
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        if deadband_km < 0.0:
+            raise ValueError(f"deadband must be non-negative, got {deadband_km}")
+        self.window = window
+        self.deadband_km = deadband_km
+        self.fallback = fallback
+        self._recent: deque[Point] = deque(maxlen=window)
+
+    def observe_requests(self, requests: Sequence[PassengerRequest]) -> None:
+        for request in requests:
+            self._recent.append(request.pickup)
+
+    @property
+    def centroid(self) -> Point | None:
+        if not self._recent:
+            return self.fallback
+        x = sum(p.x for p in self._recent) / len(self._recent)
+        y = sum(p.y for p in self._recent) / len(self._recent)
+        return Point(x, y)
+
+    def target_for(self, taxi_id: int, location: Point) -> Point | None:
+        target = self.centroid
+        if target is None:
+            return None
+        if location.distance_to(target) <= self.deadband_km:
+            return None
+        return target

@@ -1,0 +1,68 @@
+"""Unit tests for hourly and sweep aggregation."""
+
+import pytest
+
+from repro.analysis import hourly_averages, summarize_by_label
+from repro.simulation.engine import SimulationResult
+from repro.simulation.events import AssignmentRecord, RequestOutcome
+
+
+def outcome(rid, hour, delay_min=None, pd=None):
+    o = RequestOutcome(request_id=rid, request_time_s=hour * 3600.0 + 10.0)
+    if delay_min is not None:
+        o.dispatch_time_s = o.request_time_s + delay_min * 60.0
+        o.passenger_dissatisfaction = pd
+    return o
+
+
+def record(hour, td):
+    return AssignmentRecord(
+        frame_time_s=hour * 3600.0 + 30.0,
+        taxi_id=0,
+        request_ids=(0,),
+        taxi_dissatisfaction=td,
+        total_drive_km=1.0,
+        revenue_km=1.0,
+    )
+
+
+class TestHourlyAverages:
+    def _result(self):
+        return SimulationResult(
+            dispatcher_name="X",
+            outcomes=[
+                outcome(0, 9, delay_min=2.0, pd=1.0),
+                outcome(1, 9, delay_min=4.0, pd=3.0),
+                outcome(2, 3, delay_min=1.0, pd=0.5),
+                outcome(3, 3),  # unserved
+            ],
+            assignments=[record(9, -2.0), record(9, -4.0), record(3, 0.0)],
+            frames_run=1,
+            final_time_s=0.0,
+        )
+
+    def test_bucketing(self):
+        stats = hourly_averages(self._result())
+        assert stats[9]["mean_dispatch_delay_min"] == pytest.approx(3.0)
+        assert stats[9]["mean_passenger_dissatisfaction"] == pytest.approx(2.0)
+        assert stats[9]["mean_taxi_dissatisfaction"] == pytest.approx(-3.0)
+        assert stats[3]["mean_dispatch_delay_min"] == pytest.approx(1.0)
+
+    def test_empty_hours_are_zero(self):
+        stats = hourly_averages(self._result())
+        assert stats[5]["mean_dispatch_delay_min"] == 0.0
+        assert len(stats) == 24
+
+    def test_unserved_requests_ignored_in_delay(self):
+        stats = hourly_averages(self._result())
+        assert stats[3]["requests"] == 1
+
+
+class TestSummarizeByLabel:
+    def test_maps_labels_to_summaries(self):
+        result = SimulationResult(
+            dispatcher_name="X", outcomes=[], assignments=[], frames_run=0, final_time_s=0.0
+        )
+        summaries = summarize_by_label([("a", result), ("b", result)])
+        assert set(summaries) == {"a", "b"}
+        assert summaries["a"]["service_rate"] == 0.0

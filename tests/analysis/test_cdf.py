@@ -1,0 +1,57 @@
+"""Unit tests for empirical CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_cdf
+
+
+class TestEmpiricalCDF:
+    def test_basic_fractions(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(1.0) == 0.25
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(4.0) == 1.0
+        assert cdf.at(100.0) == 1.0
+
+    def test_unsorted_input(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(cdf.values) == [1.0, 2.0, 3.0]
+
+    def test_quantiles(self):
+        cdf = empirical_cdf(list(range(1, 101)))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(0.95) == 95
+        assert cdf.quantile(1.0) == 100
+        assert cdf.median == 50
+
+    def test_quantile_bounds(self):
+        cdf = empirical_cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty(self):
+        cdf = empirical_cdf([])
+        assert cdf.n == 0
+        assert cdf.at(3.0) == 0.0
+        assert cdf.mean == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_mean(self):
+        assert empirical_cdf([1.0, 3.0]).mean == 2.0
+
+    def test_sample_points(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        points = cdf.sample_points([0.0, 1.5, 3.0])
+        assert points == [(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        cdf = empirical_cdf(rng.normal(0, 5, 200).tolist())
+        grid = np.linspace(-15, 15, 50)
+        values = [cdf.at(float(x)) for x in grid]
+        assert all(a <= b for a, b in zip(values, values[1:]))

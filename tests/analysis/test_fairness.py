@@ -1,0 +1,75 @@
+"""Unit tests for driver-income fairness metrics."""
+
+import pytest
+
+from repro.analysis import driver_income_report, gini, jain_index
+from repro.simulation.engine import SimulationResult
+from repro.simulation.events import TaxiStats
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_single_winner(self):
+        # One of n drivers takes all: G = (n-1)/n.
+        assert gini([0.0, 0.0, 0.0, 12.0]) == pytest.approx(0.75)
+
+    def test_known_value(self):
+        # Classic example: [1, 2, 3, 4] has G = 0.25.
+        assert gini([1.0, 2.0, 3.0, 4.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        values = [1.0, 4.0, 2.5, 7.0]
+        assert gini(values) == pytest.approx(gini([10 * v for v in values]))
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            gini([])
+        with pytest.raises(ValueError):
+            gini([-1.0, 2.0])
+
+
+class TestJain:
+    def test_even(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner(self):
+        assert jain_index([0.0, 0.0, 6.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+
+class TestDriverIncomeReport:
+    def _result(self, revenues):
+        stats = {
+            i: TaxiStats(taxi_id=i, driven_km=2.0 * r + 1.0, rides=1, requests_served=1, revenue_km=r)
+            for i, r in enumerate(revenues)
+        }
+        return SimulationResult(
+            dispatcher_name="X",
+            outcomes=[],
+            assignments=[],
+            frames_run=0,
+            final_time_s=0.0,
+            taxi_stats=stats,
+        )
+
+    def test_report_keys_and_values(self):
+        report = driver_income_report({"A": self._result([2.0, 2.0]), "B": self._result([0.0, 4.0])})
+        assert report["A"]["revenue_gini"] == pytest.approx(0.0)
+        assert report["B"]["revenue_gini"] == pytest.approx(0.5)
+        assert report["B"]["idle_driver_share"] == pytest.approx(0.5)
+        assert report["A"]["mean_revenue_km"] == pytest.approx(2.0)
+
+    def test_empty_fleet(self):
+        report = driver_income_report({"A": self._result([])})
+        assert report["A"]["revenue_jain"] == 1.0

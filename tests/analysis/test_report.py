@@ -1,0 +1,48 @@
+"""Unit tests for the text-table renderers."""
+
+from repro.analysis import (
+    empirical_cdf,
+    format_cdf_table,
+    format_summary_table,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "1.235" in text
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in text
+
+    def test_non_float_cells_passthrough(self):
+        text = format_table(["a", "b"], [[1, "x"]])
+        assert "x" in text and "1" in text
+
+
+class TestFormatCDFTable:
+    def test_one_column_per_algorithm(self):
+        series = {"A": empirical_cdf([1.0, 2.0]), "B": empirical_cdf([2.0, 4.0])}
+        text = format_cdf_table(series, [1.0, 2.0, 4.0], value_label="km")
+        lines = text.splitlines()
+        assert lines[0].split() == ["km", "A", "B"]
+        assert len(lines) == 2 + 3
+
+
+class TestFormatSummaryTable:
+    def test_rows_per_algorithm(self):
+        summaries = {
+            "NSTD-P": {"service_rate": 1.0, "mean": 2.0},
+            "Greedy": {"service_rate": 0.9, "mean": 3.0},
+        }
+        text = format_summary_table(summaries)
+        assert "NSTD-P" in text and "Greedy" in text
+        assert text.splitlines()[0].split() == ["algorithm", "service_rate", "mean"]
+
+    def test_empty(self):
+        assert format_summary_table({}) == "(no results)"

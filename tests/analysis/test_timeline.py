@@ -1,0 +1,72 @@
+"""Unit tests for the load-timeline analysis."""
+
+import pytest
+
+from repro.analysis import downsample_frames, load_profile, timeline_table
+from repro.simulation.engine import SimulationResult
+from repro.simulation.events import FrameStats, RequestOutcome
+
+
+def frame(t, queue, idle, dispatched=0, abandoned=0):
+    return FrameStats(
+        time_s=t,
+        queue_length=queue,
+        idle_taxis=idle,
+        dispatched_requests=dispatched,
+        dispatched_taxis=dispatched,
+        abandoned=abandoned,
+    )
+
+
+def result_with(frames, n_outcomes=4):
+    return SimulationResult(
+        dispatcher_name="X",
+        outcomes=[RequestOutcome(request_id=i, request_time_s=0.0) for i in range(n_outcomes)],
+        assignments=[],
+        frames_run=len(frames),
+        final_time_s=frames[-1].time_s if frames else 0.0,
+        frame_stats=list(frames),
+    )
+
+
+class TestDownsample:
+    def test_aggregation(self):
+        frames = [frame(60.0 * i, queue=i, idle=2, dispatched=1) for i in range(4)]
+        windows = downsample_frames(frames, buckets=2)
+        assert len(windows) == 2
+        assert windows[0]["mean_queue"] == pytest.approx(0.5)
+        assert windows[1]["dispatched"] == 2.0
+
+    def test_empty(self):
+        assert downsample_frames([], buckets=4) == []
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            downsample_frames([frame(0, 0, 0)], buckets=0)
+
+    def test_single_frame(self):
+        windows = downsample_frames([frame(120.0, 3, 1)], buckets=5)
+        assert len(windows) == 1
+        assert windows[0]["mean_queue"] == 3.0
+
+
+class TestTimelineTable:
+    def test_renders_windows(self):
+        frames = [frame(3600.0 + 60.0 * i, queue=5, idle=1, abandoned=1) for i in range(10)]
+        text = timeline_table(result_with(frames), buckets=2)
+        assert "load timeline — X" in text
+        assert "01:" in text  # windows start in hour 1
+        assert "mean_queue" in text
+
+
+class TestLoadProfile:
+    def test_indicators(self):
+        frames = [frame(0, 2, 1), frame(60, 6, 0, abandoned=2)]
+        profile = load_profile(result_with(frames, n_outcomes=8))
+        assert profile["peak_queue"] == 6.0
+        assert profile["mean_queue"] == pytest.approx(4.0)
+        assert profile["abandonment_rate"] == pytest.approx(0.25)
+
+    def test_empty(self):
+        profile = load_profile(result_with([], n_outcomes=0))
+        assert profile == {"peak_queue": 0.0, "mean_queue": 0.0, "abandonment_rate": 0.0}

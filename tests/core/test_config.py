@@ -1,0 +1,70 @@
+"""Unit tests for configuration validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.core import ConfigurationError, DispatchConfig, SimulationConfig
+
+
+class TestDispatchConfig:
+    def test_paper_defaults(self):
+        config = DispatchConfig()
+        assert config.alpha == 1.0
+        assert config.beta == 1.0
+        assert config.theta_km == 5.0
+        assert config.max_group_size == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": -0.1},
+            {"beta": -1.0},
+            {"theta_km": -2.0},
+            {"max_group_size": 0},
+            {"max_group_size": 5},
+            {"passenger_threshold_km": 0.0},
+            {"passenger_threshold_km": -3.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DispatchConfig(**kwargs)
+
+    def test_infinite_thresholds_allowed(self):
+        config = DispatchConfig(passenger_threshold_km=math.inf, taxi_threshold_km=math.inf)
+        assert math.isinf(config.passenger_threshold_km)
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        config = SimulationConfig()
+        assert config.frame_length_s == 60.0
+        assert config.taxi_speed_kmh == 20.0
+
+    def test_speed_conversion(self):
+        config = SimulationConfig(taxi_speed_kmh=36.0)
+        assert config.taxi_speed_kms == pytest.approx(0.01)
+
+    def test_travel_time(self):
+        config = SimulationConfig(taxi_speed_kmh=20.0)
+        # 20 km at 20 km/h is one hour.
+        assert config.travel_time_s(20.0) == pytest.approx(3600.0)
+        assert config.travel_time_s(0.0) == 0.0
+
+    def test_travel_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulationConfig().travel_time_s(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frame_length_s": 0.0},
+            {"taxi_speed_kmh": -5.0},
+            {"passenger_patience_s": 0.0},
+            {"horizon_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)

@@ -1,0 +1,67 @@
+"""Unit tests for the Dispatcher base and assignment helpers."""
+
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.dispatch import group_assignment, single_assignment
+from repro.dispatch.base import Dispatcher
+from repro.core.types import DispatchSchedule
+from repro.core.errors import DispatchError
+from repro.geometry import EuclideanDistance, Point
+from repro.routing import build_ride_group
+
+
+def request(rid, sx, sy, dx, dy):
+    return PassengerRequest(rid, Point(sx, sy), Point(dx, dy))
+
+
+class TestSingleAssignment:
+    def test_structure(self):
+        taxi = Taxi(3, Point(0, 0))
+        r = request(7, 1, 0, 2, 0)
+        assignment = single_assignment(taxi, r)
+        assert assignment.taxi_id == 3
+        assert assignment.request_ids == (7,)
+        assert [(s.is_pickup, s.point) for s in assignment.stops] == [
+            (True, Point(1, 0)),
+            (False, Point(2, 0)),
+        ]
+
+
+class TestGroupAssignment:
+    def test_uses_group_route(self):
+        oracle = EuclideanDistance()
+        group = build_ride_group(0, [request(1, 0, 0, 4, 0), request(2, 1, 0, 3, 0)], oracle)
+        assignment = group_assignment(Taxi(5, Point(0, 0)), group)
+        assert assignment.taxi_id == 5
+        assert assignment.request_ids == (1, 2)
+        assert assignment.stops == group.route
+
+
+class TestDispatcherValidation:
+    class BadDispatcher(Dispatcher):
+        name = "Bad"
+
+        def dispatch(self, taxis, requests):
+            schedule = DispatchSchedule()
+            # Dispatch the same taxi twice.
+            schedule.add(single_assignment(taxis[0], requests[0]))
+            schedule.add(single_assignment(taxis[0], requests[1]))
+            return self._validated(schedule, taxis, requests)
+
+    def test_validated_raises_dispatch_error(self):
+        taxis = [Taxi(0, Point(0, 0))]
+        requests = [request(1, 0, 0, 1, 0), request(2, 0, 0, 1, 0)]
+        dispatcher = self.BadDispatcher(EuclideanDistance(), DispatchConfig())
+        with pytest.raises(DispatchError, match="Bad"):
+            dispatcher.dispatch(taxis, requests)
+
+    def test_default_config(self):
+        class Noop(Dispatcher):
+            name = "noop"
+
+            def dispatch(self, taxis, requests):
+                return DispatchSchedule()
+
+        dispatcher = Noop(EuclideanDistance())
+        assert dispatcher.config.alpha == 1.0

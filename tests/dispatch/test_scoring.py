@@ -1,0 +1,104 @@
+"""Unit tests for the dissatisfaction metrics (Section VI-B)."""
+
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.dispatch import assignment_metrics, group_assignment, single_assignment
+from repro.core.errors import DispatchError
+from repro.geometry import EuclideanDistance, Point
+from repro.routing import build_ride_group
+
+
+@pytest.fixture()
+def oracle():
+    return EuclideanDistance()
+
+
+def request(rid, sx, sy, dx, dy):
+    return PassengerRequest(rid, Point(sx, sy), Point(dx, dy))
+
+
+class TestNonSharingReduction:
+    def test_passenger_metric_is_pickup_distance(self, oracle):
+        taxi = Taxi(0, Point(0, 0))
+        r = request(1, 3, 4, 3, 10)
+        metrics = assignment_metrics(
+            taxi, single_assignment(taxi, r), {1: r}, oracle, DispatchConfig()
+        )
+        # Non-sharing: D(t, r^s) with zero detour term.
+        assert metrics.passenger_dissatisfaction[1] == pytest.approx(5.0)
+
+    def test_taxi_metric_reduces_to_paper_formula(self, oracle):
+        taxi = Taxi(0, Point(0, 0))
+        r = request(1, 3, 4, 3, 10)  # pickup 5 km, trip 6 km
+        for alpha in (0.5, 1.0, 2.0):
+            config = DispatchConfig(alpha=alpha)
+            metrics = assignment_metrics(
+                taxi, single_assignment(taxi, r), {1: r}, oracle, config
+            )
+            assert metrics.taxi_dissatisfaction == pytest.approx(5.0 - alpha * 6.0)
+
+    def test_total_drive(self, oracle):
+        taxi = Taxi(0, Point(0, 0))
+        r = request(1, 3, 4, 3, 10)
+        metrics = assignment_metrics(
+            taxi, single_assignment(taxi, r), {1: r}, oracle, DispatchConfig()
+        )
+        assert metrics.total_drive_km == pytest.approx(11.0)
+
+
+class TestSharingMetrics:
+    def test_group_metrics_match_definitions(self, oracle):
+        # Nested collinear trips: taxi at -1, route 0 -> 1 -> 3 -> 4.
+        r1 = request(1, 0, 0, 4, 0)
+        r2 = request(2, 1, 0, 3, 0)
+        group = build_ride_group(0, [r1, r2], oracle)
+        taxi = Taxi(0, Point(-1, 0))
+        assignment = group_assignment(taxi, group)
+        config = DispatchConfig(alpha=1.0, beta=1.0)
+        metrics = assignment_metrics(taxi, assignment, {1: r1, 2: r2}, oracle, config)
+
+        # r1 is picked up first: wait distance 1; no detour.
+        assert metrics.passenger_dissatisfaction[1] == pytest.approx(1.0)
+        # r2 is picked up after 1 km more driving; no detour either.
+        assert metrics.passenger_dissatisfaction[2] == pytest.approx(2.0)
+        # D_ck(t) = 1 + 4 = 5; payoff = (1+1) * (4 + 2) = 12.
+        assert metrics.taxi_dissatisfaction == pytest.approx(5.0 - 12.0)
+
+    def test_beta_scales_detour(self, oracle):
+        # Perpendicular trips force a detour on one member.
+        r1 = request(1, 0, 0, 10, 0)
+        r2 = request(2, 5, 1, 5, -1)
+        group = build_ride_group(0, [r1, r2], oracle)
+        taxi = Taxi(0, Point(0, 0))
+        assignment = group_assignment(taxi, group)
+        base = assignment_metrics(
+            taxi, assignment, {1: r1, 2: r2}, oracle, DispatchConfig(beta=0.0)
+        )
+        scaled = assignment_metrics(
+            taxi, assignment, {1: r1, 2: r2}, oracle, DispatchConfig(beta=2.0)
+        )
+        total_detour = sum(
+            group.detour_km(rid, oracle) for rid in (1, 2)
+        )
+        assert total_detour > 0
+        got = sum(scaled.passenger_dissatisfaction.values()) - sum(
+            base.passenger_dissatisfaction.values()
+        )
+        assert got == pytest.approx(2.0 * total_detour)
+
+
+class TestErrors:
+    def test_wrong_taxi_rejected(self, oracle):
+        taxi = Taxi(0, Point(0, 0))
+        r = request(1, 1, 0, 2, 0)
+        assignment = single_assignment(taxi, r)
+        with pytest.raises(DispatchError):
+            assignment_metrics(Taxi(9, Point(0, 0)), assignment, {1: r}, oracle)
+
+    def test_unknown_request_rejected(self, oracle):
+        taxi = Taxi(0, Point(0, 0))
+        r = request(1, 1, 0, 2, 0)
+        assignment = single_assignment(taxi, r)
+        with pytest.raises(DispatchError):
+            assignment_metrics(taxi, assignment, {}, oracle)

@@ -1,0 +1,193 @@
+"""Unit tests for Algorithm 3 (STD-P / STD-T sharing dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.dispatch import std_p, std_t
+from repro.dispatch.sharing import STDDispatcher, build_sharing_table, pack_requests
+from repro.dispatch.sharing.std import clip_batch
+from repro.geometry import EuclideanDistance, Point
+from repro.matching import Matching, is_stable
+
+
+@pytest.fixture()
+def oracle():
+    return EuclideanDistance()
+
+
+def request(rid, sx, sy, dx, dy, passengers=1):
+    return PassengerRequest(rid, Point(sx, sy), Point(dx, dy), passengers=passengers)
+
+
+def random_frame(seed, n_taxis=6, n_requests=10):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.normal(0, 3, 2))) for i in range(n_taxis)]
+    requests = [
+        PassengerRequest(j, Point(*rng.normal(0, 3, 2)), Point(*rng.normal(0, 3, 2)))
+        for j in range(n_requests)
+    ]
+    return taxis, requests
+
+
+class TestPackRequests:
+    def test_all_requests_covered_exactly_once(self, oracle):
+        _, requests = random_frame(0)
+        units = pack_requests(requests, oracle, DispatchConfig())
+        covered = [rid for g in units for rid in g.request_ids]
+        assert sorted(covered) == sorted(r.request_id for r in requests)
+
+    def test_nested_trips_get_packed(self, oracle):
+        requests = [request(1, 0, 0, 6, 0), request(2, 1, 0, 5, 0), request(3, 50, 50, 55, 50)]
+        units = pack_requests(requests, oracle, DispatchConfig(theta_km=0.5))
+        sizes = sorted(g.size for g in units)
+        assert sizes == [1, 2]
+
+    def test_unknown_packer_rejected(self, oracle):
+        with pytest.raises(Exception):
+            pack_requests([], oracle, DispatchConfig(), packer="nope")
+
+    def test_exact_packer_on_small_input(self, oracle):
+        requests = [request(i, 0.1 * i, 0, 5, 0) for i in range(1, 6)]
+        units = pack_requests(requests, oracle, DispatchConfig(), packer="exact")
+        covered = [rid for g in units for rid in g.request_ids]
+        assert sorted(covered) == [1, 2, 3, 4, 5]
+
+    def test_group_ids_unique_and_consecutive(self, oracle):
+        _, requests = random_frame(1)
+        units = pack_requests(requests, oracle, DispatchConfig())
+        assert [g.group_id for g in units] == list(range(len(units)))
+
+
+class TestClipBatch:
+    def test_auto_bound_scales_with_fleet(self):
+        requests = [request(i, 0, 0, 1, 0) for i in range(200)]
+        taxis = [Taxi(i, Point(0, 0)) for i in range(3)]
+        config = DispatchConfig(max_group_size=3)
+        batch = clip_batch(requests, taxis, config, None)
+        assert len(batch) == 3 * 3 + 8 * 3
+        # Oldest requests are kept.
+        assert [r.request_id for r in batch] == list(range(len(batch)))
+
+    def test_explicit_bound(self):
+        requests = [request(i, 0, 0, 1, 0) for i in range(10)]
+        batch = clip_batch(requests, [Taxi(0, Point(0, 0))], DispatchConfig(), 4)
+        assert len(batch) == 4
+
+    def test_large_bound_disables_clipping(self):
+        requests = [request(i, 0, 0, 1, 0) for i in range(10)]
+        batch = clip_batch(requests, [], DispatchConfig(), 10_000)
+        assert len(batch) == 10
+
+
+class TestSharingTable:
+    def test_singleton_scores_reduce_to_nonsharing(self, oracle):
+        # The paper notes the sharing formulas collapse to the non-sharing
+        # ones for |c_k| = 1.
+        taxis = [Taxi(0, Point(0, 0))]
+        r = request(1, 3, 4, 3, 10)  # pickup 5 km, trip 6 km
+        units = pack_requests([r], oracle, DispatchConfig())
+        table = build_sharing_table(taxis, units, oracle, DispatchConfig())
+        assert table.proposer_scores[(0, 0)] == pytest.approx(5.0)
+        assert table.reviewer_scores[(0, 0)] == pytest.approx(5.0 - 6.0)
+
+    def test_seat_capacity_excludes_groups(self, oracle):
+        taxis = [Taxi(0, Point(0, 0), seats=2)]
+        requests = [
+            request(1, 0, 0, 4, 0, passengers=2),
+            request(2, 1, 0, 3, 0, passengers=2),
+        ]
+        units = pack_requests(requests, oracle, DispatchConfig(), max_passengers=4)
+        table = build_sharing_table(taxis, units, oracle, DispatchConfig())
+        for unit in units:
+            if unit.total_passengers > 2:
+                assert table.proposer_prefs[unit.group_id] == ()
+
+
+class TestSTDDispatcher:
+    @pytest.mark.parametrize("factory", [std_p, std_t])
+    def test_valid_schedules(self, oracle, factory):
+        for seed in range(6):
+            taxis, requests = random_frame(seed)
+            schedule = factory(oracle, DispatchConfig()).dispatch(taxis, requests)
+            schedule.validate(taxis, requests)
+
+    def test_stage_two_matching_is_stable_on_units(self, oracle):
+        taxis, requests = random_frame(3)
+        config = DispatchConfig(passenger_threshold_km=10.0, taxi_threshold_km=10.0)
+        dispatcher = std_p(oracle, config)
+        schedule = dispatcher.dispatch(taxis, requests)
+        # Rebuild the unit market the dispatcher saw and check stability
+        # of the produced unit-taxi matching.
+        max_seats = max(t.seats for t in taxis)
+        units = pack_requests(requests, oracle, config, max_passengers=max_seats)
+        table = build_sharing_table(taxis, units, oracle, config)
+        unit_by_members = {g.request_ids: g.group_id for g in units}
+        pairs = {}
+        for assignment in schedule.assignments:
+            unit_id = unit_by_members[assignment.request_ids]
+            pairs[unit_id] = assignment.taxi_id
+        assert is_stable(table, Matching(pairs))
+
+    def test_groups_respect_theta(self, oracle):
+        taxis, requests = random_frame(4)
+        theta = 1.0
+        config = DispatchConfig(theta_km=theta)
+        schedule = std_p(oracle, config).dispatch(taxis, requests)
+        request_by_id = {r.request_id: r for r in requests}
+        for assignment in schedule.assignments:
+            if len(assignment.request_ids) == 1:
+                continue
+            # Walk the route and check each member's onboard excess.
+            cumulative = 0.0
+            previous = None
+            pickup_at = {}
+            for stop in assignment.stops:
+                if previous is not None:
+                    cumulative += oracle.distance(previous, stop.point)
+                previous = stop.point
+                if stop.is_pickup:
+                    pickup_at[stop.request_id] = cumulative
+                else:
+                    onboard = cumulative - pickup_at[stop.request_id]
+                    direct = request_by_id[stop.request_id].trip_distance(oracle)
+                    assert onboard - direct <= theta + 1e-6
+
+    def test_invalid_mode_rejected(self, oracle):
+        with pytest.raises(ValueError):
+            STDDispatcher(oracle, optimize_for="company")
+
+    def test_names(self, oracle):
+        assert std_p(oracle).name == "STD-P"
+        assert std_t(oracle).name == "STD-T"
+
+    def test_empty_inputs(self, oracle):
+        dispatcher = std_p(oracle)
+        assert dispatcher.dispatch([], []).assignments == []
+
+
+class TestPaperExactPath:
+    def test_unclipped_unpruned_enumeration_on_small_frame(self, oracle):
+        # The paper's literal semantics: no batch clipping, no pairing
+        # radius, no metric pruning.  On a small frame the engineered
+        # defaults must serve the same requests with valid schedules.
+        taxis, requests = random_frame(7, n_taxis=4, n_requests=8)
+        config = DispatchConfig()
+        exact = STDDispatcher(
+            oracle, config, packer="exact", pairing_radius_km=None, max_batch=10**9
+        )
+        schedule = exact.dispatch(taxis, requests)
+        schedule.validate(taxis, requests)
+        default = std_p(oracle, config).dispatch(taxis, requests)
+        assert schedule.served_request_ids == default.served_request_ids
+
+    def test_exact_packer_never_packs_fewer_groups(self, oracle):
+        from repro.dispatch.sharing import pack_requests
+
+        _, requests = random_frame(8, n_requests=8)
+        config = DispatchConfig()
+        exact_units = pack_requests(requests, oracle, config, packer="exact")
+        local_units = pack_requests(requests, oracle, config, packer="local")
+        exact_groups = sum(1 for g in exact_units if g.size > 1)
+        local_groups = sum(1 for g in local_units if g.size > 1)
+        assert exact_groups >= local_groups

@@ -1,0 +1,53 @@
+"""Unit tests for the repro-taxi CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.figure == "fig5"
+        assert args.scale == 0.03
+        assert args.seed == 2017
+        assert args.hours is None
+
+    def test_hours(self):
+        args = build_parser().parse_args(["fig5", "--hours", "7", "11"])
+        assert args.hours == [7.0, 11.0]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_runs_tiny_experiment(self, capsys):
+        code = main(["fig5", "--scale", "0.002", "--seed", "3", "--hours", "8", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "NSTD-P" in out
+
+
+class TestOutputOptions:
+    def test_output_and_save_trace(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        trace = tmp_path / "trace.csv"
+        code = main(
+            [
+                "fig5", "--scale", "0.002", "--seed", "3", "--hours", "8", "9",
+                "--output", str(out), "--save-trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert out.exists() and "Fig. 5" in out.read_text()
+        from repro.trace.persistence import load_requests_csv
+
+        requests = load_requests_csv(trace)
+        assert len(requests) >= 1

@@ -1,0 +1,51 @@
+"""Smoke tests for the per-figure harnesses (tiny scales)."""
+
+import pytest
+
+from repro.core import ExperimentError
+from repro.experiments import FIGURES, ExperimentScale, run_figure
+
+TINY = ExperimentScale(factor=0.003, seed=5, hours=(8.0, 9.0))
+
+
+class TestRegistry:
+    def test_all_six_figures_registered(self):
+        assert set(FIGURES) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
+    def test_unknown_figure(self):
+        with pytest.raises(ExperimentError):
+            run_figure("fig99", TINY)
+
+
+class TestNonSharingFigures:
+    @pytest.mark.parametrize("figure_id", ["fig4", "fig5"])
+    def test_cdf_figures(self, figure_id):
+        result = run_figure(figure_id, TINY)
+        assert result.figure_id == figure_id
+        assert set(result.series) == {"delay", "passenger", "taxi"}
+        for name in ("NSTD-P", "NSTD-T", "Greedy", "MCBM", "MMCM"):
+            assert name in result.summaries
+        assert "dispatch delay CDF" in result.report
+        assert "taxi dissatisfaction CDF" in result.report
+
+    def test_fig6_sweep(self):
+        result = run_figure("fig6", ExperimentScale(factor=0.002, seed=5, hours=(8.0, 9.0)))
+        assert "taxis" in result.report
+        assert "mean_taxi_dissatisfaction" in result.series
+        # 5 fleet sizes x 5 algorithms.
+        assert len(result.summaries) == 25
+
+    def test_fig7_clock_time(self):
+        result = run_figure("fig7", ExperimentScale(factor=0.002, seed=5))
+        series = result.series["mean_dispatch_delay_min"]
+        assert all(len(values) == 24 for values in series.values())
+        assert "00h" in result.report and "23h" in result.report
+
+
+class TestSharingFigures:
+    @pytest.mark.parametrize("figure_id", ["fig8", "fig9"])
+    def test_cdf_figures(self, figure_id):
+        result = run_figure(figure_id, TINY)
+        for name in ("STD-P", "STD-T", "RAII", "SARP", "ILP"):
+            assert name in result.summaries
+        assert set(result.series) == {"delay", "passenger", "taxi"}

@@ -1,0 +1,65 @@
+"""Unit tests for experiment settings."""
+
+import pytest
+
+from repro.core import ExperimentError
+from repro.experiments import (
+    NONSHARING_ALGORITHMS,
+    SHARING_ALGORITHMS,
+    ExperimentScale,
+    city_dispatch_config,
+    city_simulation_config,
+    profile_by_name,
+)
+from repro.trace import boston_profile
+
+
+class TestRosters:
+    def test_paper_algorithm_names(self):
+        assert NONSHARING_ALGORITHMS == ("NSTD-P", "NSTD-T", "Greedy", "MCBM", "MMCM")
+        assert SHARING_ALGORITHMS == ("STD-P", "STD-T", "RAII", "SARP", "ILP")
+
+
+class TestExperimentScale:
+    def test_defaults(self):
+        scale = ExperimentScale()
+        assert scale.factor > 0
+        assert scale.hours is None
+
+    @pytest.mark.parametrize("kwargs", [{"factor": 0.0}, {"factor": -1.0}, {"hours": (5.0, 3.0)}, {"hours": (-1.0, 5.0)}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(**kwargs)
+
+
+class TestCityConfigs:
+    def test_paper_constants(self):
+        profile = boston_profile()
+        config = city_dispatch_config(profile)
+        assert config.alpha == 1.0
+        assert config.beta == 1.0
+        assert config.theta_km == 5.0
+        sim = city_simulation_config(profile)
+        assert sim.frame_length_s == 60.0
+        assert sim.taxi_speed_kmh == 20.0
+
+    def test_thresholds_scale_with_city(self):
+        from repro.trace import nyc_profile
+
+        ny = city_dispatch_config(nyc_profile())
+        bos = city_dispatch_config(boston_profile())
+        assert ny.passenger_threshold_km > bos.passenger_threshold_km
+
+
+class TestProfileByName:
+    @pytest.mark.parametrize("name", ["new-york", "NYC", "ny", "NewYork"])
+    def test_nyc_aliases(self, name):
+        assert profile_by_name(name).name == "new-york"
+
+    @pytest.mark.parametrize("name", ["boston", "BOS"])
+    def test_boston_aliases(self, name):
+        assert profile_by_name(name).name == "boston"
+
+    def test_unknown_city(self):
+        with pytest.raises(ExperimentError):
+            profile_by_name("springfield")

@@ -1,0 +1,60 @@
+"""Unit tests for the distance oracles."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    EuclideanDistance,
+    HaversineDistance,
+    ManhattanDistance,
+    Point,
+    ScaledDistance,
+)
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        assert EuclideanDistance().distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_zero_at_same_point(self):
+        assert EuclideanDistance().distance(Point(1, 1), Point(1, 1)) == 0.0
+
+
+class TestManhattan:
+    def test_known_distance(self):
+        assert ManhattanDistance().distance(Point(0, 0), Point(3, 4)) == pytest.approx(7.0)
+
+    def test_dominates_euclidean(self):
+        euclid = EuclideanDistance()
+        manhattan = ManhattanDistance()
+        a, b = Point(-2.3, 1.1), Point(4.0, -0.7)
+        assert manhattan.distance(a, b) >= euclid.distance(a, b)
+
+
+class TestHaversine:
+    def test_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        d = HaversineDistance().distance(Point(0.0, 0.0), Point(1.0, 0.0))
+        assert d == pytest.approx(111.19, abs=0.5)
+
+    def test_poles_to_equator(self):
+        # Quarter of a great circle: ~10,007.5 km.
+        d = HaversineDistance().distance(Point(0.0, 0.0), Point(0.0, 90.0))
+        assert d == pytest.approx(math.pi * 6371.0088 / 2.0, rel=1e-6)
+
+    def test_symmetry(self):
+        h = HaversineDistance()
+        a, b = Point(-71.06, 42.36), Point(-71.09, 42.34)  # Boston-ish
+        assert h.distance(a, b) == pytest.approx(h.distance(b, a))
+
+
+class TestScaled:
+    def test_multiplies_base(self):
+        scaled = ScaledDistance(EuclideanDistance(), 1.3)
+        assert scaled.distance(Point(0, 0), Point(3, 4)) == pytest.approx(6.5)
+        assert scaled.factor == 1.3
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            ScaledDistance(EuclideanDistance(), 0.0)

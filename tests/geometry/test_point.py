@@ -1,0 +1,35 @@
+"""Unit tests for planar points."""
+
+import pytest
+
+from repro.geometry import ORIGIN, Point
+
+
+class TestPoint:
+    def test_euclidean_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, 4)) == pytest.approx(7.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 0.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translate(self):
+        assert Point(1, 1).translate(-1, 2) == Point(0, 3)
+
+    def test_as_tuple_and_iter(self):
+        point = Point(1.0, 2.0)
+        assert point.as_tuple() == (1.0, 2.0)
+        x, y = point
+        assert (x, y) == (1.0, 2.0)
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)

@@ -1,0 +1,97 @@
+"""End-to-end integration: every algorithm over a small synthetic city day.
+
+These tests exercise the full pipeline (trace generation → frame loop →
+dispatch → metrics) and assert the *comparative shapes* the paper
+reports, on a fixed seed.
+"""
+
+import pytest
+
+from repro.core import SimulationConfig
+from repro.experiments import (
+    NONSHARING_ALGORITHMS,
+    SHARING_ALGORITHMS,
+    ExperimentScale,
+    run_city_experiment,
+)
+from repro.trace import boston_profile
+
+SCALE = ExperimentScale(factor=0.02, seed=42, hours=(7.5, 9.5))
+
+
+@pytest.fixture(scope="module")
+def nonsharing_results():
+    return run_city_experiment(boston_profile(), NONSHARING_ALGORITHMS, SCALE)
+
+
+@pytest.fixture(scope="module")
+def sharing_results():
+    return run_city_experiment(boston_profile(), SHARING_ALGORITHMS, SCALE)
+
+
+class TestNonSharingShapes:
+    def test_all_algorithms_ran(self, nonsharing_results):
+        assert set(nonsharing_results) == set(NONSHARING_ALGORITHMS)
+        counts = {len(r.outcomes) for r in nonsharing_results.values()}
+        assert len(counts) == 1  # identical workload
+
+    def test_everyone_serves_requests(self, nonsharing_results):
+        for name, result in nonsharing_results.items():
+            assert result.service_rate > 0.5, name
+
+    def test_nstd_improves_taxi_dissatisfaction_over_greedy(self, nonsharing_results):
+        # The paper's headline claim (Figs. 4c/5c): NSTD significantly
+        # outperforms the passenger-only baselines on taxi dissatisfaction.
+        greedy = nonsharing_results["Greedy"].summary()["mean_taxi_dissatisfaction"]
+        for name in ("NSTD-P", "NSTD-T"):
+            ours = nonsharing_results[name].summary()["mean_taxi_dissatisfaction"]
+            assert ours < greedy, (name, ours, greedy)
+
+    def test_mcbm_lowest_total_passenger_dissatisfaction(self, nonsharing_results):
+        # MCBM minimizes the summed pickup distance per frame, so its mean
+        # passenger dissatisfaction must not exceed Greedy's.
+        assert (
+            nonsharing_results["MCBM"].summary()["mean_passenger_dissatisfaction"]
+            <= nonsharing_results["Greedy"].summary()["mean_passenger_dissatisfaction"] + 1e-6
+        )
+
+    def test_nonsharing_never_shares(self, nonsharing_results):
+        for result in nonsharing_results.values():
+            assert result.shared_ride_fraction == 0.0
+
+
+class TestSharingShapes:
+    def test_all_algorithms_ran(self, sharing_results):
+        assert set(sharing_results) == set(SHARING_ALGORITHMS)
+
+    def test_sharing_actually_happens(self, sharing_results):
+        for name, result in sharing_results.items():
+            assert result.shared_ride_fraction > 0.0, name
+
+    def test_std_beats_insertion_baselines_on_taxi_dissatisfaction(self, sharing_results):
+        # Figs. 8/9: STD-P/T clearly outperform RAII and SARP.
+        worst_stable = max(
+            sharing_results[name].summary()["mean_taxi_dissatisfaction"]
+            for name in ("STD-P", "STD-T")
+        )
+        for baseline in ("RAII", "SARP"):
+            theirs = sharing_results[baseline].summary()["mean_taxi_dissatisfaction"]
+            assert worst_stable < theirs, (baseline, worst_stable, theirs)
+
+    def test_std_beats_insertion_baselines_on_passenger_dissatisfaction(self, sharing_results):
+        worst_stable = max(
+            sharing_results[name].summary()["mean_passenger_dissatisfaction"]
+            for name in ("STD-P", "STD-T")
+        )
+        for baseline in ("RAII", "SARP"):
+            theirs = sharing_results[baseline].summary()["mean_passenger_dissatisfaction"]
+            assert worst_stable < theirs, (baseline, worst_stable, theirs)
+
+
+class TestCrossMode:
+    def test_sharing_serves_at_least_nonsharing(self, nonsharing_results, sharing_results):
+        # Packing multiplies per-frame capacity; with the same fleet the
+        # sharing dispatchers should serve no fewer requests.
+        nonsharing = nonsharing_results["NSTD-P"].service_rate
+        sharing = sharing_results["STD-P"].service_rate
+        assert sharing >= nonsharing - 0.1

@@ -1,0 +1,67 @@
+"""Integration: dispatchers running on a road-network distance oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, SimulationConfig, Taxi
+from repro.dispatch import GreedyNearestDispatcher, nstd_p
+from repro.geometry import Point
+from repro.matching import Matching, build_nonsharing_table, is_stable
+from repro.network import grid_city
+from repro.simulation import Simulator
+
+
+@pytest.fixture(scope="module")
+def network():
+    # A 2 km x 2 km downtown lattice with 100 m blocks.
+    return grid_city(21, 21, 0.1)
+
+
+def workload(seed, n_taxis=5, n_requests=12):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.uniform(0, 2.0, 2))) for i in range(n_taxis)]
+    requests = [
+        PassengerRequest(
+            j,
+            Point(*rng.uniform(0, 2.0, 2)),
+            Point(*rng.uniform(0, 2.0, 2)),
+            request_time_s=float(rng.uniform(0, 600)),
+        )
+        for j in range(n_requests)
+    ]
+    return taxis, requests
+
+
+class TestNetworkDispatch:
+    def test_nstd_stable_under_network_distances(self, network):
+        taxis, requests = workload(0)
+        config = DispatchConfig()
+        schedule = nstd_p(network, config).dispatch(taxis, requests)
+        table = build_nonsharing_table(taxis, requests, network, config)
+        assert is_stable(table, Matching(schedule.taxi_of))
+
+    def test_network_distances_exceed_euclidean(self, network):
+        from repro.geometry import EuclideanDistance
+
+        euclid = EuclideanDistance()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = Point(*rng.uniform(0, 2.0, 2))
+            b = Point(*rng.uniform(0, 2.0, 2))
+            assert network.distance(a, b) >= euclid.distance(a, b) - 1e-9
+
+    def test_full_simulation_on_network(self, network):
+        taxis, requests = workload(2)
+        config = SimulationConfig(
+            frame_length_s=60.0,
+            taxi_speed_kmh=20.0,
+            horizon_s=1200.0,
+            dispatch=DispatchConfig(),
+        )
+        result = Simulator(
+            GreedyNearestDispatcher(network, config.dispatch), network, config
+        ).run(taxis, requests)
+        assert result.service_rate == 1.0
+        # Drive distances follow the lattice, so pickup metrics are >= the
+        # straight-line values.
+        assert all(v >= 0.0 for v in result.passenger_dissatisfactions())

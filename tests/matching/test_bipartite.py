@@ -1,0 +1,141 @@
+"""Unit tests for the bipartite matching baselines (MCBM / MMCM cores)."""
+
+import itertools
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import MatchingError
+from repro.matching import (
+    hopcroft_karp,
+    matching_total_cost,
+    maximum_matching_size,
+    min_cost_matching,
+    minimax_matching,
+)
+
+
+def brute_force_best(matrix, objective):
+    """Best matching of maximum cardinality by exhaustive search."""
+    matrix = np.asarray(matrix, dtype=float)
+    n_rows, n_cols = matrix.shape
+    best = None
+    best_size = -1
+    for k in range(min(n_rows, n_cols), -1, -1):
+        for rows in itertools.permutations(range(n_rows), k):
+            for cols in itertools.combinations(range(n_cols), k):
+                for perm in itertools.permutations(cols):
+                    pairs = list(zip(rows, perm))
+                    if any(not math.isfinite(matrix[r, c]) for r, c in pairs):
+                        continue
+                    if best is None or objective(pairs) < objective(best):
+                        best = pairs
+                        best_size = k
+        if best is not None:
+            break
+    return best, best_size
+
+
+class TestHopcroftKarp:
+    def test_matches_networkx_on_random_graphs(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n_left, n_right = int(rng.integers(1, 9)), int(rng.integers(1, 9))
+            adjacency = [
+                [v for v in range(n_right) if rng.random() < 0.4] for _ in range(n_left)
+            ]
+            graph = nx.Graph()
+            graph.add_nodes_from((f"l{u}" for u in range(n_left)), bipartite=0)
+            graph.add_nodes_from((f"r{v}" for v in range(n_right)), bipartite=1)
+            for u, nbrs in enumerate(adjacency):
+                for v in nbrs:
+                    graph.add_edge(f"l{u}", f"r{v}")
+            expected = len(nx.bipartite.maximum_matching(graph, top_nodes=[f"l{u}" for u in range(n_left)])) // 2
+            assert maximum_matching_size(n_left, n_right, adjacency) == expected
+
+    def test_returns_valid_matching(self):
+        matching = hopcroft_karp(3, 3, [[0, 1], [0], [2]])
+        assert len(set(matching.values())) == len(matching)
+        assert matching[1] == 0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(2, 2, [[0]])
+        with pytest.raises(IndexError):
+            hopcroft_karp(1, 1, [[5]])
+
+
+class TestMinCostMatching:
+    def test_optimal_on_random_instances(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            matrix = rng.uniform(0, 10, size=(int(rng.integers(1, 5)), int(rng.integers(1, 5))))
+            pairs = min_cost_matching(matrix)
+            expected, size = brute_force_best(matrix, lambda ps: sum(matrix[r, c] for r, c in ps))
+            assert len(pairs) == size
+            got_cost = matching_total_cost(matrix, pairs)
+            want_cost = sum(matrix[r, c] for r, c in expected)
+            assert got_cost == pytest.approx(want_cost)
+
+    def test_forbidden_pairs_excluded(self):
+        matrix = [[math.inf, 1.0], [2.0, math.inf]]
+        pairs = sorted(min_cost_matching(matrix))
+        assert pairs == [(0, 1), (1, 0)]
+
+    def test_all_forbidden_matches_nothing(self):
+        assert min_cost_matching([[math.inf]]) == []
+
+    def test_empty_matrix(self):
+        assert min_cost_matching(np.zeros((0, 0))) == []
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(MatchingError):
+            min_cost_matching(np.zeros(3))
+
+    def test_forbidden_never_sacrifices_cardinality(self):
+        # One forbidden entry with an expensive detour: cardinality first.
+        matrix = [[1.0, math.inf], [1.0, 100.0]]
+        pairs = sorted(min_cost_matching(matrix))
+        assert pairs == [(0, 0), (1, 1)]
+
+
+class TestMinimaxMatching:
+    def test_optimal_on_random_instances(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            matrix = rng.uniform(0, 10, size=(int(rng.integers(1, 5)), int(rng.integers(1, 5))))
+            pairs = minimax_matching(matrix)
+            expected, size = brute_force_best(
+                matrix, lambda ps: max((matrix[r, c] for r, c in ps), default=0.0)
+            )
+            assert len(pairs) == size
+            got = max((matrix[r, c] for r, c in pairs), default=0.0)
+            want = max((matrix[r, c] for r, c in expected), default=0.0)
+            assert got == pytest.approx(want)
+
+    def test_minimax_bound_not_worse_than_mincost(self):
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            matrix = rng.uniform(0, 10, size=(4, 4))
+            minimax_pairs = minimax_matching(matrix)
+            mincost_pairs = min_cost_matching(matrix)
+            assert max(matrix[r, c] for r, c in minimax_pairs) <= max(
+                matrix[r, c] for r, c in mincost_pairs
+            ) + 1e-9
+
+    def test_all_forbidden(self):
+        assert minimax_matching([[math.inf, math.inf]]) == []
+
+    def test_empty(self):
+        assert minimax_matching(np.zeros((0, 3))) == []
+
+
+class TestMatchingTotalCost:
+    def test_sums_costs(self):
+        assert matching_total_cost([[1.0, 2.0], [3.0, 4.0]], [(0, 0), (1, 1)]) == 5.0
+
+    def test_rejects_forbidden(self):
+        with pytest.raises(MatchingError):
+            matching_total_cost([[math.inf]], [(0, 0)])

@@ -1,0 +1,114 @@
+"""Unit tests for Algorithm 1 (deferred acceptance with dummies)."""
+
+import random
+
+import pytest
+
+from repro.matching import (
+    Matching,
+    PreferenceTable,
+    all_stable_matchings_brute_force,
+    deferred_acceptance,
+    is_stable,
+)
+from tests.support import TAXI_ID_BASE, random_table
+
+
+class TestBasics:
+    def test_empty_market(self):
+        table = PreferenceTable(proposer_prefs={}, reviewer_prefs={})
+        assert deferred_acceptance(table).size == 0
+
+    def test_single_mutual_pair(self):
+        table = PreferenceTable(proposer_prefs={0: (100,)}, reviewer_prefs={100: (0,)})
+        assert deferred_acceptance(table) == Matching({0: 100})
+
+    def test_unacceptable_stays_unmatched(self):
+        table = PreferenceTable(
+            proposer_prefs={0: (), 1: (100,)}, reviewer_prefs={100: (1,)}
+        )
+        matching = deferred_acceptance(table)
+        assert matching.reviewer_of(0) is None
+        assert matching.reviewer_of(1) == 100
+
+    def test_textbook_instance(self):
+        # Classic 3x3 with a known proposer-optimal outcome.
+        table = PreferenceTable(
+            proposer_prefs={
+                0: (100, 101, 102),
+                1: (101, 100, 102),
+                2: (100, 101, 102),
+            },
+            reviewer_prefs={
+                100: (1, 0, 2),
+                101: (0, 1, 2),
+                102: (0, 1, 2),
+            },
+        )
+        matching = deferred_acceptance(table)
+        assert matching == Matching({0: 100, 1: 101, 2: 102})
+
+    def test_refusal_cascade(self):
+        # 1 displaces 0 at reviewer 100; 0 falls to 101.
+        table = PreferenceTable(
+            proposer_prefs={0: (100, 101), 1: (100,)},
+            reviewer_prefs={100: (1, 0), 101: (0,)},
+        )
+        matching = deferred_acceptance(table)
+        assert matching == Matching({0: 101, 1: 100})
+
+
+class TestStatsAndProperties:
+    def test_stats_counters(self):
+        table = PreferenceTable(
+            proposer_prefs={0: (100, 101), 1: (100,)},
+            reviewer_prefs={100: (1, 0), 101: (0,)},
+        )
+        matching, stats = deferred_acceptance(table, with_stats=True)
+        assert stats.matched_pairs == matching.size == 2
+        assert stats.proposals >= 2
+        assert stats.refusals >= 1
+
+    def test_always_stable_on_random_markets(self):
+        rng = random.Random(0)
+        for _ in range(150):
+            table = random_table(rng, rng.randint(1, 7), rng.randint(1, 7))
+            matching = deferred_acceptance(table)
+            assert is_stable(table, matching)
+
+    def test_proposer_optimality_against_brute_force(self):
+        rng = random.Random(1)
+        for _ in range(60):
+            table = random_table(rng, rng.randint(1, 5), rng.randint(1, 5))
+            matching = deferred_acceptance(table)
+            for other in all_stable_matchings_brute_force(table):
+                for proposer in table.proposer_prefs:
+                    mine = matching.reviewer_of(proposer)
+                    theirs = other.reviewer_of(proposer)
+                    if mine == theirs:
+                        continue
+                    # The proposer must weakly prefer its Algorithm-1 partner.
+                    assert mine is not None, "optimal match lost a partner"
+                    if theirs is not None:
+                        assert table.proposer_prefers(proposer, mine, theirs)
+
+    def test_large_adversarial_market_is_iterative(self):
+        # Identical proposer lists with reviewers preferring later arrivals
+        # maximize displacements (O(n²) proposals); the paper's recursive
+        # Proposal/Refusal would hit Python's stack limit long before this.
+        n = 600
+        reviewers = tuple(range(TAXI_ID_BASE, TAXI_ID_BASE + n))
+        table = PreferenceTable(
+            proposer_prefs={p: reviewers for p in range(n)},
+            reviewer_prefs={r: tuple(range(n - 1, -1, -1)) for r in reviewers},
+        )
+        matching = deferred_acceptance(table)
+        assert matching.size == n
+        assert is_stable(table, matching)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 9])
+def test_full_acceptance_market_is_perfectly_matched(n):
+    rng = random.Random(n)
+    table = random_table(rng, n, n, acceptance=1.0)
+    assert deferred_acceptance(table).size == n

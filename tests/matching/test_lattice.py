@@ -1,0 +1,110 @@
+"""Unit tests for the stable-matching lattice operations."""
+
+import random
+
+import pytest
+
+from repro.core import MatchingError
+from repro.matching import (
+    Matching,
+    PreferenceTable,
+    all_stable_matchings,
+    deferred_acceptance,
+    is_stable,
+    join,
+    lattice_extremes,
+    median_stable_matching,
+    meet,
+    taxi_optimal,
+)
+from tests.support import random_table
+
+
+@pytest.fixture()
+def latin_square_table():
+    return PreferenceTable(
+        proposer_prefs={
+            0: (100, 101, 102),
+            1: (101, 102, 100),
+            2: (102, 100, 101),
+        },
+        reviewer_prefs={
+            100: (1, 2, 0),
+            101: (2, 0, 1),
+            102: (0, 1, 2),
+        },
+    )
+
+
+class TestJoinMeet:
+    def test_join_of_extremes_is_proposer_optimal(self, latin_square_table):
+        table = latin_square_table
+        matchings = all_stable_matchings(table)
+        top = deferred_acceptance(table)
+        for matching in matchings:
+            assert join(table, top, matching) == top
+            assert meet(table, matching, top) == matching
+
+    def test_join_and_meet_are_stable(self):
+        rng = random.Random(0)
+        checked = 0
+        while checked < 10:
+            table = random_table(rng, rng.randint(2, 6), rng.randint(2, 6))
+            matchings = all_stable_matchings(table)
+            if len(matchings) < 2:
+                continue
+            checked += 1
+            for a in matchings:
+                for b in matchings:
+                    assert is_stable(table, join(table, a, b))
+                    assert is_stable(table, meet(table, a, b))
+
+    def test_commutative(self, latin_square_table):
+        table = latin_square_table
+        a, b = all_stable_matchings(table)[:2]
+        assert join(table, a, b) == join(table, b, a)
+        assert meet(table, a, b) == meet(table, b, a)
+
+    def test_mismatched_matched_sets_rejected(self, latin_square_table):
+        with pytest.raises(MatchingError):
+            join(latin_square_table, Matching({0: 100}), Matching({1: 100}))
+
+
+class TestMedian:
+    def test_median_of_latin_square_is_the_middle_matching(self, latin_square_table):
+        table = latin_square_table
+        median = median_stable_matching(table)
+        # The three matchings give proposer 0 partners 100/101/102 in
+        # preference order 100 > 101 > 102; the median partner is 101.
+        assert median == Matching({0: 101, 1: 102, 2: 100})
+        assert is_stable(table, median)
+
+    def test_median_is_always_stable(self):
+        rng = random.Random(1)
+        checked = 0
+        while checked < 15:
+            table = random_table(rng, rng.randint(2, 6), rng.randint(2, 6))
+            matchings = all_stable_matchings(table)
+            if len(matchings) < 2:
+                continue
+            checked += 1
+            assert is_stable(table, median_stable_matching(table, matchings))
+
+    def test_median_of_unique_matching_is_it(self):
+        table = PreferenceTable(proposer_prefs={0: (100,)}, reviewer_prefs={100: (0,)})
+        assert median_stable_matching(table) == Matching({0: 100})
+
+    def test_requires_matchings(self):
+        table = PreferenceTable(proposer_prefs={}, reviewer_prefs={})
+        with pytest.raises(MatchingError):
+            median_stable_matching(table, [])
+
+
+class TestExtremes:
+    def test_extremes_match_the_named_algorithms(self):
+        rng = random.Random(2)
+        for _ in range(25):
+            table = random_table(rng, rng.randint(1, 6), rng.randint(1, 6))
+            top, bottom = lattice_extremes(table)
+            assert top == deferred_acceptance(table)
+            assert bottom == taxi_optimal(table)

@@ -1,0 +1,77 @@
+"""Unit tests for the Matching value object."""
+
+import pytest
+
+from repro.core import MatchingError
+from repro.matching import Matching
+
+
+class TestConstruction:
+    def test_from_dict_and_pairs(self):
+        assert Matching({1: 100}) == Matching([(1, 100)])
+
+    def test_rejects_duplicate_proposer(self):
+        with pytest.raises(MatchingError):
+            Matching([(1, 100), (1, 101)])
+
+    def test_rejects_duplicate_reviewer(self):
+        with pytest.raises(MatchingError):
+            Matching([(1, 100), (2, 100)])
+
+    def test_empty(self):
+        empty = Matching({})
+        assert empty.size == 0
+        assert len(empty) == 0
+
+
+class TestQueries:
+    def test_partner_lookups(self):
+        matching = Matching({1: 100, 2: 101})
+        assert matching.reviewer_of(1) == 100
+        assert matching.proposer_of(101) == 2
+        assert matching.reviewer_of(9) is None
+        assert matching.proposer_of(999) is None
+
+    def test_matched_sets(self):
+        matching = Matching({1: 100})
+        assert matching.matched_proposers == {1}
+        assert matching.matched_reviewers == {100}
+        assert matching.unmatched_proposers([1, 2, 3]) == [2, 3]
+        assert matching.unmatched_reviewers([100, 101]) == [101]
+
+    def test_iteration_sorted(self):
+        matching = Matching({3: 100, 1: 102, 2: 101})
+        assert list(matching) == [(1, 102), (2, 101), (3, 100)]
+
+    def test_as_dict_is_a_copy(self):
+        matching = Matching({1: 100})
+        d = matching.as_dict()
+        d[2] = 200
+        assert matching.reviewer_of(2) is None
+
+
+class TestCopyOnWrite:
+    def test_with_pair_releases_old_partners(self):
+        matching = Matching({1: 100, 2: 101})
+        updated = matching.with_pair(3, 100)
+        assert updated.proposer_of(100) == 3
+        assert updated.reviewer_of(1) is None
+        # Original untouched.
+        assert matching.proposer_of(100) == 1
+
+    def test_without_proposer(self):
+        matching = Matching({1: 100})
+        assert matching.without_proposer(1).size == 0
+        assert matching.without_proposer(9) == matching
+
+
+class TestEquality:
+    def test_hash_and_eq_by_pairs(self):
+        a = Matching({1: 100, 2: 101})
+        b = Matching([(2, 101), (1, 100)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Matching({}) != {}

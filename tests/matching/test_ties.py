@@ -1,0 +1,164 @@
+"""Unit tests for SMTI support and Király's approximation algorithm."""
+
+import random
+
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, PreferenceError, Taxi
+from repro.geometry import EuclideanDistance, Point
+from repro.matching import (
+    Matching,
+    TiedPreferenceTable,
+    build_tied_nonsharing_table,
+    find_weak_blocking_pairs,
+    kiraly_max_stable,
+    max_weakly_stable_brute_force,
+    weakly_stable,
+)
+
+
+def random_tied_table(rng, n_proposers, n_reviewers, acceptance=0.7):
+    proposers = list(range(n_proposers))
+    reviewers = list(range(100, 100 + n_reviewers))
+    pairs = [(p, r) for p in proposers for r in reviewers if rng.random() < acceptance]
+    proposer_prefs = {}
+    for p in proposers:
+        acceptable = [r for (q, r) in pairs if q == p]
+        rng.shuffle(acceptable)
+        proposer_prefs[p] = tuple(acceptable)
+    reviewer_prefs = {}
+    for r in reviewers:
+        acceptable = [p for (p, q) in pairs if q == r]
+        rng.shuffle(acceptable)
+        groups = []
+        index = 0
+        while index < len(acceptable):
+            size = rng.randint(1, len(acceptable) - index)
+            groups.append(tuple(sorted(acceptable[index : index + size])))
+            index += size
+        reviewer_prefs[r] = tuple(groups)
+    return TiedPreferenceTable(proposer_prefs=proposer_prefs, reviewer_prefs=reviewer_prefs)
+
+
+class TestTiedPreferenceTable:
+    def test_tie_levels(self):
+        table = TiedPreferenceTable(
+            proposer_prefs={0: (100,), 1: (100,), 2: (100,)},
+            reviewer_prefs={100: ((0, 1), (2,))},
+        )
+        assert table.reviewer_tie_level(100, 0) == 0
+        assert table.reviewer_tie_level(100, 1) == 0
+        assert table.reviewer_tie_level(100, 2) == 1
+        assert table.reviewer_tie_level(100, 9) is None
+
+    def test_rejects_duplicates_and_inconsistency(self):
+        with pytest.raises(PreferenceError):
+            TiedPreferenceTable(
+                proposer_prefs={0: (100,)}, reviewer_prefs={100: ((0,), (0,))}
+            )
+        with pytest.raises(PreferenceError):
+            TiedPreferenceTable(proposer_prefs={0: (100,)}, reviewer_prefs={100: ()})
+
+
+class TestWeakStability:
+    def test_indifferent_reviewer_does_not_block(self):
+        # 1 would love reviewer 100, but 100 is indifferent between 0 and
+        # 1, so (1, 100) does not weakly block.
+        table = TiedPreferenceTable(
+            proposer_prefs={0: (100,), 1: (100, 101)},
+            reviewer_prefs={100: ((0, 1),), 101: ((1,),)},
+        )
+        matching = Matching({0: 100, 1: 101})
+        assert weakly_stable(table, matching)
+
+    def test_strict_preference_blocks(self):
+        table = TiedPreferenceTable(
+            proposer_prefs={0: (100,), 1: (100, 101)},
+            reviewer_prefs={100: ((1,), (0,)), 101: ((1,),)},
+        )
+        matching = Matching({0: 100, 1: 101})
+        assert find_weak_blocking_pairs(table, matching) == [(1, 100)]
+
+    def test_unacceptable_pair_invalid(self):
+        table = TiedPreferenceTable(proposer_prefs={0: ()}, reviewer_prefs={100: ()})
+        assert not weakly_stable(table, Matching({0: 100}))
+
+
+class TestKiraly:
+    def test_output_always_weakly_stable(self):
+        rng = random.Random(0)
+        for _ in range(150):
+            table = random_tied_table(rng, rng.randint(1, 6), rng.randint(1, 6))
+            matching = kiraly_max_stable(table)
+            assert weakly_stable(table, matching)
+
+    def test_two_thirds_guarantee(self):
+        rng = random.Random(1)
+        for _ in range(120):
+            table = random_tied_table(rng, rng.randint(1, 5), rng.randint(1, 5))
+            approx = kiraly_max_stable(table).size
+            optimum = max_weakly_stable_brute_force(table).size
+            if optimum:
+                assert 3 * approx >= 2 * optimum
+
+    def test_promotion_recovers_a_tied_slot(self):
+        # Textbook SMTI case: proposer-optimal GS with arbitrary tie
+        # breaking can strand proposer 1; promotion lets it displace an
+        # equally-ranked rival that has other options.
+        table = TiedPreferenceTable(
+            proposer_prefs={0: (100, 101), 1: (100,)},
+            reviewer_prefs={100: ((0, 1),), 101: ((0,),)},
+        )
+        matching = kiraly_max_stable(table)
+        assert matching.size == 2
+        assert matching.reviewer_of(1) == 100
+        assert matching.reviewer_of(0) == 101
+
+    def test_empty_market(self):
+        table = TiedPreferenceTable(proposer_prefs={}, reviewer_prefs={})
+        assert kiraly_max_stable(table).size == 0
+
+
+class TestTiedDispatchTable:
+    def test_quantization_produces_ties(self):
+        oracle = EuclideanDistance()
+        taxis = [Taxi(0, Point(0, 0))]
+        # Two requests with driver scores 0.301 and 0.349: equal at a
+        # 0.1 km resolution.
+        requests = [
+            PassengerRequest(0, Point(1.301, 0), Point(2.301, 0)),
+            PassengerRequest(1, Point(1.349, 0), Point(2.349, 0)),
+        ]
+        table = build_tied_nonsharing_table(taxis, requests, oracle, resolution_km=0.1)
+        assert table.reviewer_tie_level(0, 0) == table.reviewer_tie_level(0, 1)
+
+    def test_respects_thresholds_and_seats(self):
+        oracle = EuclideanDistance()
+        taxis = [Taxi(0, Point(0, 0), seats=1)]
+        requests = [
+            PassengerRequest(0, Point(50, 0), Point(51, 0)),
+            PassengerRequest(1, Point(1, 0), Point(2, 0), passengers=3),
+        ]
+        config = DispatchConfig(passenger_threshold_km=10.0)
+        table = build_tied_nonsharing_table(taxis, requests, oracle, config)
+        assert table.proposer_prefs[0] == ()
+        assert table.proposer_prefs[1] == ()
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(PreferenceError):
+            build_tied_nonsharing_table([], [], EuclideanDistance(), resolution_km=0.0)
+
+    def test_kiraly_runs_on_dispatch_table(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        oracle = EuclideanDistance()
+        taxis = [Taxi(i, Point(*rng.normal(0, 2, 2))) for i in range(6)]
+        requests = [
+            PassengerRequest(j, Point(*rng.normal(0, 2, 2)), Point(*rng.normal(0, 2, 2)))
+            for j in range(9)
+        ]
+        table = build_tied_nonsharing_table(taxis, requests, oracle, resolution_km=0.5)
+        matching = kiraly_max_stable(table)
+        assert weakly_stable(table, matching)
+        assert matching.size >= 1

@@ -1,0 +1,106 @@
+"""The aligned-preference uniqueness theorem, and its failure under
+driver heterogeneity.
+
+A structural finding of this reproduction: with the paper's preference
+model, a taxi's score for a request is the passenger's score minus a
+*request-only* term (α·trip length).  Around any candidate trading
+cycle, summing the passengers' strict improvement inequalities and the
+taxis' strict improvement inequalities makes the trip terms cancel and
+yields Σ D(t_i, s_i) < Σ D(t_i, s_i) — a contradiction.  Hence no
+rotation exists, the stable lattice is a single point, and NSTD-P
+coincides with NSTD-T on every instance.
+
+Heterogeneous per-driver α (this library's extension) breaks the
+alignment and admits genuine lattices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, PreferenceError, Taxi
+from repro.geometry import EuclideanDistance, ManhattanDistance, Point
+from repro.matching import all_stable_matchings, build_nonsharing_table
+
+
+def random_market(seed, n_taxis, n_requests, oracle_cls=EuclideanDistance):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.normal(0, 3, 2))) for i in range(n_taxis)]
+    requests = [
+        PassengerRequest(j, Point(*rng.normal(0, 3, 2)), Point(*rng.normal(0, 3, 2)))
+        for j in range(n_requests)
+    ]
+    return taxis, requests, oracle_cls()
+
+
+class TestHomogeneousAlphaUniqueness:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_unique_stable_matching_square_market(self, seed):
+        taxis, requests, oracle = random_market(seed, 6, 6)
+        table = build_nonsharing_table(taxis, requests, oracle, DispatchConfig())
+        assert len(all_stable_matchings(table)) == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_unique_with_thresholds_and_unequal_sides(self, seed):
+        taxis, requests, oracle = random_market(seed, 4, 8)
+        config = DispatchConfig(passenger_threshold_km=5.0, taxi_threshold_km=5.0)
+        table = build_nonsharing_table(taxis, requests, oracle, config)
+        assert len(all_stable_matchings(table)) == 1
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.5, 2.0])
+    def test_unique_for_any_alpha(self, alpha):
+        taxis, requests, oracle = random_market(3, 5, 5)
+        table = build_nonsharing_table(taxis, requests, oracle, DispatchConfig(alpha=alpha))
+        assert len(all_stable_matchings(table)) == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_unique_under_manhattan_metric(self, seed):
+        taxis, requests, oracle = random_market(seed, 5, 5, ManhattanDistance)
+        table = build_nonsharing_table(taxis, requests, oracle, DispatchConfig())
+        assert len(all_stable_matchings(table)) == 1
+
+
+class TestHeterogeneousAlpha:
+    def test_can_produce_multiple_stable_matchings(self):
+        # Seed 1 of this construction is a known two-point lattice (see
+        # examples/all_stable_matchings_tour.py).
+        rng = np.random.default_rng(1)
+        oracle = EuclideanDistance()
+        n = 8
+        taxis = [Taxi(i, Point(*rng.normal(0, 3, 2))) for i in range(n)]
+        requests = [
+            PassengerRequest(j, Point(*rng.normal(0, 3, 2)), Point(*rng.normal(0, 3, 2)))
+            for j in range(n)
+        ]
+        alphas = {i: float(rng.uniform(0.0, 4.0)) for i in range(n)}
+        config = DispatchConfig(passenger_threshold_km=9.0, taxi_threshold_km=9.0)
+        table = build_nonsharing_table(taxis, requests, oracle, config, alpha_by_taxi=alphas)
+        assert len(all_stable_matchings(table)) == 2
+
+    def test_missing_ids_fall_back_to_config_alpha(self):
+        taxis, requests, oracle = random_market(0, 3, 3)
+        config = DispatchConfig(alpha=1.0)
+        with_empty = build_nonsharing_table(
+            taxis, requests, oracle, config, alpha_by_taxi={}
+        )
+        without = build_nonsharing_table(taxis, requests, oracle, config)
+        assert with_empty.reviewer_prefs == without.reviewer_prefs
+
+    def test_negative_alpha_rejected(self):
+        taxis, requests, oracle = random_market(0, 2, 2)
+        with pytest.raises(PreferenceError):
+            build_nonsharing_table(
+                taxis, requests, oracle, DispatchConfig(), alpha_by_taxi={0: -1.0}
+            )
+
+    def test_alpha_zero_driver_ranks_by_pickup_distance(self):
+        oracle = EuclideanDistance()
+        taxi = Taxi(0, Point(0, 0))
+        requests = [
+            PassengerRequest(0, Point(1, 0), Point(50, 0)),  # long fare, farther? no: 1 km away
+            PassengerRequest(1, Point(0.5, 0), Point(0.6, 0)),  # tiny fare, nearest
+        ]
+        table = build_nonsharing_table(
+            [taxi], requests, oracle, DispatchConfig(alpha=1.0), alpha_by_taxi={0: 0.0}
+        )
+        # With alpha 0 the driver ignores fares and prefers the nearest.
+        assert table.reviewer_prefs[0] == (1, 0)

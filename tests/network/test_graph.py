@@ -1,0 +1,85 @@
+"""Unit tests for the road network distance oracle."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.network import RoadNetwork, grid_city
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        network = RoadNetwork()
+        network.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            network.add_node(0, Point(1, 1))
+
+    def test_edge_requires_endpoints(self):
+        network = RoadNetwork()
+        network.add_node(0, Point(0, 0))
+        with pytest.raises(KeyError):
+            network.add_edge(0, 1)
+
+    def test_edge_default_length_is_euclidean(self):
+        network = RoadNetwork()
+        network.add_node(0, Point(0, 0))
+        network.add_node(1, Point(3, 4))
+        network.add_edge(0, 1)
+        assert network.node_distance(0, 1) == pytest.approx(5.0)
+
+    def test_negative_length_rejected(self):
+        network = RoadNetwork()
+        network.add_node(0, Point(0, 0))
+        network.add_node(1, Point(1, 0))
+        with pytest.raises(ValueError):
+            network.add_edge(0, 1, -1.0)
+
+    def test_oneway_edge(self):
+        network = RoadNetwork()
+        network.add_node(0, Point(0, 0))
+        network.add_node(1, Point(1, 0))
+        network.add_edge(0, 1, 1.0, oneway=True)
+        assert network.node_distance(0, 1) == 1.0
+        assert network.node_distance(1, 0) == math.inf
+
+    def test_counts(self):
+        network = grid_city(3, 3, 1.0)
+        assert network.node_count == 9
+        # 12 undirected edges => 24 adjacency entries.
+        assert network.edge_count == 24
+
+
+class TestQueries:
+    def test_snap_to_nearest_node(self):
+        network = grid_city(3, 3, 1.0)
+        node, offset = network.snap(Point(0.1, 0.1))
+        assert node == 0
+        assert offset == pytest.approx(math.hypot(0.1, 0.1))
+
+    def test_grid_distance_is_manhattan(self):
+        network = grid_city(5, 5, 1.0)
+        # Corner to corner on the lattice equals the Manhattan distance.
+        d = network.distance(Point(0, 0), Point(4, 4))
+        assert d == pytest.approx(8.0)
+
+    def test_same_snap_uses_direct_distance(self):
+        network = grid_city(3, 3, 1.0)
+        d = network.distance(Point(0.1, 0.0), Point(0.0, 0.1))
+        assert d == pytest.approx(math.hypot(0.1, -0.1))
+
+    def test_distance_includes_snap_offsets(self):
+        network = grid_city(2, 2, 1.0)
+        d = network.distance(Point(-0.3, 0.0), Point(1.3, 0.0))
+        assert d == pytest.approx(0.3 + 1.0 + 0.3)
+
+    def test_empty_network_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().snap(Point(0, 0))
+
+    def test_cache_stats_increase(self):
+        network = grid_city(4, 4, 1.0)
+        network.distance(Point(0, 0), Point(3, 3))
+        network.distance(Point(0, 0), Point(2, 2))
+        hits, misses = network.cache_stats
+        assert hits + misses >= 2

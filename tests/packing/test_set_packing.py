@@ -1,0 +1,142 @@
+"""Unit tests for the maximum set packing solvers."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import PackingError
+from repro.packing import (
+    exact_set_packing,
+    greedy_set_packing,
+    local_search_packing,
+    verify_packing,
+)
+
+
+def brute_force_optimum(sets):
+    normalized = [frozenset(s) for s in sets]
+    best = 0
+    for k in range(len(normalized), 0, -1):
+        for combo in itertools.combinations(range(len(normalized)), k):
+            union = set()
+            ok = True
+            for index in combo:
+                if union & normalized[index]:
+                    ok = False
+                    break
+                union |= normalized[index]
+            if ok:
+                return k
+    return best
+
+
+def random_sets(rng, n_sets, universe, max_size=3):
+    return [
+        frozenset(rng.sample(range(universe), rng.randint(2, max_size)))
+        for _ in range(n_sets)
+    ]
+
+
+class TestVerifyPacking:
+    def test_accepts_disjoint(self):
+        assert verify_packing([{1, 2}, {3, 4}], [0, 1])
+
+    def test_rejects_overlap(self):
+        assert not verify_packing([{1, 2}, {2, 3}], [0, 1])
+
+    def test_rejects_out_of_range_and_duplicates(self):
+        assert not verify_packing([{1}], [1])
+        assert not verify_packing([{1}, {2}], [0, 0])
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(PackingError):
+            verify_packing([set()], [])
+
+
+class TestGreedy:
+    def test_produces_valid_packing(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            sets = random_sets(rng, rng.randint(1, 12), 10)
+            result = greedy_set_packing(sets)
+            assert verify_packing(sets, result.chosen)
+
+    def test_prefers_low_conflict_sets(self):
+        # {4,5} conflicts with nothing; the three mutually overlapping
+        # sets allow only one more pick.
+        sets = [{1, 2}, {2, 3}, {1, 3}, {4, 5}]
+        result = greedy_set_packing(sets)
+        assert 3 in result.chosen
+        assert result.size == 2
+
+    def test_covered_matches_chosen(self):
+        sets = [{1, 2}, {3}]
+        result = greedy_set_packing(sets)
+        assert result.covered == frozenset({1, 2, 3})
+
+    def test_deterministic(self):
+        sets = [{1, 2}, {2, 3}, {3, 4}]
+        assert greedy_set_packing(sets).chosen == greedy_set_packing(sets).chosen
+
+
+class TestLocalSearch:
+    def test_never_worse_than_greedy(self):
+        rng = random.Random(1)
+        for _ in range(40):
+            sets = random_sets(rng, rng.randint(1, 12), 9)
+            greedy = greedy_set_packing(sets)
+            improved = local_search_packing(sets)
+            assert improved.size >= greedy.size
+            assert verify_packing(sets, improved.chosen)
+
+    def test_one_two_swap_improves(self):
+        # Greedy-from-{0} locks {1..4}; swapping it out fits two sets.
+        sets = [{1, 2, 3}, {1, 4}, {2, 5}]
+        result = local_search_packing(sets, initial=[0], swap_out=1)
+        assert result.size == 2
+        assert set(result.chosen) == {1, 2}
+
+    def test_respects_initial_validity(self):
+        with pytest.raises(PackingError):
+            local_search_packing([{1}, {1}], initial=[0, 1])
+
+    def test_rejects_negative_swap(self):
+        with pytest.raises(PackingError):
+            local_search_packing([{1}], swap_out=-1)
+
+    def test_achieves_optimum_on_small_instances(self):
+        rng = random.Random(2)
+        gaps = 0
+        for _ in range(40):
+            sets = random_sets(rng, rng.randint(1, 10), 8)
+            result = local_search_packing(sets, swap_out=2)
+            if result.size < brute_force_optimum(sets):
+                gaps += 1
+        # (2,3)-local search is an approximation; it should be optimal on
+        # the vast majority of tiny instances.
+        assert gaps <= 4
+
+
+class TestExact:
+    def test_matches_brute_force(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            sets = random_sets(rng, rng.randint(1, 11), 9)
+            result = exact_set_packing(sets)
+            assert verify_packing(sets, result.chosen)
+            assert result.size == brute_force_optimum(sets)
+
+    def test_at_least_local_search(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            sets = random_sets(rng, rng.randint(1, 10), 8)
+            assert exact_set_packing(sets).size >= local_search_packing(sets).size
+
+    def test_node_limit_raises(self):
+        sets = [{i, i + 100} for i in range(30)]
+        with pytest.raises(PackingError):
+            exact_set_packing(sets, node_limit=5)
+
+    def test_empty_input(self):
+        assert exact_set_packing([]).size == 0

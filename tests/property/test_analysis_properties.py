@@ -1,0 +1,81 @@
+"""Property-based tests of the analysis helpers."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis import (
+    empirical_cdf,
+    gini,
+    jain_index,
+    ordering_consistency,
+    summarize_samples,
+)
+
+revenues = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=40
+)
+samples = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(revenues)
+def test_gini_bounds(values):
+    g = gini(values)
+    assert -1e-9 <= g <= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(revenues)
+def test_jain_bounds(values):
+    j = jain_index(values)
+    assert 1.0 / len(values) - 1e-9 <= j <= 1.0 + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(revenues, st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+def test_gini_scale_invariance(values, factor):
+    assume(sum(values) > 0)
+    scaled = [factor * v for v in values]
+    assert abs(gini(values) - gini(scaled)) < 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(revenues, st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_gini_decreases_with_flat_transfer(values, bonus):
+    # Adding the same bonus to everyone cannot increase inequality.
+    assume(sum(values) > 0)
+    boosted = [v + bonus for v in values]
+    assert gini(boosted) <= gini(values) + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples)
+def test_summary_interval_contains_mean(values):
+    summary = summarize_samples(values)
+    assert summary.ci_low - 1e-9 <= summary.mean <= summary.ci_high + 1e-9
+    assert summary.n == len(values)
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples)
+def test_cdf_endpoints(values):
+    cdf = empirical_cdf(values)
+    assert cdf.at(min(values) - 1.0) == 0.0
+    assert cdf.at(max(values)) == 1.0
+    assert cdf.quantile(1.0) == max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), min_size=3, max_size=3),
+        min_size=2,
+        max_size=3,
+    )
+)
+def test_ordering_consistency_win_fractions_sum_at_most_one(per_seed):
+    wins = ordering_consistency(per_seed)
+    assert sum(wins.values()) <= 1.0 + 1e-9
+    assert all(0.0 <= fraction <= 1.0 for fraction in wins.values())

@@ -1,0 +1,125 @@
+"""Property-based tests of the lattice operations and SMTI algorithms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.matching import (
+    TiedPreferenceTable,
+    all_stable_matchings,
+    deferred_acceptance,
+    is_stable,
+    join,
+    kiraly_max_stable,
+    lattice_extremes,
+    max_weakly_stable_brute_force,
+    median_stable_matching,
+    meet,
+    taxi_optimal,
+    weakly_stable,
+)
+from repro.matching.preferences import PreferenceTable
+
+REVIEWER_BASE = 1000
+
+
+@st.composite
+def preference_tables(draw, max_side=5):
+    n_proposers = draw(st.integers(min_value=1, max_value=max_side))
+    n_reviewers = draw(st.integers(min_value=1, max_value=max_side))
+    proposers = list(range(n_proposers))
+    reviewers = list(range(REVIEWER_BASE, REVIEWER_BASE + n_reviewers))
+    pairs = [
+        (p, r) for p in proposers for r in reviewers if draw(st.booleans())
+    ]
+    proposer_prefs = {}
+    for p in proposers:
+        acceptable = [r for (q, r) in pairs if q == p]
+        proposer_prefs[p] = tuple(draw(st.permutations(acceptable))) if acceptable else ()
+    reviewer_prefs = {}
+    for r in reviewers:
+        acceptable = [p for (p, q) in pairs if q == r]
+        reviewer_prefs[r] = tuple(draw(st.permutations(acceptable))) if acceptable else ()
+    return PreferenceTable(proposer_prefs=proposer_prefs, reviewer_prefs=reviewer_prefs)
+
+
+@st.composite
+def tied_tables(draw, max_side=5):
+    n_proposers = draw(st.integers(min_value=1, max_value=max_side))
+    n_reviewers = draw(st.integers(min_value=1, max_value=max_side))
+    proposers = list(range(n_proposers))
+    reviewers = list(range(REVIEWER_BASE, REVIEWER_BASE + n_reviewers))
+    pairs = [(p, r) for p in proposers for r in reviewers if draw(st.booleans())]
+    proposer_prefs = {}
+    for p in proposers:
+        acceptable = [r for (q, r) in pairs if q == p]
+        proposer_prefs[p] = tuple(draw(st.permutations(acceptable))) if acceptable else ()
+    reviewer_prefs = {}
+    for r in reviewers:
+        acceptable = list(draw(st.permutations([p for (p, q) in pairs if q == r]))) if any(
+            q == r for (_, q) in pairs
+        ) else []
+        groups = []
+        index = 0
+        while index < len(acceptable):
+            size = draw(st.integers(min_value=1, max_value=len(acceptable) - index))
+            groups.append(tuple(sorted(acceptable[index : index + size])))
+            index += size
+        reviewer_prefs[r] = tuple(groups)
+    return TiedPreferenceTable(proposer_prefs=proposer_prefs, reviewer_prefs=reviewer_prefs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(preference_tables(max_side=4))
+def test_join_meet_closed_over_lattice(table):
+    matchings = all_stable_matchings(table)
+    lattice = set(matchings)
+    for a in matchings:
+        for b in matchings:
+            assert join(table, a, b) in lattice
+            assert meet(table, a, b) in lattice
+
+
+@settings(max_examples=80, deadline=None)
+@given(preference_tables(max_side=4))
+def test_lattice_identities(table):
+    matchings = all_stable_matchings(table)
+    for a in matchings:
+        assert join(table, a, a) == a
+        assert meet(table, a, a) == a
+    for a in matchings:
+        for b in matchings:
+            # Absorption: a ∨ (a ∧ b) = a.
+            assert join(table, a, meet(table, a, b)) == a
+
+
+@settings(max_examples=80, deadline=None)
+@given(preference_tables(max_side=4))
+def test_median_is_stable_and_between_extremes(table):
+    matchings = all_stable_matchings(table)
+    median = median_stable_matching(table, matchings)
+    assert is_stable(table, median)
+    top, bottom = lattice_extremes(table)
+    assert top == deferred_acceptance(table)
+    assert bottom == taxi_optimal(table)
+    # The median lies between the extremes: joining with the top gives
+    # the top, meeting with the bottom gives the bottom.
+    assert join(table, median, top) == top
+    assert meet(table, median, bottom) == bottom
+
+
+@settings(max_examples=100, deadline=None)
+@given(tied_tables(max_side=4))
+def test_kiraly_weakly_stable_and_two_thirds(table):
+    matching = kiraly_max_stable(table)
+    assert weakly_stable(table, matching)
+    optimum = max_weakly_stable_brute_force(table)
+    if optimum.size:
+        assert 3 * matching.size >= 2 * optimum.size
+
+
+@settings(max_examples=100, deadline=None)
+@given(tied_tables(max_side=4))
+def test_kiraly_matches_only_acceptable_pairs(table):
+    matching = kiraly_max_stable(table)
+    for proposer, reviewer in matching.pairs:
+        assert table.proposer_rank(proposer, reviewer) is not None
+        assert table.reviewer_tie_level(reviewer, proposer) is not None

@@ -1,0 +1,69 @@
+"""Property-based tests of the set-packing solvers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packing import (
+    exact_set_packing,
+    greedy_set_packing,
+    local_search_packing,
+    verify_packing,
+)
+
+
+@st.composite
+def set_families(draw, max_sets=9, universe=9):
+    n = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = []
+    for _ in range(n):
+        size = draw(st.integers(min_value=1, max_value=3))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=universe - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        sets.append(frozenset(members))
+    return sets
+
+
+@settings(max_examples=120, deadline=None)
+@given(set_families())
+def test_all_solvers_produce_valid_packings(sets):
+    for result in (greedy_set_packing(sets), local_search_packing(sets), exact_set_packing(sets)):
+        assert verify_packing(sets, result.chosen)
+        union = set()
+        for index in result.chosen:
+            union |= set(sets[index])
+        assert union == set(result.covered)
+
+
+@settings(max_examples=120, deadline=None)
+@given(set_families())
+def test_solver_quality_ordering(sets):
+    greedy = greedy_set_packing(sets).size
+    local = local_search_packing(sets).size
+    exact = exact_set_packing(sets).size
+    assert greedy <= local <= exact
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_families(max_sets=7, universe=7))
+def test_local_search_meets_cited_ratio(sets):
+    # The paper cites a (max|c| + 2)/3 approximation for MSPP [21]; with
+    # |c| <= 3 that is 5/3.  Local search must never fall below it.
+    local = local_search_packing(sets, swap_out=2).size
+    exact = exact_set_packing(sets).size
+    assert 3 * local >= 3 * exact / (5 / 3) - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_families())
+def test_exact_is_maximal(sets):
+    # No unused set can be disjoint from an optimal packing's cover
+    # (otherwise the packing was not maximum).
+    result = exact_set_packing(sets)
+    for index, members in enumerate(sets):
+        if index not in result.chosen:
+            assert set(members) & set(result.covered)

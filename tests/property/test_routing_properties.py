@@ -1,0 +1,105 @@
+"""Property-based tests of the shared-route optimizer."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PassengerRequest
+from repro.geometry import EuclideanDistance, ManhattanDistance, Point
+from repro.routing import feasible_shared_route, optimal_shared_route
+
+ORACLE = EuclideanDistance()
+
+coordinate = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def request_groups(draw, max_size=3):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    requests = []
+    for i in range(n):
+        sx, sy, dx, dy = (draw(coordinate) for _ in range(4))
+        requests.append(PassengerRequest(i, Point(sx, sy), Point(dx, dy)))
+    return requests
+
+
+@settings(max_examples=150, deadline=None)
+@given(request_groups())
+def test_route_visits_each_stop_once_with_precedence(requests):
+    route = optimal_shared_route(requests, ORACLE)
+    assert len(route.stops) == 2 * len(requests)
+    picked = set()
+    dropped = set()
+    for stop in route.stops:
+        if stop.is_pickup:
+            assert stop.request_id not in picked
+            picked.add(stop.request_id)
+        else:
+            assert stop.request_id in picked
+            assert stop.request_id not in dropped
+            dropped.add(stop.request_id)
+    assert picked == dropped == {r.request_id for r in requests}
+
+
+@settings(max_examples=150, deadline=None)
+@given(request_groups())
+def test_onboard_dominates_direct_distance(requests):
+    # Triangle inequality: riding along the shared route can never beat
+    # the direct trip.
+    route = optimal_shared_route(requests, ORACLE)
+    for r in requests:
+        assert route.onboard_km[r.request_id] >= r.trip_distance(ORACLE) - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(request_groups())
+def test_route_length_not_longer_than_sequential_service(requests):
+    # Serving members one-by-one in id order is one feasible sequence, so
+    # the optimum cannot exceed it.
+    route = optimal_shared_route(requests, ORACLE)
+    sequential = 0.0
+    previous = None
+    for r in sorted(requests, key=lambda r: r.request_id):
+        if previous is not None:
+            sequential += ORACLE.distance(previous, r.pickup)
+        sequential += r.trip_distance(ORACLE)
+        previous = r.dropoff
+    assert route.length_km <= sequential + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(request_groups(max_size=2), st.floats(min_value=0.0, max_value=5.0))
+def test_detour_constrained_route_respects_bound(requests, theta):
+    route = feasible_shared_route(requests, ORACLE, max_detour_km=theta)
+    if route is None:
+        return
+    for r in requests:
+        assert route.detour_km(r, ORACLE) <= theta + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(request_groups(max_size=2))
+def test_constrained_never_shorter_than_unconstrained(requests):
+    unconstrained = optimal_shared_route(requests, ORACLE)
+    constrained = feasible_shared_route(requests, ORACLE, max_detour_km=1.0)
+    if constrained is not None:
+        assert constrained.length_km >= unconstrained.length_km - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(request_groups(max_size=3))
+def test_offsets_consistent_with_length(requests):
+    route = optimal_shared_route(requests, ORACLE)
+    # Every pickup offset and onboard distance fits inside the route.
+    for rid, offset in route.pickup_offset_km.items():
+        assert -1e-9 <= offset <= route.length_km + 1e-9
+        assert route.onboard_km[rid] <= route.length_km - offset + 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_groups(max_size=2))
+def test_manhattan_oracle_also_metric_safe(requests):
+    oracle = ManhattanDistance()
+    route = optimal_shared_route(requests, oracle)
+    for r in requests:
+        assert route.onboard_km[r.request_id] >= r.trip_distance(oracle) - 1e-9

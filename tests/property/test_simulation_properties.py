@@ -1,0 +1,101 @@
+"""Property-based tests of simulation invariants.
+
+Random small workloads, random dispatcher — the engine must always keep
+its books consistent: no taxi double-booked, delays non-negative and
+frame-quantized, pickups before dropoffs, every served request's records
+complete.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DispatchConfig, PassengerRequest, SimulationConfig, Taxi
+from repro.dispatch import (
+    GreedyNearestDispatcher,
+    MinCostDispatcher,
+    SARPDispatcher,
+    nstd_p,
+    std_p,
+)
+from repro.geometry import EuclideanDistance, Point
+from repro.simulation import Simulator
+
+ORACLE = EuclideanDistance()
+
+coordinate = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def workloads(draw):
+    n_taxis = draw(st.integers(min_value=1, max_value=4))
+    n_requests = draw(st.integers(min_value=1, max_value=10))
+    taxis = [
+        Taxi(i, Point(draw(coordinate), draw(coordinate))) for i in range(n_taxis)
+    ]
+    requests = []
+    for j in range(n_requests):
+        requests.append(
+            PassengerRequest(
+                j,
+                Point(draw(coordinate), draw(coordinate)),
+                Point(draw(coordinate), draw(coordinate)),
+                request_time_s=float(draw(st.integers(min_value=0, max_value=1800))),
+            )
+        )
+    return taxis, requests
+
+
+DISPATCHER_FACTORIES = [
+    lambda config: nstd_p(ORACLE, config),
+    lambda config: GreedyNearestDispatcher(ORACLE, config),
+    lambda config: MinCostDispatcher(ORACLE, config),
+    lambda config: std_p(ORACLE, config),
+    lambda config: SARPDispatcher(ORACLE, config),
+]
+
+
+def run_simulation(taxis, requests, factory):
+    config = SimulationConfig(
+        frame_length_s=60.0,
+        taxi_speed_kmh=30.0,
+        horizon_s=3600.0,
+        dispatch=DispatchConfig(),
+    )
+    dispatcher = factory(config.dispatch)
+    return Simulator(dispatcher, ORACLE, config, overrun_s=7200.0).run(taxis, requests)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads(), st.sampled_from(range(len(DISPATCHER_FACTORIES))))
+def test_engine_invariants(workload, dispatcher_index):
+    taxis, requests = workload
+    result = run_simulation(taxis, requests, DISPATCHER_FACTORIES[dispatcher_index])
+
+    assert len(result.outcomes) == len(requests)
+
+    # Served requests have a complete, ordered record.
+    for outcome in result.outcomes:
+        if outcome.served:
+            assert outcome.dispatch_time_s >= outcome.request_time_s
+            assert outcome.dispatch_time_s % 60.0 == 0.0  # frame boundary
+            assert outcome.pickup_time_s >= outcome.dispatch_time_s - 1e-9
+            assert outcome.dropoff_time_s >= outcome.pickup_time_s - 1e-9
+            assert outcome.passenger_dissatisfaction is not None
+            assert outcome.taxi_id is not None
+            assert outcome.group_size >= 1
+        else:
+            assert outcome.pickup_time_s is None or outcome.abandoned is False
+
+    # No taxi serves overlapping assignments: records per taxi must have
+    # strictly increasing frame times (a taxi is only re-dispatched after
+    # completing its plan).
+    by_taxi = {}
+    for record in result.assignments:
+        by_taxi.setdefault(record.taxi_id, []).append(record.frame_time_s)
+    for times in by_taxi.values():
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    # Served request ids across assignments are unique and match outcomes.
+    served_in_records = [rid for a in result.assignments for rid in a.request_ids]
+    assert len(served_in_records) == len(set(served_in_records))
+    assert set(served_in_records) == {o.request_id for o in result.outcomes if o.served}

@@ -1,0 +1,174 @@
+"""Unit tests for the exhaustive shared-route optimizer."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import PassengerRequest, RoutingError
+from repro.geometry import EuclideanDistance, Point
+from repro.routing import (
+    MAX_EXHAUSTIVE_GROUP,
+    build_ride_group,
+    count_feasible_sequences,
+    optimal_shared_route,
+)
+
+
+@pytest.fixture()
+def oracle():
+    return EuclideanDistance()
+
+
+def request(rid, sx, sy, dx, dy):
+    return PassengerRequest(rid, Point(sx, sy), Point(dx, dy))
+
+
+def brute_force_route_length(requests, oracle, start=None):
+    """Reference: best length over ALL stop permutations with precedence."""
+    stops = []
+    for r in requests:
+        stops.append((r.request_id, True, r.pickup))
+        stops.append((r.request_id, False, r.dropoff))
+    best = math.inf
+    for order in itertools.permutations(stops):
+        seen = set()
+        ok = True
+        for rid, is_pickup, _ in order:
+            if is_pickup:
+                seen.add(rid)
+            elif rid not in seen:
+                ok = False
+                break
+        if not ok:
+            continue
+        length = 0.0
+        previous = start
+        for _, _, point in order:
+            if previous is not None:
+                length += oracle.distance(previous, point)
+            previous = point
+        best = min(best, length)
+    return best
+
+
+class TestSequenceCounting:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 6), (3, 90), (4, 2520)])
+    def test_formula(self, n, expected):
+        assert count_feasible_sequences(n) == expected
+
+    def test_paper_quote_for_three(self):
+        # The paper: "there exists in total 6!/(2!2!2!) = 90 different
+        # feasible sequences" for |c_k| = 3.
+        assert count_feasible_sequences(3) == 90
+
+
+class TestOptimalRoute:
+    def test_single_request_route(self, oracle):
+        route = optimal_shared_route([request(1, 0, 0, 3, 4)], oracle)
+        assert route.length_km == pytest.approx(5.0)
+        assert route.onboard_km[1] == pytest.approx(5.0)
+        assert route.pickup_offset_km[1] == 0.0
+        assert [s.is_pickup for s in route.stops] == [True, False]
+
+    def test_nested_trips_interleave(self, oracle):
+        route = optimal_shared_route(
+            [request(1, 0, 0, 4, 0), request(2, 1, 0, 3, 0)], oracle
+        )
+        assert route.length_km == pytest.approx(4.0)
+        assert [(s.request_id, s.is_pickup) for s in route.stops] == [
+            (1, True),
+            (2, True),
+            (2, False),
+            (1, False),
+        ]
+
+    def test_matches_brute_force_on_random_groups(self, oracle):
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            n = int(rng.integers(1, 4))
+            requests = [
+                request(i, *rng.uniform(-5, 5, 2), *rng.uniform(-5, 5, 2))
+                for i in range(n)
+            ]
+            route = optimal_shared_route(requests, oracle)
+            assert route.length_km == pytest.approx(
+                brute_force_route_length(requests, oracle)
+            )
+
+    def test_start_anchors_objective(self, oracle):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            requests = [
+                request(i, *rng.uniform(-5, 5, 2), *rng.uniform(-5, 5, 2))
+                for i in range(2)
+            ]
+            start = Point(*rng.uniform(-5, 5, 2))
+            route = optimal_shared_route(requests, oracle, start=start)
+            expected = brute_force_route_length(requests, oracle, start=start)
+            got = oracle.distance(start, route.stops[0].point) + sum(
+                oracle.distance(a.point, b.point)
+                for a, b in zip(route.stops, route.stops[1:])
+            )
+            assert got == pytest.approx(expected)
+
+    def test_pickup_always_precedes_dropoff(self, oracle):
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            requests = [
+                request(i, *rng.uniform(-5, 5, 2), *rng.uniform(-5, 5, 2))
+                for i in range(3)
+            ]
+            route = optimal_shared_route(requests, oracle)
+            picked = set()
+            for stop in route.stops:
+                if stop.is_pickup:
+                    picked.add(stop.request_id)
+                else:
+                    assert stop.request_id in picked
+
+    def test_onboard_at_least_direct_for_metric(self, oracle):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            requests = [
+                request(i, *rng.uniform(-5, 5, 2), *rng.uniform(-5, 5, 2))
+                for i in range(3)
+            ]
+            route = optimal_shared_route(requests, oracle)
+            for r in requests:
+                assert route.onboard_km[r.request_id] >= r.trip_distance(oracle) - 1e-9
+                assert route.detour_km(r, oracle) >= -1e-9
+
+    def test_deterministic_tie_break(self, oracle):
+        # Two identical-geometry requests: ties must resolve identically.
+        requests = [request(1, 0, 0, 1, 0), request(2, 0, 0, 1, 0)]
+        a = optimal_shared_route(requests, oracle)
+        b = optimal_shared_route(requests, oracle)
+        assert [(s.request_id, s.is_pickup) for s in a.stops] == [
+            (s.request_id, s.is_pickup) for s in b.stops
+        ]
+
+    def test_rejects_empty_group(self, oracle):
+        with pytest.raises(RoutingError):
+            optimal_shared_route([], oracle)
+
+    def test_rejects_oversized_group(self, oracle):
+        requests = [request(i, 0, 0, 1, 0) for i in range(MAX_EXHAUSTIVE_GROUP + 1)]
+        with pytest.raises(RoutingError):
+            optimal_shared_route(requests, oracle)
+
+    def test_rejects_duplicate_ids(self, oracle):
+        with pytest.raises(RoutingError):
+            optimal_shared_route([request(1, 0, 0, 1, 0), request(1, 2, 0, 3, 0)], oracle)
+
+
+class TestBuildRideGroup:
+    def test_group_carries_route_data(self, oracle):
+        group = build_ride_group(7, [request(2, 1, 0, 3, 0), request(1, 0, 0, 4, 0)], oracle)
+        assert group.group_id == 7
+        assert group.request_ids == (1, 2)  # sorted by id
+        assert group.route_length_km == pytest.approx(4.0)
+        assert group.route_start == Point(0, 0)
+        assert group.onboard_distance_km[2] == pytest.approx(2.0)
+        assert group.pickup_offset_km[2] == pytest.approx(1.0)

@@ -1,0 +1,171 @@
+"""Unit tests for the frame-batched simulation engine."""
+
+import math
+
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, SimulationConfig, Taxi
+from repro.dispatch import GreedyNearestDispatcher, nstd_p
+from repro.geometry import EuclideanDistance, Point
+from repro.simulation import Simulator
+
+
+@pytest.fixture()
+def oracle():
+    return EuclideanDistance()
+
+
+def fast_config(**kwargs):
+    defaults = dict(
+        frame_length_s=60.0,
+        taxi_speed_kmh=60.0,  # 1 km per minute keeps numbers round
+        horizon_s=3600.0,
+        dispatch=DispatchConfig(),
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestBasicFlow:
+    def test_single_request_lifecycle(self, oracle):
+        config = fast_config()
+        taxis = [Taxi(0, Point(0, 0))]
+        requests = [PassengerRequest(0, Point(1, 0), Point(3, 0), request_time_s=30.0)]
+        simulator = Simulator(nstd_p(oracle, config.dispatch), oracle, config)
+        result = simulator.run(taxis, requests)
+        (outcome,) = result.outcomes
+        # Dispatched at the first frame boundary after arrival (t = 60 s).
+        assert outcome.dispatch_time_s == 60.0
+        assert outcome.dispatch_delay_s == pytest.approx(30.0)
+        assert outcome.pickup_time_s == pytest.approx(60.0 + 60.0)
+        assert outcome.dropoff_time_s == pytest.approx(60.0 + 60.0 + 120.0)
+        assert outcome.passenger_dissatisfaction == pytest.approx(1.0)
+        assert result.service_rate == 1.0
+        (record,) = result.assignments
+        assert record.taxi_dissatisfaction == pytest.approx(1.0 - 2.0)
+        assert record.revenue_km == pytest.approx(2.0)
+
+    def test_busy_taxi_queues_second_request(self, oracle):
+        config = fast_config()
+        taxis = [Taxi(0, Point(0, 0))]
+        requests = [
+            PassengerRequest(0, Point(1, 0), Point(10, 0), request_time_s=10.0),
+            PassengerRequest(1, Point(10, 0), Point(11, 0), request_time_s=20.0),
+        ]
+        result = Simulator(nstd_p(oracle, config.dispatch), oracle, config).run(taxis, requests)
+        first, second = result.outcomes
+        assert first.dispatch_time_s == 60.0
+        # The 10 km plan takes 600 s, so the taxi frees exactly at the
+        # 660 s frame boundary and the queued request goes out then.
+        assert second.dispatch_time_s == pytest.approx(660.0)
+        assert second.dispatch_delay_s == pytest.approx(640.0)
+
+    def test_results_deterministic(self, oracle):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        taxis = [Taxi(i, Point(*rng.normal(0, 2, 2))) for i in range(3)]
+        requests = [
+            PassengerRequest(
+                j,
+                Point(*rng.normal(0, 2, 2)),
+                Point(*rng.normal(0, 2, 2)),
+                request_time_s=float(rng.uniform(0, 1800)),
+            )
+            for j in range(15)
+        ]
+        config = fast_config()
+        run = lambda: Simulator(  # noqa: E731
+            GreedyNearestDispatcher(oracle, config.dispatch), oracle, config
+        ).run(taxis, requests)
+        a, b = run(), run()
+        assert [(o.request_id, o.dispatch_time_s) for o in a.outcomes] == [
+            (o.request_id, o.dispatch_time_s) for o in b.outcomes
+        ]
+
+
+class TestPatience:
+    def test_requests_expire(self, oracle):
+        config = fast_config(passenger_patience_s=120.0)
+        # No taxis at all: every request must eventually be abandoned.
+        taxis = [Taxi(0, Point(1000.0, 0.0))]
+        dispatch = DispatchConfig(passenger_threshold_km=5.0)
+        config = SimulationConfig(
+            frame_length_s=60.0,
+            taxi_speed_kmh=60.0,
+            horizon_s=1800.0,
+            passenger_patience_s=120.0,
+            dispatch=dispatch,
+        )
+        requests = [PassengerRequest(0, Point(0, 0), Point(1, 0), request_time_s=0.0)]
+        result = Simulator(
+            GreedyNearestDispatcher(oracle, dispatch), oracle, config, overrun_s=600.0
+        ).run(taxis, requests)
+        (outcome,) = result.outcomes
+        assert not outcome.served
+        assert outcome.abandoned
+
+    def test_infinite_patience_keeps_queueing(self, oracle):
+        config = fast_config(passenger_patience_s=math.inf)
+        taxis = [Taxi(0, Point(0, 0))]
+        requests = [
+            PassengerRequest(j, Point(1, 0), Point(2, 0), request_time_s=0.0) for j in range(5)
+        ]
+        result = Simulator(nstd_p(oracle, config.dispatch), oracle, config).run(taxis, requests)
+        assert result.service_rate == 1.0
+
+
+class TestResultViews:
+    def _result(self, oracle):
+        config = fast_config()
+        taxis = [Taxi(0, Point(0, 0)), Taxi(1, Point(5, 0))]
+        requests = [
+            PassengerRequest(0, Point(1, 0), Point(2, 0), request_time_s=0.0),
+            PassengerRequest(1, Point(4, 0), Point(3, 0), request_time_s=0.0),
+        ]
+        return Simulator(nstd_p(oracle, config.dispatch), oracle, config).run(taxis, requests)
+
+    def test_summary_keys(self, oracle):
+        summary = self._result(oracle).summary()
+        assert set(summary) == {
+            "service_rate",
+            "mean_dispatch_delay_min",
+            "mean_passenger_dissatisfaction",
+            "mean_taxi_dissatisfaction",
+            "shared_ride_fraction",
+        }
+
+    def test_views_consistent(self, oracle):
+        result = self._result(oracle)
+        assert len(result.served) + len(result.unserved) == len(result.outcomes)
+        assert len(result.dispatch_delays_min()) == len(result.served)
+        assert len(result.passenger_dissatisfactions()) == len(result.served)
+        assert len(result.taxi_dissatisfactions()) == len(result.assignments)
+        assert result.shared_ride_fraction == 0.0
+
+    def test_errors_on_duplicate_ids(self, oracle):
+        config = fast_config()
+        simulator = Simulator(nstd_p(oracle, config.dispatch), oracle, config)
+        with pytest.raises(Exception):
+            simulator.run([Taxi(0, Point(0, 0)), Taxi(0, Point(1, 0))], [])
+        with pytest.raises(Exception):
+            simulator.run(
+                [Taxi(0, Point(0, 0))],
+                [
+                    PassengerRequest(1, Point(0, 0), Point(1, 0)),
+                    PassengerRequest(1, Point(0, 0), Point(1, 0)),
+                ],
+            )
+
+    def test_requests_beyond_deadline_unserved(self, oracle):
+        dispatch = DispatchConfig()
+        config = SimulationConfig(
+            frame_length_s=60.0, taxi_speed_kmh=60.0, horizon_s=600.0, dispatch=dispatch
+        )
+        taxis = [Taxi(0, Point(0, 0))]
+        # Request arrives after horizon + overrun.
+        requests = [PassengerRequest(0, Point(1, 0), Point(2, 0), request_time_s=5000.0)]
+        result = Simulator(
+            nstd_p(oracle, dispatch), oracle, config, overrun_s=60.0
+        ).run(taxis, requests)
+        assert result.service_rate == 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for per-frame telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, SimulationConfig, Taxi
+from repro.dispatch import nstd_p, std_p
+from repro.geometry import EuclideanDistance, Point
+from repro.simulation import Simulator
+
+
+@pytest.fixture()
+def oracle():
+    return EuclideanDistance()
+
+
+def run(oracle, requests, taxis, dispatcher_factory=nstd_p, **config_kwargs):
+    defaults = dict(
+        frame_length_s=60.0, taxi_speed_kmh=60.0, horizon_s=1800.0, dispatch=DispatchConfig()
+    )
+    defaults.update(config_kwargs)
+    config = SimulationConfig(**defaults)
+    return Simulator(dispatcher_factory(oracle, config.dispatch), oracle, config).run(
+        taxis, requests
+    )
+
+
+class TestFrameStats:
+    def test_dispatched_totals_match_outcomes(self, oracle):
+        rng = np.random.default_rng(0)
+        taxis = [Taxi(i, Point(*rng.normal(0, 2, 2))) for i in range(3)]
+        requests = [
+            PassengerRequest(
+                j,
+                Point(*rng.normal(0, 2, 2)),
+                Point(*rng.normal(0, 2, 2)),
+                request_time_s=float(rng.uniform(0, 900)),
+            )
+            for j in range(20)
+        ]
+        result = run(oracle, requests, taxis)
+        assert sum(f.dispatched_requests for f in result.frame_stats) == len(result.served)
+        assert sum(f.dispatched_taxis for f in result.frame_stats) == len(result.assignments)
+        assert len(result.frame_stats) == result.frames_run
+
+    def test_frame_times_increase_by_frame_length(self, oracle):
+        taxis = [Taxi(0, Point(0, 0))]
+        requests = [PassengerRequest(0, Point(1, 0), Point(2, 0))]
+        result = run(oracle, requests, taxis)
+        times = [f.time_s for f in result.frame_stats]
+        assert all(b - a == pytest.approx(60.0) for a, b in zip(times, times[1:]))
+
+    def test_queue_builds_when_taxi_busy(self, oracle):
+        taxis = [Taxi(0, Point(0, 0))]
+        # One long ride blocks the taxi while three more requests arrive.
+        requests = [PassengerRequest(0, Point(1, 0), Point(20, 0), request_time_s=0.0)] + [
+            PassengerRequest(j, Point(1, 0), Point(2, 0), request_time_s=100.0) for j in (1, 2, 3)
+        ]
+        result = run(oracle, requests, taxis, horizon_s=3600.0)
+        peak_queue = max(f.queue_length for f in result.frame_stats)
+        assert peak_queue >= 3
+
+    def test_abandonment_counted(self, oracle):
+        taxis = [Taxi(0, Point(1000.0, 0.0))]
+        requests = [PassengerRequest(0, Point(0, 0), Point(1, 0))]
+        result = run(
+            oracle,
+            requests,
+            taxis,
+            passenger_patience_s=120.0,
+            dispatch=DispatchConfig(passenger_threshold_km=5.0),
+        )
+        assert sum(f.abandoned for f in result.frame_stats) == 1
+
+    def test_sharing_dispatcher_counts_group_assignments(self, oracle):
+        taxis = [Taxi(0, Point(0, 0))]
+        requests = [
+            PassengerRequest(1, Point(0, 0), Point(4, 0), request_time_s=0.0),
+            PassengerRequest(2, Point(1, 0), Point(3, 0), request_time_s=0.0),
+        ]
+        result = run(oracle, requests, taxis, dispatcher_factory=std_p)
+        dispatch_frame = next(f for f in result.frame_stats if f.dispatched_requests)
+        assert dispatch_frame.dispatched_requests == 2
+        assert dispatch_frame.dispatched_taxis == 1  # one shared ride

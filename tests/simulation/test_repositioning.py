@@ -1,0 +1,111 @@
+"""Unit tests for idle-taxi repositioning policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, SimulationConfig, Taxi
+from repro.dispatch import nstd_p
+from repro.geometry import EuclideanDistance, Point
+from repro.simulation import (
+    DriftToAnchor,
+    DriftToRecentDemand,
+    NoRepositioning,
+    RepositioningPolicy,
+    Simulator,
+)
+
+
+class TestStepToward:
+    def test_reaches_close_target(self):
+        assert RepositioningPolicy.step_toward(Point(0, 0), Point(1, 0), 5.0) == Point(1, 0)
+
+    def test_partial_step(self):
+        moved = RepositioningPolicy.step_toward(Point(0, 0), Point(10, 0), 2.0)
+        assert moved == Point(2.0, 0.0)
+
+    def test_zero_gap(self):
+        assert RepositioningPolicy.step_toward(Point(1, 1), Point(1, 1), 2.0) == Point(1, 1)
+
+
+class TestPolicies:
+    def test_no_repositioning(self):
+        assert NoRepositioning().target_for(0, Point(5, 5)) is None
+
+    def test_anchor_with_deadband(self):
+        policy = DriftToAnchor(Point(0, 0), deadband_km=1.0)
+        assert policy.target_for(0, Point(0.5, 0)) is None
+        assert policy.target_for(0, Point(3, 0)) == Point(0, 0)
+
+    def test_anchor_rejects_negative_deadband(self):
+        with pytest.raises(ValueError):
+            DriftToAnchor(Point(0, 0), deadband_km=-1.0)
+
+    def test_demand_centroid_tracks_observations(self):
+        policy = DriftToRecentDemand(window=2)
+        assert policy.centroid is None
+        policy.observe_requests(
+            [
+                PassengerRequest(0, Point(2, 0), Point(3, 0)),
+                PassengerRequest(1, Point(4, 0), Point(5, 0)),
+            ]
+        )
+        assert policy.centroid == Point(3, 0)
+        # Window evicts the oldest pickup.
+        policy.observe_requests([PassengerRequest(2, Point(6, 0), Point(7, 0))])
+        assert policy.centroid == Point(5, 0)
+
+    def test_demand_fallback(self):
+        policy = DriftToRecentDemand(window=3, fallback=Point(1, 1))
+        assert policy.target_for(0, Point(9, 9)) == Point(1, 1)
+
+    def test_demand_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            DriftToRecentDemand(window=0)
+
+
+class TestEngineIntegration:
+    def _workload(self):
+        rng = np.random.default_rng(3)
+        taxis = [Taxi(i, Point(*rng.normal(0, 1, 2))) for i in range(4)]
+        requests = []
+        for j in range(60):
+            pickup = Point(*rng.normal(0, 1, 2))
+            angle = rng.uniform(0, 2 * np.pi)
+            dropoff = Point(pickup.x + 4 * np.cos(angle), pickup.y + 4 * np.sin(angle))
+            requests.append(
+                PassengerRequest(j, pickup, dropoff, request_time_s=float(rng.uniform(0, 3600)))
+            )
+        return taxis, requests
+
+    def _run(self, policy):
+        oracle = EuclideanDistance()
+        config = SimulationConfig(
+            frame_length_s=60.0, taxi_speed_kmh=30.0, horizon_s=3600.0, dispatch=DispatchConfig()
+        )
+        taxis, requests = self._workload()
+        return Simulator(
+            nstd_p(oracle, config.dispatch), oracle, config, repositioning=policy
+        ).run(taxis, requests)
+
+    def test_anchor_cruising_cuts_pickup_distances(self):
+        # Trips radiate 4 km out of a 1 km demand core, so parked taxis
+        # strand far away; drifting home must reduce mean pickup distance.
+        parked = self._run(None).summary()["mean_passenger_dissatisfaction"]
+        cruising = self._run(DriftToAnchor(Point(0, 0))).summary()[
+            "mean_passenger_dissatisfaction"
+        ]
+        assert cruising < parked
+
+    def test_none_equals_no_repositioning_policy(self):
+        a = self._run(None)
+        b = self._run(NoRepositioning())
+        assert [(o.request_id, o.dispatch_time_s) for o in a.outcomes] == [
+            (o.request_id, o.dispatch_time_s) for o in b.outcomes
+        ]
+
+    def test_all_requests_still_accounted_for(self):
+        result = self._run(DriftToRecentDemand(window=20))
+        assert len(result.outcomes) == 60
+        for outcome in result.outcomes:
+            if outcome.served:
+                assert outcome.dropoff_time_s is not None

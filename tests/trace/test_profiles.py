@@ -1,0 +1,122 @@
+"""Unit tests for the calibrated city profiles."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.trace import COMMUTER_HOURLY_WEIGHTS, CityProfile, boston_profile, nyc_profile
+
+
+class TestCalibration:
+    def test_nyc_volume_matches_trace(self):
+        profile = nyc_profile()
+        # 1,445,285 requests over January's 31 days.
+        assert profile.daily_requests == pytest.approx(1_445_285 / 31, abs=1.0)
+        assert profile.n_taxis == 700
+
+    def test_boston_volume_matches_trace(self):
+        profile = boston_profile()
+        # 406,247 requests over September's 30 days.
+        assert profile.daily_requests == pytest.approx(406_247 / 30, abs=1.0)
+        assert profile.n_taxis == 200
+
+    def test_nyc_covers_larger_area_than_boston(self):
+        assert nyc_profile().pickup_sigma_km > boston_profile().pickup_sigma_km
+
+    def test_commuter_weights_peak_at_rush_hours(self):
+        weights = COMMUTER_HOURLY_WEIGHTS
+        morning_peak = max(range(6, 12), key=lambda h: weights[h])
+        evening_peak = max(range(12, 24), key=lambda h: weights[h])
+        assert morning_peak == 9
+        assert evening_peak == 18
+
+    def test_normalized_weights_sum_to_one(self):
+        assert sum(nyc_profile().normalized_hourly_weights) == pytest.approx(1.0)
+
+
+class TestScaling:
+    def test_scaled_preserves_ratio(self):
+        profile = boston_profile()
+        scaled = profile.scaled(0.1)
+        original_ratio = profile.daily_requests / profile.n_taxis
+        scaled_ratio = scaled.daily_requests / scaled.n_taxis
+        assert scaled_ratio == pytest.approx(original_ratio, rel=0.05)
+
+    def test_scaled_never_empty(self):
+        tiny = boston_profile().scaled(1e-6)
+        assert tiny.daily_requests >= 1
+        assert tiny.n_taxis >= 1
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            boston_profile().scaled(0.0)
+
+    def test_dynamic_similarity_space_scale(self):
+        import math
+
+        profile = boston_profile()
+        scaled = profile.scaled(0.04)
+        assert scaled.space_scale == pytest.approx(0.2)
+        # Every length shrinks by sqrt(factor): sigmas, hotspots, trips.
+        assert scaled.pickup_sigma_km == pytest.approx(0.2 * profile.pickup_sigma_km)
+        assert scaled.taxi_sigma_km == pytest.approx(0.2 * profile.taxi_sigma_km)
+        x, y, sigma, weight = scaled.demand_hotspots[0]
+        x0, y0, sigma0, weight0 = profile.demand_hotspots[0]
+        assert (x, y, sigma) == pytest.approx((0.2 * x0, 0.2 * y0, 0.2 * sigma0))
+        assert weight == weight0
+        assert scaled.trip_length_mean_log == pytest.approx(
+            profile.trip_length_mean_log + math.log(0.2)
+        )
+
+    def test_scaling_composes(self):
+        once = boston_profile().scaled(0.25).scaled(0.25)
+        direct = boston_profile().scaled(0.0625)
+        assert once.space_scale == pytest.approx(direct.space_scale)
+        assert once.pickup_sigma_km == pytest.approx(direct.pickup_sigma_km)
+
+    def test_shrink_geometry_false_keeps_lengths(self):
+        profile = boston_profile()
+        scaled = profile.scaled(0.1, shrink_geometry=False)
+        assert scaled.space_scale == 1.0
+        assert scaled.pickup_sigma_km == profile.pickup_sigma_km
+        assert scaled.trip_length_mean_log == profile.trip_length_mean_log
+
+    def test_with_taxis_preserves_space_scale(self):
+        scaled = boston_profile().scaled(0.04).with_taxis(99)
+        assert scaled.space_scale == pytest.approx(0.2)
+
+    def test_with_taxis(self):
+        profile = boston_profile().with_taxis(123)
+        assert profile.n_taxis == 123
+        assert profile.daily_requests == boston_profile().daily_requests
+
+
+class TestValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="x",
+            daily_requests=100,
+            n_taxis=10,
+            pickup_sigma_km=2.0,
+            trip_length_mean_log=1.0,
+            trip_length_sigma_log=0.5,
+            taxi_sigma_km=2.0,
+        )
+        base.update(overrides)
+        return base
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"daily_requests": 0},
+            {"n_taxis": 0},
+            {"pickup_sigma_km": 0.0},
+            {"taxi_sigma_km": -1.0},
+            {"trip_length_sigma_log": 0.0},
+            {"hourly_weights": (1.0,) * 23},
+            {"hourly_weights": (0.0,) * 24},
+            {"hourly_weights": (-1.0,) + (1.0,) * 23},
+        ],
+    )
+    def test_rejects_bad_profiles(self, overrides):
+        with pytest.raises(ConfigurationError):
+            CityProfile(**self._kwargs(**overrides))

@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic trace generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace import CityProfile, SyntheticTraceGenerator, boston_profile, generate_day, generate_fleet
+
+
+@pytest.fixture()
+def profile():
+    return boston_profile().scaled(0.02)  # ~271 requests, 4 taxis
+
+
+class TestRequests:
+    def test_deterministic_with_seed(self, profile):
+        a = SyntheticTraceGenerator(profile, seed=7).requests_for_day()
+        b = SyntheticTraceGenerator(profile, seed=7).requests_for_day()
+        assert [(r.request_time_s, r.pickup, r.dropoff) for r in a] == [
+            (r.request_time_s, r.pickup, r.dropoff) for r in b
+        ]
+
+    def test_different_seeds_differ(self, profile):
+        a = SyntheticTraceGenerator(profile, seed=1).requests_for_day()
+        b = SyntheticTraceGenerator(profile, seed=2).requests_for_day()
+        assert a[0].pickup != b[0].pickup
+
+    def test_count_and_ordering(self, profile):
+        requests = SyntheticTraceGenerator(profile, seed=0).requests_for_day()
+        assert len(requests) == profile.daily_requests
+        times = [r.request_time_s for r in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 24 * 3600 for t in times)
+
+    def test_ids_consecutive_from_start_id(self, profile):
+        requests = SyntheticTraceGenerator(profile, seed=0).requests_for_day(start_id=100)
+        assert [r.request_id for r in requests] == list(range(100, 100 + len(requests)))
+
+    def test_trips_have_positive_length(self, profile):
+        requests = SyntheticTraceGenerator(profile, seed=0).requests_for_day()
+        floor = 0.2 * profile.space_scale
+        assert all(r.pickup.distance_to(r.dropoff) >= floor - 1e-9 for r in requests)
+
+    def test_rush_hours_busier_than_night(self):
+        profile = boston_profile().scaled(0.5)
+        requests = SyntheticTraceGenerator(profile, seed=3).requests_for_day()
+        by_hour = np.bincount([int(r.request_time_s // 3600) for r in requests], minlength=24)
+        assert by_hour[9] > 2 * by_hour[3]
+        assert by_hour[18] > 2 * by_hour[3]
+
+    def test_party_sizes_mostly_single(self):
+        profile = boston_profile().scaled(0.2)
+        requests = SyntheticTraceGenerator(profile, seed=0).requests_for_day()
+        parties = [r.passengers for r in requests]
+        assert set(parties) <= {1, 2, 3}
+        assert parties.count(1) / len(parties) > 0.5
+
+    def test_zero_requests(self, profile):
+        assert SyntheticTraceGenerator(profile, seed=0).requests_for_day(0) == []
+
+    def test_rejects_negative_count(self, profile):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(profile, seed=0).requests_for_day(-1)
+
+    def test_rejects_bad_commute_bias(self, profile):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(profile, commute_bias=1.5)
+
+
+class TestWindow:
+    def test_times_inside_window(self, profile):
+        gen = SyntheticTraceGenerator(profile, seed=0)
+        requests = gen.requests_for_window(7 * 3600.0, 10 * 3600.0, 50)
+        assert len(requests) == 50
+        assert all(7 * 3600.0 <= r.request_time_s < 10 * 3600.0 for r in requests)
+
+    def test_rejects_bad_window(self, profile):
+        gen = SyntheticTraceGenerator(profile, seed=0)
+        with pytest.raises(ValueError):
+            gen.requests_for_window(10 * 3600.0, 7 * 3600.0, 10)
+
+
+class TestFleet:
+    def test_count_and_normal_spread(self, profile):
+        fleet = SyntheticTraceGenerator(profile, seed=0).fleet(400)
+        assert len(fleet) == 400
+        xs = np.array([t.location.x for t in fleet])
+        # 2-D normal around the centre: sample std close to taxi_sigma_km.
+        assert abs(xs.mean()) < profile.taxi_sigma_km
+        assert xs.std() == pytest.approx(profile.taxi_sigma_km, rel=0.25)
+
+    def test_default_count_from_profile(self, profile):
+        assert len(SyntheticTraceGenerator(profile, seed=0).fleet()) == profile.n_taxis
+
+    def test_seats(self, profile):
+        fleet = SyntheticTraceGenerator(profile, seed=0).fleet(3, seats=6)
+        assert all(t.seats == 6 for t in fleet)
+
+    def test_convenience_wrappers_are_independent(self, profile):
+        requests = generate_day(profile, seed=5)
+        fleet = generate_fleet(profile, seed=5)
+        assert len(requests) == profile.daily_requests
+        assert len(fleet) == profile.n_taxis
