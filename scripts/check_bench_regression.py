@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Guard against kernel performance regressions.
+
+Compares the freshly generated ``BENCH_kernels.json`` (written by
+``pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups``)
+against the committed baseline ``benchmarks/BENCH_kernels_baseline.json``
+and fails when any vectorized table-construction kernel got more than
+``--tolerance`` slower (default 25%).
+
+Absolute wall-clock comparisons across different machines are noisy, so
+CI should regenerate both sides on the same host when possible; the 25%
+tolerance absorbs same-host run-to-run jitter.  Refresh the baseline by
+copying the new ``BENCH_kernels.json`` over it after an intentional
+change.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups
+    python scripts/check_bench_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CURRENT = REPO_ROOT / "BENCH_kernels.json"
+BASELINE = REPO_ROOT / "benchmarks" / "BENCH_kernels_baseline.json"
+
+#: Kernels guarded against regression: the table-construction hot path
+#: plus the raw batched kernels it is built on.
+GUARDED_PREFIXES = (
+    "preference_table_vectorized_",
+    "preference_table_pruned_",
+    "pairwise_euclidean",
+    "cost_matrix_batched",
+)
+
+
+def load(path: Path) -> dict:
+    if not path.exists():
+        sys.exit(f"error: {path} not found; run the kernel benchmark first")
+    return json.loads(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=CURRENT)
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(args.current)["kernels"]
+    baseline = load(args.baseline)["kernels"]
+
+    failures = []
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        if not name.startswith(GUARDED_PREFIXES):
+            continue
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but missing from current run")
+            continue
+        checked += 1
+        limit = base["ms"] * (1.0 + args.tolerance)
+        verdict = "ok" if now["ms"] <= limit else "REGRESSED"
+        print(
+            f"{name}: {now['ms']:.2f} ms vs baseline {base['ms']:.2f} ms "
+            f"(limit {limit:.2f} ms) {verdict}"
+        )
+        if now["ms"] > limit:
+            failures.append(
+                f"{name}: {now['ms']:.2f} ms exceeds baseline {base['ms']:.2f} ms "
+                f"by more than {args.tolerance:.0%}"
+            )
+
+    if not checked:
+        failures.append("no guarded kernels found in baseline; baseline file corrupt?")
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"\nall {checked} guarded kernels within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ from collections.abc import Sequence
 
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, single_assignment
-from repro.geometry.spatial_index import GridSpatialIndex
+from repro.geometry.spatial_index import GridSpatialIndex, suggest_cell_size
 
 __all__ = ["GreedyNearestDispatcher"]
 
@@ -28,27 +28,16 @@ class GreedyNearestDispatcher(Dispatcher):
         schedule = DispatchSchedule()
         if not taxis or not requests:
             return schedule
-        index = GridSpatialIndex(cell_size=self._cell_size(taxis), oracle=self.oracle)
+        index = GridSpatialIndex(
+            cell_size=suggest_cell_size(t.location for t in taxis), oracle=self.oracle
+        )
         index.bulk_load((taxi.taxi_id, taxi.location) for taxi in taxis)
         taxis_by_id = {t.taxi_id: t for t in taxis}
         threshold = self.config.passenger_threshold_km
         for request in sorted(requests, key=lambda r: r.request_id):
             if not index:
                 break
-            chosen: Taxi | None = None
-            # The nearest taxi may lack seats; widen the query until a
-            # seat-feasible one is found or candidates run out.
-            k = 1
-            while k <= len(index):
-                candidates = index.nearest(request.pickup, k=k)
-                taxi_id, distance = candidates[-1]
-                if distance > threshold:
-                    break
-                taxi = taxis_by_id[int(taxi_id)]
-                if taxi.can_carry(request):
-                    chosen = taxi
-                    break
-                k += 1
+            chosen = self._nearest_feasible(index, taxis_by_id, request, threshold)
             if chosen is None:
                 continue
             index.remove(chosen.taxi_id)
@@ -56,10 +45,31 @@ class GreedyNearestDispatcher(Dispatcher):
         return self._validated(schedule, taxis, requests)
 
     @staticmethod
-    def _cell_size(taxis: Sequence[Taxi]) -> float:
-        xs = [t.location.x for t in taxis]
-        ys = [t.location.y for t in taxis]
-        span = max(max(xs) - min(xs), max(ys) - min(ys), 1e-6)
-        # Floor at 250 m so a near-degenerate fleet (one idle taxi) does
-        # not shatter the index into microscopic cells.
-        return max(span / max(len(taxis) ** 0.5, 1.0), 0.25)
+    def _nearest_feasible(
+        index: GridSpatialIndex,
+        taxis_by_id: dict[int, Taxi],
+        request: PassengerRequest,
+        threshold: float,
+    ) -> Taxi | None:
+        """The closest in-threshold taxi with enough seats.
+
+        The nearest taxi may lack seats; the query widens by doubling
+        ``k`` (O(log k) index queries instead of one per candidate) and
+        scans only the not-yet-examined tail of each result, which is
+        consistent across widenings because ``nearest`` orders
+        deterministically by (distance, key).
+        """
+        k = 1
+        examined = 0
+        n = len(index)
+        while examined < n:
+            candidates = index.nearest(request.pickup, k=min(k, n))
+            for taxi_id, distance in candidates[examined:]:
+                if distance > threshold:
+                    return None
+                taxi = taxis_by_id[int(taxi_id)]
+                if taxi.can_carry(request):
+                    return taxi
+            examined = len(candidates)
+            k *= 2
+        return None

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, single_assignment
+from repro.geometry.batch import oracle_pairwise
 from repro.matching.bipartite import min_cost_matching
 
 __all__ = ["MinCostDispatcher", "build_cost_matrix"]
@@ -25,16 +26,22 @@ def build_cost_matrix(
     oracle,
     threshold_km: float = math.inf,
 ) -> np.ndarray:
-    """``cost[j][i] = D(t_i, r_j^s)``; ``inf`` marks forbidden pairs."""
-    matrix = np.full((len(requests), len(taxis)), math.inf)
-    for j, request in enumerate(requests):
-        for i, taxi in enumerate(taxis):
-            if not taxi.can_carry(request):
-                continue
-            distance = oracle.distance(taxi.location, request.pickup)
-            if distance <= threshold_km:
-                matrix[j, i] = distance
-    return matrix
+    """``cost[j][i] = D(t_i, r_j^s)``; ``inf`` marks forbidden pairs.
+
+    Built on the batched distance kernels (one vectorized pickup-distance
+    matrix plus seat/threshold masks); oracles without an exact batch
+    kernel fall back to scalar ``distance`` calls, so entries are always
+    bit-identical to the scalar double loop.
+    """
+    if not taxis or not requests:
+        return np.full((len(requests), len(taxis)), math.inf)
+    pick = oracle_pairwise(
+        oracle, [r.pickup for r in requests], [t.location for t in taxis], exact=True
+    )
+    seats = np.array([t.seats for t in taxis], dtype=np.int64)
+    party = np.array([r.passengers for r in requests], dtype=np.int64)
+    allowed = (party[:, None] <= seats[None, :]) & (pick <= threshold_km)
+    return np.where(allowed, pick, math.inf)
 
 
 class MinCostDispatcher(Dispatcher):

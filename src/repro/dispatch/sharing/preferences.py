@@ -22,6 +22,7 @@ from collections.abc import Mapping, Sequence
 from repro.core.config import DispatchConfig
 from repro.core.errors import PreferenceError
 from repro.core.types import RideGroup, Taxi
+from repro.geometry.batch import oracle_pairwise
 from repro.geometry.distance import DistanceOracle
 from repro.matching.preferences import PreferenceTable
 
@@ -80,14 +81,43 @@ def build_sharing_table(
     by_unit: dict[int, list[tuple[float, int]]] = {g.group_id: [] for g in units}
     by_taxi: dict[int, list[tuple[float, int]]] = {t.taxi_id: [] for t in taxis}
 
-    for group in units:
-        for taxi in taxis:
+    if not units or not taxis:
+        approach = None
+    else:
+        # One batched kernel call replaces the two scalar approach-distance
+        # queries per (group, taxi) pair; exact=True keeps every score bit-
+        # identical to group_passenger_score / group_taxi_score.
+        approach = oracle_pairwise(
+            oracle, [g.route_start for g in units], [t.location for t in taxis], exact=True
+        )
+
+    for gi, group in enumerate(units):
+        # Trip distances (and hence detours) do not depend on the taxi;
+        # computing them once per group removes O(pairs·members) oracle
+        # calls.  Summation order matches group.total_trip_distance.
+        trips = [request.trip_distance(oracle) for request in group.requests]
+        total_trip = sum(trips)
+        member_terms = [
+            (
+                group.pickup_offset_km[request.request_id],
+                config.beta * (group.onboard_distance_km[request.request_id] - trip),
+            )
+            for request, trip in zip(group.requests, trips)
+        ]
+        for ti, taxi in enumerate(taxis):
             if group.total_passengers > taxi.seats:
                 continue
-            p_score = group_passenger_score(taxi, group, oracle, config.beta)
+            assert approach is not None
+            approach_km = float(approach[gi, ti])
+            total = 0.0
+            for offset, beta_detour in member_terms:
+                total += approach_km + offset + beta_detour
+            p_score = total / len(group.requests)
             if p_score > config.passenger_threshold_km:
                 continue
-            t_score = group_taxi_score(taxi, group, oracle, alphas[taxi.taxi_id])
+            t_score = (approach_km + group.route_length_km) - (
+                alphas[taxi.taxi_id] + 1.0
+            ) * total_trip
             if t_score > config.taxi_threshold_km:
                 continue
             proposer_scores[(group.group_id, taxi.taxi_id)] = p_score
@@ -100,4 +130,5 @@ def build_sharing_table(
         reviewer_prefs={t: tuple(u for _, u in sorted(pairs)) for t, pairs in by_taxi.items()},
         proposer_scores=proposer_scores,
         reviewer_scores=reviewer_scores,
+        validate=False,
     )

@@ -1,5 +1,14 @@
 """Geometry substrate: points, distance oracles, and a spatial index."""
 
+from repro.geometry.batch import (
+    BatchDistanceOracle,
+    as_point_array,
+    batch_kernels_exact,
+    oracle_distances,
+    oracle_paired,
+    oracle_pairwise,
+    supports_batch,
+)
 from repro.geometry.distance import (
     EARTH_RADIUS_KM,
     DistanceOracle,
@@ -9,16 +18,24 @@ from repro.geometry.distance import (
     ScaledDistance,
 )
 from repro.geometry.point import ORIGIN, Point
-from repro.geometry.spatial_index import GridSpatialIndex
+from repro.geometry.spatial_index import GridSpatialIndex, suggest_cell_size
 
 __all__ = [
     "Point",
     "ORIGIN",
     "DistanceOracle",
+    "BatchDistanceOracle",
     "EuclideanDistance",
     "ManhattanDistance",
     "HaversineDistance",
     "ScaledDistance",
     "GridSpatialIndex",
+    "suggest_cell_size",
     "EARTH_RADIUS_KM",
+    "as_point_array",
+    "supports_batch",
+    "batch_kernels_exact",
+    "oracle_pairwise",
+    "oracle_distances",
+    "oracle_paired",
 ]

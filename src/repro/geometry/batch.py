@@ -1,0 +1,160 @@
+"""Batched distance kernels and the scalar-fallback contract.
+
+A dispatch frame scores every (taxi, request) pair, so the frame hot
+path is dominated by pairwise distance evaluation.  This module defines
+the *batch* side of the oracle API:
+
+* :class:`BatchDistanceOracle` — the optional protocol an oracle may
+  implement next to ``distance(a, b)``: ``pairwise(A, B)`` (full cross
+  product), ``distances(origin, B)`` (one-to-many) and ``paired(A, B)``
+  (elementwise, ``len(A) == len(B)``), all returning float64 arrays of
+  kilometres;
+* generic helpers (:func:`oracle_pairwise`, :func:`oracle_distances`,
+  :func:`oracle_paired`) that use the batch API when present and fall
+  back to a scalar ``distance`` loop otherwise, so third-party oracles
+  that only implement the scalar protocol keep working everywhere.
+
+**Exactness contract.**  A batch kernel may be declared *exact* by
+setting ``batch_exact = True`` on the oracle: every entry of a batch
+result is then guaranteed bit-identical to the corresponding scalar
+``distance`` call.  The built-in Euclidean/Manhattan kernels (and the
+road network, which reuses the scalar snap + cached Dijkstra maps) are
+exact; the Haversine kernel agrees only to a few ulp (NumPy's SIMD trig
+is not CPython's libm) and is therefore *not* flagged exact.  Consumers
+that must produce bit-identical results to their scalar reference (the
+preference-table builder) only trust kernels flagged exact; everything
+else still benefits from the vectorized masking/sorting around the
+scalar fallback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+__all__ = [
+    "BatchDistanceOracle",
+    "as_point_array",
+    "supports_batch",
+    "batch_kernels_exact",
+    "oracle_pairwise",
+    "oracle_distances",
+    "oracle_paired",
+]
+
+
+@runtime_checkable
+class BatchDistanceOracle(Protocol):
+    """The optional vectorized face of a distance oracle."""
+
+    def distance(self, a: Point, b: Point) -> float: ...
+
+    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
+        """The full ``(len(A), len(B))`` matrix of travel distances in km."""
+        ...
+
+    def distances(self, origin: Point, points: Sequence[Point]) -> np.ndarray:
+        """One-to-many distances as a ``(len(points),)`` vector in km."""
+        ...
+
+    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
+        """Elementwise distances ``D(A[i], B[i])``; lengths must match."""
+        ...
+
+
+def as_point_array(points: Sequence[Point] | np.ndarray, *, check_finite: bool = True) -> np.ndarray:
+    """Pack points into a float64 ``(n, 2)`` array.
+
+    Accepts a sequence of :class:`Point` or an already-packed array.
+    Non-finite coordinates raise ``ValueError`` (the batch kernels'
+    NaN/inf guard): a silent NaN would otherwise corrupt every masked
+    comparison downstream instead of failing at the source.
+    """
+    if isinstance(points, np.ndarray):
+        array = np.asarray(points, dtype=np.float64)
+    else:
+        array = np.array([(p.x, p.y) for p in points], dtype=np.float64)
+    if array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) point array, got shape {array.shape}")
+    if check_finite and not np.isfinite(array).all():
+        raise ValueError("non-finite coordinate in batch distance input")
+    return array
+
+
+def supports_batch(oracle: object) -> bool:
+    """Whether ``oracle`` implements the batch API."""
+    return callable(getattr(oracle, "pairwise", None))
+
+
+def batch_kernels_exact(oracle: object) -> bool:
+    """Whether the oracle's batch kernels are bit-identical to its scalar
+    ``distance`` (the exactness contract above)."""
+    return bool(getattr(oracle, "batch_exact", False)) and supports_batch(oracle)
+
+
+def _scalar_pairwise(oracle, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
+    out = np.empty((len(points_a), len(points_b)), dtype=np.float64)
+    distance = oracle.distance
+    for i, a in enumerate(points_a):
+        row = out[i]
+        for j, b in enumerate(points_b):
+            row[j] = distance(a, b)
+    return out
+
+
+def oracle_pairwise(
+    oracle,
+    points_a: Sequence[Point],
+    points_b: Sequence[Point],
+    *,
+    exact: bool = False,
+) -> np.ndarray:
+    """``(len(A), len(B))`` distance matrix through the best available path.
+
+    ``exact=True`` restricts the kernel path to oracles honouring the
+    exactness contract; others fall back to the scalar loop (whose
+    entries are scalar ``distance`` calls by construction).
+    """
+    if supports_batch(oracle) and (not exact or batch_kernels_exact(oracle)):
+        return np.asarray(oracle.pairwise(points_a, points_b), dtype=np.float64)
+    return _scalar_pairwise(oracle, points_a, points_b)
+
+
+def oracle_distances(
+    oracle,
+    origin: Point,
+    points: Sequence[Point],
+    *,
+    exact: bool = False,
+) -> np.ndarray:
+    """One-to-many distances with the same dispatch rule as
+    :func:`oracle_pairwise`."""
+    if callable(getattr(oracle, "distances", None)) and (
+        not exact or batch_kernels_exact(oracle)
+    ):
+        return np.asarray(oracle.distances(origin, points), dtype=np.float64)
+    distance = oracle.distance
+    return np.array([distance(origin, b) for b in points], dtype=np.float64)
+
+
+def oracle_paired(
+    oracle,
+    points_a: Sequence[Point],
+    points_b: Sequence[Point],
+    *,
+    exact: bool = False,
+) -> np.ndarray:
+    """Elementwise distances with the same dispatch rule as
+    :func:`oracle_pairwise`; ``len(A)`` must equal ``len(B)``."""
+    if len(points_a) != len(points_b):
+        raise ValueError(f"paired inputs differ in length: {len(points_a)} vs {len(points_b)}")
+    if callable(getattr(oracle, "paired", None)) and (not exact or batch_kernels_exact(oracle)):
+        return np.asarray(oracle.paired(points_a, points_b), dtype=np.float64)
+    distance = oracle.distance
+    return np.array([distance(a, b) for a, b in zip(points_a, points_b)], dtype=np.float64)

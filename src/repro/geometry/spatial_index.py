@@ -19,7 +19,23 @@ from collections.abc import Hashable, Iterable, Iterator
 from repro.geometry.distance import DistanceOracle, EuclideanDistance
 from repro.geometry.point import Point
 
-__all__ = ["GridSpatialIndex"]
+__all__ = ["GridSpatialIndex", "suggest_cell_size"]
+
+
+def suggest_cell_size(points: Iterable[Point], *, floor_km: float = 0.25) -> float:
+    """A workable grid cell size for an indexed population.
+
+    Targets roughly one item per cell (``span / sqrt(n)``), floored so a
+    near-degenerate population (one point, or all points coincident)
+    does not shatter the index into microscopic cells.
+    """
+    pts = list(points)
+    if not pts:
+        return max(floor_km, 1e-6)
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    span = max(max(xs) - min(xs), max(ys) - min(ys), 1e-6)
+    return max(span / max(len(pts) ** 0.5, 1.0), floor_km)
 
 
 class GridSpatialIndex:
@@ -143,12 +159,71 @@ class GridSpatialIndex:
         found.sort()
         return [(key, dist) for dist, _, key in found[:k]]
 
+    def box_candidates(self, point: Point, radius_km: float) -> list[Hashable]:
+        """Unfiltered candidate keys for a ``within`` query: every key in
+        a cell intersecting the L-infinity box of ``radius_km`` around
+        ``point``.
+
+        A strict superset of ``within(point, radius_km)`` keys (for
+        oracles dominating L-infinity), with no distance evaluation and
+        no ordering — bulk callers such as the pruned preference engine
+        gather candidates for many queries and filter the exact
+        distances in one vectorized pass.
+        """
+        if radius_km < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius_km}")
+        if not self._points:
+            return []
+        if not math.isfinite(radius_km):
+            return list(self._points)
+        cx, cy = self._cell_of(point)
+        reach = int(math.floor(radius_km / self._cell_size)) + 2
+        out: list[Hashable] = []
+        if (2 * reach + 1) ** 2 < len(self._cells):
+            for x in range(cx - reach, cx + reach + 1):
+                for y in range(cy - reach, cy + reach + 1):
+                    bucket = self._cells.get((x, y))
+                    if bucket:
+                        out.extend(bucket)
+        else:
+            for (x, y), bucket in self._cells.items():
+                if abs(x - cx) <= reach and abs(y - cy) <= reach:
+                    out.extend(bucket)
+        return out
+
     def within(self, point: Point, radius_km: float) -> list[tuple[Hashable, float]]:
-        """All items within ``radius_km`` of ``point``, sorted by distance."""
+        """All items within ``radius_km`` of ``point``, sorted by distance.
+
+        The boundary is inclusive (``dist <= radius_km``) — the candidate
+        -pruning invariant the preference builder relies on: a partner at
+        exactly the acceptance threshold is never dropped.
+        """
         if radius_km < 0.0:
             raise ValueError(f"radius must be non-negative, got {radius_km}")
         center = self._cell_of(point)
         found: list[tuple[float, str, Hashable]] = []
+        # A qualifying item lies within L-infinity ``radius_km`` of the
+        # query (the oracle dominates L-infinity), i.e. in a cell at
+        # Chebyshev cell-distance <= floor(radius/cell) + 1; the extra
+        # ring (+2 total) absorbs floating-point division slop.  When
+        # that box is smaller than the occupied-cell list, enumerating it
+        # directly beats sorting every occupied cell by distance.
+        if math.isfinite(radius_km):
+            reach = int(math.floor(radius_km / self._cell_size)) + 2
+            box_cells = (2 * reach + 1) ** 2
+            if box_cells < len(self._cells):
+                cx, cy = center
+                for x in range(cx - reach, cx + reach + 1):
+                    for y in range(cy - reach, cy + reach + 1):
+                        bucket = self._cells.get((x, y))
+                        if not bucket:
+                            continue
+                        for key in bucket:
+                            dist = self._oracle.distance(point, self._points[key])
+                            if dist <= radius_km:
+                                found.append((dist, repr(key), key))
+                found.sort()
+                return [(key, dist) for dist, _, key in found]
         for cheb, cell in self._occupied_by_distance(center):
             if self._lower_bound_km(cheb) > radius_km:
                 break

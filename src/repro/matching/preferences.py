@@ -20,24 +20,68 @@ packed ride groups in the sharing case) and *reviewers* (taxis), each
 with an ordered list of acceptable partners.  A pair appears on one
 side's list iff it appears on the other's, which keeps the stability
 definition symmetric.
+
+**Construction engines.**  :func:`build_nonsharing_table` is the frame
+hot path (O(|T|·|R|) pairs every frame) and runs on the batched
+distance kernels of :mod:`repro.geometry.batch`:
+
+* ``dense`` — one vectorized score matrix, threshold masks, and a
+  single global lexsort per side;
+* ``pruned`` — a uniform-grid candidate query per request restricts
+  scoring to taxis within ``passenger_threshold_km`` (sound because the
+  grid query is inclusive at the radius and the passenger threshold is
+  the only distance-based acceptability cut on the passenger side), so
+  the cost tracks the acceptable-pair count instead of |T|·|R|;
+* ``scalar`` — the retained double-loop reference implementation
+  (:func:`build_nonsharing_table_reference`).
+
+All engines produce **identical** tables — same preference orders, same
+scores, same deterministic id tie-breaks — which the property suite
+asserts pair-for-pair against the scalar reference.  Pairs whose score
+would be non-finite (a disconnected road-network pair, an infinite trip)
+are unacceptable under every engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import InitVar, dataclass, field
 from collections.abc import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.config import DispatchConfig
 from repro.core.errors import PreferenceError
 from repro.core.types import PassengerRequest, Taxi
-from repro.geometry.distance import DistanceOracle
+from repro.geometry.distance import (
+    DistanceOracle,
+    EuclideanDistance,
+    ManhattanDistance,
+    ScaledDistance,
+)
+from repro.geometry.batch import (
+    as_point_array,
+    batch_kernels_exact,
+    oracle_paired,
+    oracle_pairwise,
+)
+from repro.geometry.spatial_index import GridSpatialIndex, suggest_cell_size
 
 __all__ = [
     "PreferenceTable",
     "build_nonsharing_table",
+    "build_nonsharing_table_reference",
     "passenger_score",
     "taxi_score",
 ]
+
+#: Below this many candidate pairs the dense engine wins outright: the
+#: full vectorized distance matrix is cheaper than the per-request
+#: Python grid gather (measured crossover on paper-scale frames — at
+#: 700×700 the dense kernel costs ~5 ms while grid gathering costs
+#: ~15 ms).  Grid pruning pays off once the dense matrix and its mask
+#: temporaries stop fitting comfortably in cache/memory.
+_PRUNE_MIN_PAIRS = 4_000_000
 
 
 def passenger_score(taxi: Taxi, request: PassengerRequest, oracle: DistanceOracle) -> float:
@@ -68,14 +112,23 @@ class PreferenceTable:
         Optional raw scores (smaller = better) behind the orders, keyed
         by ``(proposer_id, reviewer_id)``; kept for metrics and for
         deterministic re-ranking in the sharing pipeline.
+    validate:
+        Whether to run the O(E) mutual-consistency check on
+        construction.  On by default so hand-built tables (tests,
+        notebooks) fail fast; the trusted in-package builders pass
+        ``False`` because their tables are consistent by construction
+        and the check would otherwise run on every simulated frame.
     """
 
     proposer_prefs: dict[int, tuple[int, ...]]
     reviewer_prefs: dict[int, tuple[int, ...]]
     proposer_scores: dict[tuple[int, int], float] = field(default_factory=dict)
     reviewer_scores: dict[tuple[int, int], float] = field(default_factory=dict)
+    validate: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, validate: bool = True) -> None:
+        if not validate:
+            return
         pairs_from_proposers = {
             (p, r) for p, prefs in self.proposer_prefs.items() for r in prefs
         }
@@ -138,14 +191,21 @@ class PreferenceTable:
         """The same market with roles swapped (taxis propose).
 
         Used for the taxi-optimal fast path: deferred acceptance on the
-        reversed table is reviewer-optimal for the original table.
+        reversed table is reviewer-optimal for the original table.  The
+        reversed table is consistent by construction (no re-validation)
+        and inherits this table's rank caches with roles swapped instead
+        of recomputing them.
         """
-        return PreferenceTable(
+        table = PreferenceTable(
             proposer_prefs=dict(self.reviewer_prefs),
             reviewer_prefs=dict(self.proposer_prefs),
             proposer_scores={(r, p): s for (p, r), s in self.reviewer_scores.items()} if self.reviewer_scores else {},
             reviewer_scores={(r, p): s for (p, r), s in self.proposer_scores.items()} if self.proposer_scores else {},
+            validate=False,
         )
+        object.__setattr__(table, "_proposer_rank_cache", self._reviewer_ranks())
+        object.__setattr__(table, "_reviewer_rank_cache", self._proposer_ranks())
+        return table
 
     # Rank maps are derived lazily and cached on the instance; the table
     # itself is frozen so the caches are stored via object.__setattr__.
@@ -176,6 +236,7 @@ def build_nonsharing_table(
     config: DispatchConfig | None = None,
     *,
     alpha_by_taxi: Mapping[int, float] | None = None,
+    engine: str = "auto",
 ) -> PreferenceTable:
     """The paper's non-sharing preference orders (Section IV-A).
 
@@ -183,8 +244,9 @@ def build_nonsharing_table(
     acceptable to both) when
 
     * the taxi has enough seats for the whole party,
-    * the pickup distance is within ``config.passenger_threshold_km``, and
-    * the driver score is within ``config.taxi_threshold_km``.
+    * the pickup distance is within ``config.passenger_threshold_km``,
+    * the driver score is within ``config.taxi_threshold_km``, and
+    * both scores are finite.
 
     Orders are deterministic: ties in score break by partner id.
 
@@ -196,6 +258,12 @@ def build_nonsharing_table(
     NSTD-P ≡ NSTD-T).  Heterogeneous drivers break that alignment and
     make the stable lattice — and the company's Algorithm-2 choice —
     meaningful.
+
+    ``engine`` selects the construction strategy: ``"auto"`` (pruned
+    when the passenger threshold is finite, the oracle admits grid
+    pruning, and the frame is big enough; dense otherwise), ``"dense"``,
+    ``"pruned"``, or ``"scalar"`` (the reference double loop).  Every
+    engine returns an identical table.
     """
     config = config if config is not None else DispatchConfig()
     _check_unique_ids(taxis, requests)
@@ -206,6 +274,71 @@ def build_nonsharing_table(
         if alpha < 0.0:
             raise PreferenceError(f"taxi {taxi_id} has negative alpha {alpha}")
 
+    if engine == "scalar":
+        return _scalar_table(taxis, requests, oracle, config, alphas)
+    if engine == "pruned":
+        if not _prune_eligible(oracle, config):
+            raise PreferenceError(
+                "pruned engine requires a finite passenger threshold and a "
+                "grid-prunable oracle (Euclidean/Manhattan or an "
+                "expansion-scaled wrapper of one)"
+            )
+        return _vectorized_table(taxis, requests, oracle, config, alphas, prune=True)
+    if engine == "dense":
+        return _vectorized_table(taxis, requests, oracle, config, alphas, prune=False)
+    if engine != "auto":
+        raise PreferenceError(f"unknown engine {engine!r}")
+    prune = (
+        _prune_eligible(oracle, config)
+        and len(taxis) * len(requests) >= _PRUNE_MIN_PAIRS
+    )
+    return _vectorized_table(taxis, requests, oracle, config, alphas, prune=prune)
+
+
+def build_nonsharing_table_reference(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    alpha_by_taxi: Mapping[int, float] | None = None,
+) -> PreferenceTable:
+    """The scalar double-loop reference implementation.
+
+    Kept as the semantic specification of :func:`build_nonsharing_table`:
+    the equivalence property tests and the kernel benchmark both compare
+    the vectorized engines against this, pair for pair and bit for bit.
+    """
+    return build_nonsharing_table(
+        taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi, engine="scalar"
+    )
+
+
+def _prune_eligible(oracle: DistanceOracle, config: DispatchConfig) -> bool:
+    """Whether grid candidate pruning is sound for this oracle/config.
+
+    The grid query under-approximates distance with L-infinity cell
+    geometry, so it is exact only for metrics that dominate L-infinity
+    on the stored planar coordinates: Euclidean and Manhattan, and any
+    ``ScaledDistance`` expansion (factor >= 1) of such a metric.
+    """
+    if not math.isfinite(config.passenger_threshold_km):
+        return False
+    base = oracle
+    while isinstance(base, ScaledDistance):
+        if base.factor < 1.0:
+            return False
+        base = base._base  # noqa: SLF001 - same-package structural check
+    return isinstance(base, (EuclideanDistance, ManhattanDistance))
+
+
+def _scalar_table(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig,
+    alphas: Mapping[int, float],
+) -> PreferenceTable:
     proposer_scores: dict[tuple[int, int], float] = {}
     reviewer_scores: dict[tuple[int, int], float] = {}
     acceptable_by_request: dict[int, list[tuple[float, int]]] = {r.request_id: [] for r in requests}
@@ -217,10 +350,10 @@ def build_nonsharing_table(
             if not taxi.can_carry(request):
                 continue
             pickup_km = oracle.distance(taxi.location, request.pickup)
-            if pickup_km > config.passenger_threshold_km:
+            if not math.isfinite(pickup_km) or pickup_km > config.passenger_threshold_km:
                 continue
             driver = pickup_km - alphas[taxi.taxi_id] * trip
-            if driver > config.taxi_threshold_km:
+            if not math.isfinite(driver) or driver > config.taxi_threshold_km:
                 continue
             proposer_scores[(request.request_id, taxi.taxi_id)] = pickup_km
             reviewer_scores[(request.request_id, taxi.taxi_id)] = driver
@@ -238,6 +371,126 @@ def build_nonsharing_table(
         reviewer_prefs=reviewer_prefs,
         proposer_scores=proposer_scores,
         reviewer_scores=reviewer_scores,
+        validate=False,
+    )
+
+
+def _vectorized_table(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig,
+    alphas: Mapping[int, float],
+    *,
+    prune: bool,
+) -> PreferenceTable:
+    n_requests = len(requests)
+    n_taxis = len(taxis)
+    request_ids = np.array([r.request_id for r in requests], dtype=np.int64)
+    taxi_ids = np.array([t.taxi_id for t in taxis], dtype=np.int64)
+
+    if n_requests == 0 or n_taxis == 0:
+        return PreferenceTable(
+            proposer_prefs={r.request_id: () for r in requests},
+            reviewer_prefs={t.taxi_id: () for t in taxis},
+            validate=False,
+        )
+
+    seats = np.array([t.seats for t in taxis], dtype=np.int64)
+    party = np.array([r.passengers for r in requests], dtype=np.int64)
+    alpha_arr = np.array([alphas[t.taxi_id] for t in taxis], dtype=np.float64)
+    pickups = [r.pickup for r in requests]
+    taxi_points = [t.location for t in taxis]
+    # Only kernels honouring the bit-exactness contract may replace
+    # scalar ``distance`` calls, so every engine's scores match the
+    # reference bit for bit.  When the contract holds, points are packed
+    # once and the packed arrays feed every kernel call below; otherwise
+    # the Point lists go through the scalar-loop fallbacks.
+    exact_kernels = batch_kernels_exact(oracle)
+    if exact_kernels:
+        pickup_xy = as_point_array(pickups)
+        taxi_xy = as_point_array(taxi_points)
+        trip = np.asarray(
+            oracle.paired(pickup_xy, as_point_array([r.dropoff for r in requests])),
+            dtype=np.float64,
+        )
+    else:
+        trip = oracle_paired(oracle, pickups, [r.dropoff for r in requests], exact=True)
+
+    if prune:
+        # Candidate pruning: only taxis within the passenger threshold can
+        # be acceptable.  The grid box query over-approximates the
+        # threshold ball (and the exact filter below is inclusive at the
+        # boundary), so no acceptable pair is ever dropped.
+        index = GridSpatialIndex(cell_size=suggest_cell_size(taxi_points), oracle=oracle)
+        index.bulk_load((i, point) for i, point in enumerate(taxi_points))
+        cols: list[int] = []
+        counts = np.empty(n_requests, dtype=np.intp)
+        for j, request in enumerate(requests):
+            candidates = index.box_candidates(request.pickup, config.passenger_threshold_km)
+            cols.extend(candidates)
+            counts[j] = len(candidates)
+        ti = np.array(cols, dtype=np.intp)
+        rj = np.repeat(np.arange(n_requests, dtype=np.intp), counts)
+        if exact_kernels:
+            pick = np.asarray(oracle.paired(pickup_xy[rj], taxi_xy[ti]), dtype=np.float64)
+        else:  # candidate distances stay scalar `distance` calls
+            distance = oracle.distance
+            pick = np.array(
+                [distance(pickups[j], taxi_points[i]) for j, i in zip(rj.tolist(), ti.tolist())],
+                dtype=np.float64,
+            )
+        flat_keep = np.flatnonzero(pick <= config.passenger_threshold_km)
+        rj, ti, pick = rj[flat_keep], ti[flat_keep], pick[flat_keep]
+    else:
+        if exact_kernels:
+            pick_matrix = np.asarray(oracle.pairwise(pickup_xy, taxi_xy), dtype=np.float64)
+        else:
+            pick_matrix = oracle_pairwise(oracle, pickups, taxi_points, exact=True)
+        # Staged masking: the cheap threshold compare first (it rejects
+        # NaN too), then every remaining acceptability condition only on
+        # the surviving pairs.
+        flat = np.flatnonzero(pick_matrix <= config.passenger_threshold_km)
+        rj, ti = np.divmod(flat, n_taxis)
+        pick = pick_matrix.ravel()[flat]
+
+    driver = pick - alpha_arr[ti] * trip[rj]
+    ok = (
+        (party[rj] <= seats[ti])
+        & np.isfinite(pick)
+        & np.isfinite(driver)
+        & (driver <= config.taxi_threshold_km)
+    )
+    rj, ti, pick, driver = rj[ok], ti[ok], pick[ok], driver[ok]
+
+    # One global lexsort per side reproduces the per-list sorted() of the
+    # reference: primary key the owner, then score, then partner id.
+    proposer_order = np.lexsort((taxi_ids[ti], pick, rj))
+    rj_sorted = rj[proposer_order]
+    proposer_partner = taxi_ids[ti[proposer_order]].tolist()
+    starts = np.searchsorted(rj_sorted, np.arange(n_requests))
+    ends = np.searchsorted(rj_sorted, np.arange(1, n_requests + 1))
+    proposer_prefs = {
+        requests[j].request_id: tuple(proposer_partner[starts[j] : ends[j]])
+        for j in range(n_requests)
+    }
+
+    reviewer_order = np.lexsort((request_ids[rj], driver, ti))
+    ti_sorted = ti[reviewer_order]
+    reviewer_partner = request_ids[rj[reviewer_order]].tolist()
+    starts = np.searchsorted(ti_sorted, np.arange(n_taxis))
+    ends = np.searchsorted(ti_sorted, np.arange(1, n_taxis + 1))
+    reviewer_prefs = {
+        taxis[i].taxi_id: tuple(reviewer_partner[starts[i] : ends[i]]) for i in range(n_taxis)
+    }
+
+    keys = list(zip(request_ids[rj].tolist(), taxi_ids[ti].tolist()))
+    return PreferenceTable(
+        proposer_prefs=proposer_prefs,
+        reviewer_prefs=reviewer_prefs,
+        proposer_scores=dict(zip(keys, pick.tolist())),
+        reviewer_scores=dict(zip(keys, driver.tolist())),
+        validate=False,
     )
 
 

@@ -137,6 +137,27 @@ class SingleSourceCache:
     def distance(self, source: Hashable, target: Hashable) -> float:
         return self.distances_from(source).get(target, math.inf)
 
+    def many_to_many(
+        self, sources: list[Hashable], targets: list[Hashable]
+    ) -> list[list[float]]:
+        """Batched node-pair distances as a ``len(sources) × len(targets)``
+        row-major table (``inf`` marks unreachable pairs).
+
+        One Dijkstra per *distinct* source, through the same LRU cache as
+        the scalar path, so a frame's one-to-many and many-to-many
+        queries share work both within and across frames.
+        """
+        rows_by_source: dict[Hashable, list[float]] = {}
+        out: list[list[float]] = []
+        for source in sources:
+            row = rows_by_source.get(source)
+            if row is None:
+                dist_map = self.distances_from(source)
+                row = [dist_map.get(t, math.inf) for t in targets]
+                rows_by_source[source] = row
+            out.append(row)
+        return out
+
     def clear(self) -> None:
         self._cache.clear()
         self.hits = 0

@@ -26,6 +26,7 @@ from collections.abc import Sequence
 from repro.core.config import DispatchConfig
 from repro.core.errors import PackingError
 from repro.core.types import PassengerRequest, RideGroup
+from repro.geometry.batch import oracle_pairwise
 from repro.geometry.distance import DistanceOracle
 from repro.routing.shared_route import build_ride_group, feasible_shared_route
 
@@ -127,12 +128,17 @@ def enumerate_feasible_groups(
         elif cache is not None:
             cache[key] = None
 
+    # The radius prefilter inspects every request pair; one batched
+    # pickup-to-pickup matrix replaces O(|R|²) scalar oracle calls
+    # (exact=True keeps the kept/skipped decisions identical).
+    pickup_gap = None
+    if pairing_radius_km is not None and len(ordered) >= 2 and config.max_group_size >= 2:
+        pickups = [r.pickup for r in ordered]
+        pickup_gap = oracle_pairwise(oracle, pickups, pickups, exact=True)
+
     if config.max_group_size >= 2:
-        for a, b in itertools.combinations(ordered, 2):
-            if (
-                pairing_radius_km is not None
-                and oracle.distance(a.pickup, b.pickup) > pairing_radius_km
-            ):
+        for (ia, a), (ib, b) in itertools.combinations(enumerate(ordered), 2):
+            if pickup_gap is not None and pickup_gap[ia, ib] > pairing_radius_km:
                 continue
             evaluate((a, b), is_pair=True)
 

@@ -14,6 +14,7 @@ the trace generators.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -77,6 +78,29 @@ class SimulationResult:
             return 0.0
         shared = sum(1 for a in self.assignments if a.group_size > 1)
         return shared / len(self.assignments)
+
+    # -- performance views -------------------------------------------------
+
+    def perf_stats(self) -> dict[str, float]:
+        """Wall-clock dispatcher cost over the run, from the per-frame
+        ``FrameStats.dispatch_ms`` series.
+
+        ``active_frames`` counts frames where the dispatcher actually
+        ran (idle taxis and queued requests both present); means are
+        reported over both all frames and active frames, since a lightly
+        loaded trace has many trivial frames that dilute the former.
+        """
+        samples = [f.dispatch_ms for f in self.frame_stats]
+        active = [f.dispatch_ms for f in self.frame_stats if f.dispatch_ms > 0.0]
+        total = sum(samples)
+        return {
+            "frames": float(len(samples)),
+            "active_frames": float(len(active)),
+            "total_dispatch_ms": total,
+            "mean_dispatch_ms": total / len(samples) if samples else 0.0,
+            "mean_active_dispatch_ms": sum(active) / len(active) if active else 0.0,
+            "max_dispatch_ms": max(samples, default=0.0),
+        }
 
     def summary(self) -> dict[str, float]:
         """Headline averages, the quantities Figs. 6 and 7 plot."""
@@ -190,9 +214,12 @@ class Simulator:
             dispatched_now = 0
             assignments_before = len(assignments)
             idle = [agent.snapshot() for agent in agents.values() if agent.is_idle_at(time_s)]
+            dispatch_ms = 0.0
             if queue and idle:
                 batch = [entry.request for entry in queue.values()]
+                dispatch_start = time.perf_counter()
                 schedule = self.dispatcher.dispatch(idle, batch)
+                dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
                 schedule.validate(idle, batch)
                 requests_by_id = {r.request_id: r for r in batch}
                 for assignment in schedule.assignments:
@@ -244,6 +271,7 @@ class Simulator:
                     dispatched_requests=dispatched_now,
                     dispatched_taxis=len(assignments) - assignments_before,
                     abandoned=abandoned_now,
+                    dispatch_ms=dispatch_ms,
                 )
             )
             frames_run += 1

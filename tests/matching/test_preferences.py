@@ -128,3 +128,27 @@ class TestPreferenceTable:
         assert reverse.reviewer_scores[(100, 0)] == 2.0
         # Reversing twice restores the original orientation.
         assert reverse.reversed().proposer_prefs == table.proposer_prefs
+
+    def test_validate_false_skips_consistency_check(self):
+        # The vectorized builders emit consistent-by-construction tables
+        # and opt out of the O(pairs) check; the flag must actually skip it.
+        inconsistent = PreferenceTable(
+            proposer_prefs={0: (100,)}, reviewer_prefs={100: ()}, validate=False
+        )
+        assert inconsistent.proposer_prefs[0] == (100,)
+        with pytest.raises(PreferenceError):
+            PreferenceTable(proposer_prefs={0: (100,)}, reviewer_prefs={100: ()})
+
+    def test_reversed_seeds_rank_caches(self):
+        table = PreferenceTable(
+            proposer_prefs={0: (101, 100)},
+            reviewer_prefs={100: (0,), 101: (0,)},
+        )
+        # Force both caches, then reverse: the swapped table must reuse
+        # them instead of rebuilding lazily.
+        assert table.proposer_rank(0, 100) == 1
+        assert table.reviewer_rank(101, 0) == 0
+        reverse = table.reversed()
+        assert reverse._proposer_rank_cache is table._reviewer_rank_cache
+        assert reverse._reviewer_rank_cache is table._proposer_rank_cache
+        assert reverse.proposer_rank(100, 0) == 0

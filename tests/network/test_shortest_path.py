@@ -111,3 +111,30 @@ class TestSingleSourceCache:
         cache.distance(0, 1)
         cache.clear()
         assert cache.hits == 0 and cache.misses == 0
+
+
+class TestManyToMany:
+    def test_matches_scalar_distance(self):
+        adjacency, _ = random_graph(6)
+        cache = SingleSourceCache(adjacency)
+        sources, targets = [0, 3, 7], [1, 4, 9, 12]
+        table = cache.many_to_many(sources, targets)
+        assert table == [
+            [cache.distance(s, t) for t in targets] for s in sources
+        ]
+
+    def test_one_dijkstra_per_distinct_source(self):
+        adjacency, _ = random_graph(7)
+        cache = SingleSourceCache(adjacency)
+        cache.many_to_many([2, 5, 2, 5, 2], [0, 1])
+        assert cache.misses == 2
+
+    def test_unreachable_pairs_are_inf(self):
+        adjacency = {0: [(1, 1.0)], 1: [], 2: []}
+        cache = SingleSourceCache(adjacency)
+        assert cache.many_to_many([0], [1, 2]) == [[1.0, math.inf]]
+
+    def test_empty_inputs(self):
+        cache = SingleSourceCache({0: []})
+        assert cache.many_to_many([], [0]) == []
+        assert cache.many_to_many([0], []) == [[]]

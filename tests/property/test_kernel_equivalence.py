@@ -1,0 +1,164 @@
+"""Property tests: every preference-construction engine is identical.
+
+The vectorized engines (dense matrix and grid-pruned) must reproduce
+the scalar double-loop reference *exactly* — same preference orders,
+same deterministic id tie-breaks, bit-identical score floats — on
+random geometry with heterogeneous per-driver alphas and
+seat-infeasible pairs.  Coordinates are drawn partly from a coarse
+integer lattice so equal scores (and hence the id tie-break) genuinely
+occur instead of hiding behind float noise.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.geometry import (
+    EuclideanDistance,
+    HaversineDistance,
+    ManhattanDistance,
+    Point,
+    ScaledDistance,
+)
+from repro.matching import build_nonsharing_table
+from repro.matching.preferences import _prune_eligible, build_nonsharing_table_reference
+
+TAXI_ID_BASE = 100
+
+#: Lattice coordinates collide often (score ties); continuous ones
+#: exercise arbitrary float arithmetic.
+coordinate = st.one_of(
+    st.integers(min_value=-4, max_value=4).map(float),
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+)
+
+points = st.builds(Point, coordinate, coordinate)
+
+oracles = st.sampled_from(
+    [
+        EuclideanDistance(),
+        ManhattanDistance(),
+        ScaledDistance(EuclideanDistance(), 1.5),
+        ScaledDistance(ManhattanDistance(), 2.0),
+        # No exact batch kernels: exercises the scalar-fallback contract.
+        HaversineDistance(),
+    ]
+)
+
+configs = st.builds(
+    DispatchConfig,
+    passenger_threshold_km=st.sampled_from([math.inf, 2.0, 5.0, 400.0]),
+    taxi_threshold_km=st.sampled_from([math.inf, -1.0, 1.0, 5.0]),
+)
+
+
+@st.composite
+def markets(draw):
+    taxis = [
+        Taxi(TAXI_ID_BASE + i, draw(points), seats=draw(st.integers(1, 4)))
+        for i in range(draw(st.integers(0, 6)))
+    ]
+    requests = [
+        PassengerRequest(
+            j, draw(points), draw(points), passengers=draw(st.integers(1, 6))
+        )
+        for j in range(draw(st.integers(0, 8)))
+    ]
+    alpha_by_taxi = {
+        t.taxi_id: draw(st.sampled_from([0.0, 0.5, 1.0, 2.0]))
+        for t in taxis
+        if draw(st.booleans())
+    }
+    return taxis, requests, alpha_by_taxi
+
+
+def assert_tables_identical(reference, candidate, context):
+    assert candidate.proposer_prefs == reference.proposer_prefs, context
+    assert candidate.reviewer_prefs == reference.reviewer_prefs, context
+    # Dict equality on floats is bitwise up to 0.0 == -0.0; distances and
+    # score differences here never produce negative zero from a positive
+    # one, so this is the bit-identity check the kernels promise.
+    assert candidate.proposer_scores == reference.proposer_scores, context
+    assert candidate.reviewer_scores == reference.reviewer_scores, context
+
+
+@settings(max_examples=120, deadline=None)
+@given(markets(), oracles, configs)
+def test_every_engine_matches_scalar_reference(market, oracle, config):
+    taxis, requests, alpha_by_taxi = market
+    reference = build_nonsharing_table_reference(
+        taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi
+    )
+    engines = ["dense", "auto"]
+    if _prune_eligible(oracle, config):
+        engines.append("pruned")
+    for engine in engines:
+        candidate = build_nonsharing_table(
+            taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi, engine=engine
+        )
+        assert_tables_identical(reference, candidate, engine)
+
+
+@settings(max_examples=60, deadline=None)
+@given(markets(), oracles)
+def test_alpha_heterogeneity_changes_only_reviewer_side(market, oracle):
+    """Sanity anchor: alphas shift driver scores, never pickup scores."""
+    taxis, requests, alpha_by_taxi = market
+    config = DispatchConfig()
+    plain = build_nonsharing_table(taxis, requests, oracle, config)
+    mixed = build_nonsharing_table(
+        taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi
+    )
+    shared = set(plain.proposer_scores) & set(mixed.proposer_scores)
+    for pair in shared:
+        assert plain.proposer_scores[pair] == mixed.proposer_scores[pair]
+
+
+class TestThresholdBoundary:
+    """A pair at *exactly* the acceptance threshold is always kept —
+    the inclusive-boundary invariant grid pruning must preserve."""
+
+    def test_boundary_pair_kept_by_every_engine(self):
+        # Euclidean distance exactly 5.0 (3-4-5 triangle, exact in fp).
+        taxis = [Taxi(TAXI_ID_BASE, Point(3.0, 4.0))]
+        requests = [PassengerRequest(0, Point(0.0, 0.0), Point(0.0, 1.0))]
+        oracle = EuclideanDistance()
+        config = DispatchConfig(passenger_threshold_km=5.0, taxi_threshold_km=5.0)
+        for engine in ("scalar", "dense", "pruned", "auto"):
+            table = build_nonsharing_table(taxis, requests, oracle, config, engine=engine)
+            assert table.proposer_prefs[0] == (TAXI_ID_BASE,), engine
+            assert table.proposer_scores[(0, TAXI_ID_BASE)] == 5.0, engine
+
+    def test_just_beyond_threshold_dropped_by_every_engine(self):
+        taxis = [Taxi(TAXI_ID_BASE, Point(3.0, 4.0))]
+        requests = [PassengerRequest(0, Point(0.0, 0.0), Point(0.0, 1.0))]
+        oracle = EuclideanDistance()
+        config = DispatchConfig(
+            passenger_threshold_km=math.nextafter(5.0, 0.0), taxi_threshold_km=5.0
+        )
+        for engine in ("scalar", "dense", "pruned", "auto"):
+            table = build_nonsharing_table(taxis, requests, oracle, config, engine=engine)
+            assert table.proposer_prefs[0] == (), engine
+
+    @settings(max_examples=80, deadline=None)
+    @given(markets(), st.sampled_from([EuclideanDistance(), ManhattanDistance()]))
+    def test_pruning_never_drops_an_acceptable_pair(self, market, oracle):
+        """Set the passenger threshold to an exact realized distance, so
+        some pair sits on the boundary, and require pruned == scalar."""
+        taxis, requests, alpha_by_taxi = market
+        distances = sorted(
+            d
+            for t in taxis
+            for r in requests
+            if (d := oracle.distance(t.location, r.pickup)) > 0.0
+        )
+        threshold = distances[len(distances) // 2] if distances else 1.0
+        config = DispatchConfig(passenger_threshold_km=threshold)
+        reference = build_nonsharing_table_reference(
+            taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi
+        )
+        pruned = build_nonsharing_table(
+            taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi, engine="pruned"
+        )
+        assert_tables_identical(reference, pruned, "pruned-boundary")
