@@ -35,13 +35,18 @@ def build_cost_matrix(
     """
     if not taxis or not requests:
         return np.full((len(requests), len(taxis)), math.inf)
+    # Sources are taxi locations: D(t_i, r_j^s) differs from D(r_j^s, t_i)
+    # on asymmetric oracles such as a road network with oneway edges.  The
+    # masking runs in the kernel's taxi-major layout (contiguous), and only
+    # the final result is transposed (a free view) to the documented
+    # request-major indexing.
     pick = oracle_pairwise(
-        oracle, [r.pickup for r in requests], [t.location for t in taxis], exact=True
+        oracle, [t.location for t in taxis], [r.pickup for r in requests], exact=True
     )
     seats = np.array([t.seats for t in taxis], dtype=np.int64)
     party = np.array([r.passengers for r in requests], dtype=np.int64)
-    allowed = (party[:, None] <= seats[None, :]) & (pick <= threshold_km)
-    return np.where(allowed, pick, math.inf)
+    allowed = (party[None, :] <= seats[:, None]) & (pick <= threshold_km)
+    return np.where(allowed, pick, math.inf).T
 
 
 class MinCostDispatcher(Dispatcher):

@@ -86,9 +86,11 @@ def build_sharing_table(
     else:
         # One batched kernel call replaces the two scalar approach-distance
         # queries per (group, taxi) pair; exact=True keeps every score bit-
-        # identical to group_passenger_score / group_taxi_score.
+        # identical to group_passenger_score / group_taxi_score, whose
+        # sources are taxi locations (D(taxi, route_start) — asymmetric
+        # oracles distinguish the direction).
         approach = oracle_pairwise(
-            oracle, [g.route_start for g in units], [t.location for t in taxis], exact=True
+            oracle, [t.location for t in taxis], [g.route_start for g in units], exact=True
         )
 
     for gi, group in enumerate(units):
@@ -108,7 +110,7 @@ def build_sharing_table(
             if group.total_passengers > taxi.seats:
                 continue
             assert approach is not None
-            approach_km = float(approach[gi, ti])
+            approach_km = float(approach[ti, gi])
             total = 0.0
             for offset, beta_detour in member_terms:
                 total += approach_km + offset + beta_detour

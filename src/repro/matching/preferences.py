@@ -432,26 +432,32 @@ def _vectorized_table(
             counts[j] = len(candidates)
         ti = np.array(cols, dtype=np.intp)
         rj = np.repeat(np.arange(n_requests, dtype=np.intp), counts)
+        # Sources are taxi locations, as in the scalar reference's
+        # ``distance(taxi.location, request.pickup)`` — the order matters
+        # for asymmetric oracles (oneway road edges) and for the exact
+        # float association of the road network's snap offsets.
         if exact_kernels:
-            pick = np.asarray(oracle.paired(pickup_xy[rj], taxi_xy[ti]), dtype=np.float64)
+            pick = np.asarray(oracle.paired(taxi_xy[ti], pickup_xy[rj]), dtype=np.float64)
         else:  # candidate distances stay scalar `distance` calls
             distance = oracle.distance
             pick = np.array(
-                [distance(pickups[j], taxi_points[i]) for j, i in zip(rj.tolist(), ti.tolist())],
+                [distance(taxi_points[i], pickups[j]) for j, i in zip(rj.tolist(), ti.tolist())],
                 dtype=np.float64,
             )
         flat_keep = np.flatnonzero(pick <= config.passenger_threshold_km)
         rj, ti, pick = rj[flat_keep], ti[flat_keep], pick[flat_keep]
     else:
+        # Taxi-major matrix so rows/sources are taxi locations, matching
+        # the scalar ``distance(taxi.location, request.pickup)`` order.
         if exact_kernels:
-            pick_matrix = np.asarray(oracle.pairwise(pickup_xy, taxi_xy), dtype=np.float64)
+            pick_matrix = np.asarray(oracle.pairwise(taxi_xy, pickup_xy), dtype=np.float64)
         else:
-            pick_matrix = oracle_pairwise(oracle, pickups, taxi_points, exact=True)
+            pick_matrix = oracle_pairwise(oracle, taxi_points, pickups, exact=True)
         # Staged masking: the cheap threshold compare first (it rejects
         # NaN too), then every remaining acceptability condition only on
         # the surviving pairs.
         flat = np.flatnonzero(pick_matrix <= config.passenger_threshold_km)
-        rj, ti = np.divmod(flat, n_taxis)
+        ti, rj = np.divmod(flat, n_requests)
         pick = pick_matrix.ravel()[flat]
 
     driver = pick - alpha_arr[ti] * trip[rj]

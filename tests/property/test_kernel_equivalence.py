@@ -14,6 +14,12 @@ import math
 from hypothesis import given, settings, strategies as st
 
 from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.dispatch.nonsharing.mincost import build_cost_matrix
+from repro.dispatch.sharing.preferences import (
+    build_sharing_table,
+    group_passenger_score,
+    group_taxi_score,
+)
 from repro.geometry import (
     EuclideanDistance,
     HaversineDistance,
@@ -23,6 +29,8 @@ from repro.geometry import (
 )
 from repro.matching import build_nonsharing_table
 from repro.matching.preferences import _prune_eligible, build_nonsharing_table_reference
+from repro.network import RoadNetwork
+from repro.routing.shared_route import build_ride_group
 
 TAXI_ID_BASE = 100
 
@@ -35,6 +43,9 @@ coordinate = st.one_of(
 
 points = st.builds(Point, coordinate, coordinate)
 
+#: All symmetric; the asymmetric batch-exact oracle (RoadNetwork with
+#: oneway edges) is covered deterministically in
+#: TestAsymmetricRoadNetwork below.
 oracles = st.sampled_from(
     [
         EuclideanDistance(),
@@ -162,3 +173,88 @@ class TestThresholdBoundary:
             taxis, requests, oracle, config, alpha_by_taxi=alpha_by_taxi, engine="pruned"
         )
         assert_tables_identical(reference, pruned, "pruned-boundary")
+
+
+def oneway_ring() -> RoadNetwork:
+    """A 4-node one-way ring: D(u, v) and D(v, u) always differ."""
+    network = RoadNetwork()
+    corners = [Point(0.0, 0.0), Point(10.0, 0.0), Point(10.0, 10.0), Point(0.0, 10.0)]
+    for node_id, point in enumerate(corners):
+        network.add_node(node_id, point)
+    for u in range(4):
+        network.add_edge(u, (u + 1) % 4, 10.0, oneway=True)
+    return network
+
+
+class TestAsymmetricRoadNetwork:
+    """RoadNetwork is the only asymmetric batch-exact oracle, so the
+    (taxi, pickup) argument order of every batched consumer — and the
+    scalar ``(offset_taxi + node_km) + offset_pickup`` float association
+    — is only observable here.  Query points sit off-node so every snap
+    offset is distinct and nonzero."""
+
+    def setup_method(self):
+        self.network = oneway_ring()
+        self.config = DispatchConfig(
+            passenger_threshold_km=math.inf, taxi_threshold_km=math.inf
+        )
+        self.taxis = [
+            Taxi(TAXI_ID_BASE, Point(0.25, 0.0), seats=2),
+            Taxi(TAXI_ID_BASE + 1, Point(10.0, 0.125), seats=4),
+        ]
+        # Request 1 needs 3 seats: the first taxi is seat-infeasible.
+        self.requests = [
+            PassengerRequest(0, Point(10.0, 0.5), Point(10.0, 9.5), passengers=1),
+            PassengerRequest(1, Point(0.0625, 0.0), Point(0.0, 9.75), passengers=3),
+        ]
+
+    def test_table_scores_use_taxi_to_pickup_direction(self):
+        taxi, request = self.taxis[0], self.requests[0]
+        forward = self.network.distance(taxi.location, request.pickup)
+        backward = self.network.distance(request.pickup, taxi.location)
+        assert forward != backward  # the ring makes a flipped kernel visible
+        table = build_nonsharing_table(
+            self.taxis, self.requests, self.network, self.config, engine="dense"
+        )
+        assert table.proposer_scores[(0, TAXI_ID_BASE)] == forward
+
+    def test_vectorized_engines_match_scalar_reference(self):
+        reference = build_nonsharing_table_reference(
+            self.taxis, self.requests, self.network, self.config
+        )
+        for engine in ("dense", "auto"):
+            candidate = build_nonsharing_table(
+                self.taxis, self.requests, self.network, self.config, engine=engine
+            )
+            assert_tables_identical(reference, candidate, engine)
+
+    def test_cost_matrix_uses_taxi_to_pickup_direction(self):
+        matrix = build_cost_matrix(self.taxis, self.requests, self.network)
+        for j, request in enumerate(self.requests):
+            for i, taxi in enumerate(self.taxis):
+                if request.passengers <= taxi.seats:
+                    expected = self.network.distance(taxi.location, request.pickup)
+                    assert matrix[j, i] == expected
+                else:
+                    assert matrix[j, i] == math.inf
+
+    def test_sharing_table_matches_scalar_score_functions(self):
+        groups = [
+            build_ride_group(gid, (request,), self.network)
+            for gid, request in enumerate(self.requests)
+        ]
+        table = build_sharing_table(self.taxis, groups, self.network, self.config)
+        scored = 0
+        for group in groups:
+            for taxi in self.taxis:
+                if group.total_passengers > taxi.seats:
+                    continue
+                pair = (group.group_id, taxi.taxi_id)
+                assert table.proposer_scores[pair] == group_passenger_score(
+                    taxi, group, self.network, self.config.beta
+                )
+                assert table.reviewer_scores[pair] == group_taxi_score(
+                    taxi, group, self.network, self.config.alpha
+                )
+                scored += 1
+        assert scored == 3  # every seat-feasible pair was checked
