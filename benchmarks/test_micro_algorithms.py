@@ -22,6 +22,7 @@ import pytest
 
 from repro.core import DispatchConfig, PassengerRequest, Taxi
 from repro.dispatch.nonsharing.mincost import build_cost_matrix
+from repro.experiments import environment_metadata
 from repro.geometry import EuclideanDistance, Point, oracle_pairwise
 from repro.matching import (
     all_stable_matchings,
@@ -246,8 +247,9 @@ class TestKernelSpeedups:
         )
 
         payload = {
-            "schema": "bench-kernels/1",
+            "schema": "bench-kernels/2",
             "source": "benchmarks/test_micro_algorithms.py::TestKernelSpeedups",
+            "environment": environment_metadata(),
             "workload": {
                 "n_taxis": self.N_TAXIS,
                 "n_requests": self.N_REQUESTS,

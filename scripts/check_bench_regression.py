@@ -1,22 +1,30 @@
 #!/usr/bin/env python
-"""Guard against kernel performance regressions.
+"""Guard against kernel and matching-core performance regressions.
 
-Compares the freshly generated ``BENCH_kernels.json`` (written by
-``pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups``)
-against the committed baseline ``benchmarks/BENCH_kernels_baseline.json``
-and fails when any vectorized table-construction kernel got more than
-``--tolerance`` slower (default 25%).
+Compares the freshly generated benchmark artifacts at the repo root
+against their committed baselines and fails when any guarded fast-path
+row got more than ``--tolerance`` slower (default 25%):
+
+* ``BENCH_kernels.json`` (written by ``pytest
+  benchmarks/test_micro_algorithms.py -k KernelSpeedups``) vs
+  ``benchmarks/BENCH_kernels_baseline.json`` — the vectorized
+  preference/table construction kernels;
+* ``BENCH_matching.json`` (written by ``pytest
+  benchmarks/test_matching_core.py``) vs
+  ``benchmarks/BENCH_matching_baseline.json`` — the array
+  deferred-acceptance engine and the array frame totals.
 
 Absolute wall-clock comparisons across different machines are noisy, so
 CI should regenerate both sides on the same host when possible; the 25%
-tolerance absorbs same-host run-to-run jitter.  Refresh the baseline by
-copying the new ``BENCH_kernels.json`` over it after an intentional
-change.
+tolerance absorbs same-host run-to-run jitter, and each artifact embeds
+an ``environment`` block so a cross-machine comparison is at least
+visible.  Refresh a baseline by copying the new artifact over it after
+an intentional change.
 
 Usage::
 
-    PYTHONPATH=src python -m pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups
-    python scripts/check_bench_regression.py
+    scripts/run_benchmarks.sh            # regenerate both + check
+    python scripts/check_bench_regression.py [--suite kernels|matching]
 """
 
 from __future__ import annotations
@@ -24,32 +32,99 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-CURRENT = REPO_ROOT / "BENCH_kernels.json"
-BASELINE = REPO_ROOT / "benchmarks" / "BENCH_kernels_baseline.json"
 
-#: Kernels guarded against regression: the table-construction hot path
-#: plus the raw batched kernels it is built on.
-GUARDED_PREFIXES = (
-    "preference_table_vectorized_",
-    "preference_table_pruned_",
-    "pairwise_euclidean",
-    "cost_matrix_batched",
+
+@dataclass(frozen=True)
+class Suite:
+    """One benchmark artifact/baseline pair and its guarded rows."""
+
+    name: str
+    current: Path
+    baseline: Path
+    guarded_prefixes: tuple[str, ...]
+
+
+SUITES = (
+    Suite(
+        name="kernels",
+        current=REPO_ROOT / "BENCH_kernels.json",
+        baseline=REPO_ROOT / "benchmarks" / "BENCH_kernels_baseline.json",
+        # The table-construction hot path plus the raw batched kernels
+        # it is built on.
+        guarded_prefixes=(
+            "preference_table_vectorized_",
+            "preference_table_pruned_",
+            "pairwise_euclidean",
+            "cost_matrix_batched",
+        ),
+    ),
+    Suite(
+        name="matching",
+        current=REPO_ROOT / "BENCH_matching.json",
+        baseline=REPO_ROOT / "benchmarks" / "BENCH_matching_baseline.json",
+        # The array fast path only: the dict rows are reference points,
+        # not guarded surfaces.  The e2e city-day rows aggregate whole
+        # simulations and are too noisy at this tolerance; the JSON
+        # still records them for eyeballing.
+        guarded_prefixes=(
+            "da_array_",
+            "frame_total_array_",
+        ),
+    ),
 )
 
 
 def load(path: Path) -> dict:
     if not path.exists():
-        sys.exit(f"error: {path} not found; run the kernel benchmark first")
+        sys.exit(f"error: {path} not found; run the benchmarks first (scripts/run_benchmarks.sh)")
     return json.loads(path.read_text())
+
+
+def check_suite(suite: Suite, tolerance: float) -> list[str]:
+    current = load(suite.current)["kernels"]
+    baseline = load(suite.baseline)["kernels"]
+
+    failures = []
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        if not name.startswith(suite.guarded_prefixes):
+            continue
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but missing from current run")
+            continue
+        checked += 1
+        limit = base["ms"] * (1.0 + tolerance)
+        verdict = "ok" if now["ms"] <= limit else "REGRESSED"
+        print(
+            f"[{suite.name}] {name}: {now['ms']:.2f} ms vs baseline {base['ms']:.2f} ms "
+            f"(limit {limit:.2f} ms) {verdict}"
+        )
+        if now["ms"] > limit:
+            failures.append(
+                f"{name}: {now['ms']:.2f} ms exceeds baseline {base['ms']:.2f} ms "
+                f"by more than {tolerance:.0%}"
+            )
+
+    if not checked:
+        failures.append(f"no guarded rows found in {suite.baseline}; baseline file corrupt?")
+    else:
+        print(f"[{suite.name}] {checked} guarded rows checked")
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", type=Path, default=CURRENT)
-    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument(
+        "--suite",
+        choices=[s.name for s in SUITES],
+        default=None,
+        help="check only one suite (default: all)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -58,39 +133,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = load(args.current)["kernels"]
-    baseline = load(args.baseline)["kernels"]
+    suites = [s for s in SUITES if args.suite is None or s.name == args.suite]
+    failures: list[str] = []
+    for suite in suites:
+        failures.extend(check_suite(suite, args.tolerance))
 
-    failures = []
-    checked = 0
-    for name, base in sorted(baseline.items()):
-        if not name.startswith(GUARDED_PREFIXES):
-            continue
-        now = current.get(name)
-        if now is None:
-            failures.append(f"{name}: present in baseline but missing from current run")
-            continue
-        checked += 1
-        limit = base["ms"] * (1.0 + args.tolerance)
-        verdict = "ok" if now["ms"] <= limit else "REGRESSED"
-        print(
-            f"{name}: {now['ms']:.2f} ms vs baseline {base['ms']:.2f} ms "
-            f"(limit {limit:.2f} ms) {verdict}"
-        )
-        if now["ms"] > limit:
-            failures.append(
-                f"{name}: {now['ms']:.2f} ms exceeds baseline {base['ms']:.2f} ms "
-                f"by more than {args.tolerance:.0%}"
-            )
-
-    if not checked:
-        failures.append("no guarded kernels found in baseline; baseline file corrupt?")
     if failures:
         print()
         for failure in failures:
             print(f"FAIL {failure}")
         return 1
-    print(f"\nall {checked} guarded kernels within {args.tolerance:.0%} of baseline")
+    print(f"\nall guarded rows within {args.tolerance:.0%} of baseline")
     return 0
 
 

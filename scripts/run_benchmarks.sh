@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate both benchmark artifacts and run the regression guard.
+#
+#   scripts/run_benchmarks.sh                 # full: kernels + matching + guard
+#   scripts/run_benchmarks.sh --tolerance 0.5 # extra args go to the guard
+#
+# Artifacts land at the repo root (BENCH_kernels.json,
+# BENCH_matching.json); committed baselines live in benchmarks/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups -q
+PYTHONPATH=src python -m pytest benchmarks/test_matching_core.py -q
+python scripts/check_bench_regression.py "$@"

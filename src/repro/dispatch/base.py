@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.config import DispatchConfig
 from repro.core.errors import DispatchError
@@ -24,6 +25,9 @@ from repro.core.types import (
 )
 from repro.geometry.distance import DistanceOracle
 
+if TYPE_CHECKING:  # imported lazily to avoid a dispatch <-> simulation cycle
+    from repro.simulation.frame_cache import FrameDistanceCache
+
 __all__ = ["Dispatcher", "single_assignment", "group_assignment"]
 
 
@@ -33,9 +37,16 @@ class Dispatcher(abc.ABC):
     #: Short identifier used in experiment reports (e.g. "NSTD-P").
     name: str = "base"
 
+    #: Optional per-frame distance memo, installed by the simulation
+    #: engine (which also invalidates it every frame).  Dispatchers read
+    #: it opportunistically; ``None`` means "compute from the oracle",
+    #: and both paths are bit-identical by the exactness contract.
+    frame_cache: "FrameDistanceCache | None" = None
+
     def __init__(self, oracle: DistanceOracle, config: DispatchConfig | None = None):
         self.oracle = oracle
         self.config = config if config is not None else DispatchConfig()
+        self.frame_cache = None
 
     @abc.abstractmethod
     def dispatch(

@@ -4,11 +4,20 @@ Requests are served in arrival (id) order; each takes the geometrically
 nearest idle taxi with enough seats.  A grid spatial index keeps the
 per-request query sublinear, which is what makes this the fastest — and
 least driver-friendly — baseline.
+
+When the simulation engine installs a frame cache, the per-request index
+queries are replaced by masked argmins over the frame's shared pickup
+matrix.  The selection rule is unchanged: among available in-threshold
+taxis with enough seats, nearest wins and distance ties break toward
+the smaller taxi id — the same (distance, key) order the index uses —
+so both paths produce identical schedules.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, single_assignment
@@ -28,6 +37,8 @@ class GreedyNearestDispatcher(Dispatcher):
         schedule = DispatchSchedule()
         if not taxis or not requests:
             return schedule
+        if self.frame_cache is not None:
+            return self._dispatch_matrix(taxis, requests)
         index = GridSpatialIndex(
             cell_size=suggest_cell_size(t.location for t in taxis), oracle=self.oracle
         )
@@ -42,6 +53,33 @@ class GreedyNearestDispatcher(Dispatcher):
                 continue
             index.remove(chosen.taxi_id)
             schedule.add(single_assignment(chosen, request))
+        return self._validated(schedule, taxis, requests)
+
+    def _dispatch_matrix(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> DispatchSchedule:
+        """The frame-cache fast path: one matrix, one argmin per request.
+
+        Taxis are id-sorted, so ``argmin``'s first-minimum convention is
+        exactly the index path's smallest-id tie-break.
+        """
+        schedule = DispatchSchedule()
+        ordered_taxis = sorted(taxis, key=lambda t: t.taxi_id)
+        ordered_requests = sorted(requests, key=lambda r: r.request_id)
+        pick = self.frame_cache.pickup_matrix(ordered_taxis, ordered_requests)
+        seats = np.array([t.seats for t in ordered_taxis], dtype=np.int64)
+        available = np.ones(len(ordered_taxis), dtype=bool)
+        threshold = self.config.passenger_threshold_km
+        for j, request in enumerate(ordered_requests):
+            if not available.any():
+                break
+            column = pick[:, j]
+            feasible = available & (column <= threshold) & (request.passengers <= seats)
+            if not feasible.any():
+                continue
+            i = int(np.argmin(np.where(feasible, column, np.inf)))
+            available[i] = False
+            schedule.add(single_assignment(ordered_taxis[i], request))
         return self._validated(schedule, taxis, requests)
 
     @staticmethod

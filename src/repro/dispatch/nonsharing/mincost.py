@@ -25,13 +25,18 @@ def build_cost_matrix(
     requests: Sequence[PassengerRequest],
     oracle,
     threshold_km: float = math.inf,
+    *,
+    pickup_matrix: np.ndarray | None = None,
 ) -> np.ndarray:
     """``cost[j][i] = D(t_i, r_j^s)``; ``inf`` marks forbidden pairs.
 
     Built on the batched distance kernels (one vectorized pickup-distance
     matrix plus seat/threshold masks); oracles without an exact batch
     kernel fall back to scalar ``distance`` calls, so entries are always
-    bit-identical to the scalar double loop.
+    bit-identical to the scalar double loop.  ``pickup_matrix``
+    optionally supplies that taxi-major ``(len(taxis), len(requests))``
+    distance matrix precomputed (the frame cache's layout) instead of
+    recomputing it here.
     """
     if not taxis or not requests:
         return np.full((len(requests), len(taxis)), math.inf)
@@ -40,9 +45,17 @@ def build_cost_matrix(
     # masking runs in the kernel's taxi-major layout (contiguous), and only
     # the final result is transposed (a free view) to the documented
     # request-major indexing.
-    pick = oracle_pairwise(
-        oracle, [t.location for t in taxis], [r.pickup for r in requests], exact=True
-    )
+    if pickup_matrix is not None:
+        pick = np.asarray(pickup_matrix, dtype=np.float64)
+        if pick.shape != (len(taxis), len(requests)):
+            raise ValueError(
+                f"pickup_matrix has shape {pick.shape}, "
+                f"expected ({len(taxis)}, {len(requests)})"
+            )
+    else:
+        pick = oracle_pairwise(
+            oracle, [t.location for t in taxis], [r.pickup for r in requests], exact=True
+        )
     seats = np.array([t.seats for t in taxis], dtype=np.int64)
     party = np.array([r.passengers for r in requests], dtype=np.int64)
     allowed = (party[None, :] <= seats[:, None]) & (pick <= threshold_km)
@@ -62,8 +75,17 @@ class MinCostDispatcher(Dispatcher):
             return schedule
         ordered_requests = sorted(requests, key=lambda r: r.request_id)
         ordered_taxis = sorted(taxis, key=lambda t: t.taxi_id)
+        pickup = (
+            self.frame_cache.pickup_matrix(ordered_taxis, ordered_requests)
+            if self.frame_cache is not None
+            else None
+        )
         matrix = build_cost_matrix(
-            ordered_taxis, ordered_requests, self.oracle, self.config.passenger_threshold_km
+            ordered_taxis,
+            ordered_requests,
+            self.oracle,
+            self.config.passenger_threshold_km,
+            pickup_matrix=pickup,
         )
         for j, i in min_cost_matching(matrix):
             schedule.add(single_assignment(ordered_taxis[i], ordered_requests[j]))

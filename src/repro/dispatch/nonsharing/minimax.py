@@ -30,8 +30,17 @@ class MinimaxDispatcher(Dispatcher):
             return schedule
         ordered_requests = sorted(requests, key=lambda r: r.request_id)
         ordered_taxis = sorted(taxis, key=lambda t: t.taxi_id)
+        pickup = (
+            self.frame_cache.pickup_matrix(ordered_taxis, ordered_requests)
+            if self.frame_cache is not None
+            else None
+        )
         matrix = build_cost_matrix(
-            ordered_taxis, ordered_requests, self.oracle, self.config.passenger_threshold_km
+            ordered_taxis,
+            ordered_requests,
+            self.oracle,
+            self.config.passenger_threshold_km,
+            pickup_matrix=pickup,
         )
         for j, i in minimax_matching(matrix):
             schedule.add(single_assignment(ordered_taxis[i], ordered_requests[j]))

@@ -5,6 +5,16 @@ selects the taxi-optimal stable matching; by default it uses the
 taxi-proposing fast path (provably equal to Algorithm 2's taxi-best
 pick — see :mod:`repro.matching.optimality`), with an ``exact`` switch
 that runs the full Algorithm 2 enumeration instead.
+
+The passenger/taxi fast paths run array-native end to end: the frame is
+compiled straight into :class:`~repro.matching.arrays.PreferenceArrays`
+(no per-pair dicts) and matched by the array deferred-acceptance
+engine, which is bit-identical to the dict reference (``use_arrays=
+False`` forces the dict path; the median and ``exact`` selectors always
+use it, since lattice enumeration walks dict tables).  When the
+simulation engine installs a :class:`~repro.simulation.frame_cache.
+FrameDistanceCache`, the pickup matrix and trip distances are read from
+it instead of recomputed.
 """
 
 from __future__ import annotations
@@ -17,7 +27,7 @@ from repro.dispatch.base import Dispatcher, single_assignment
 from repro.geometry.distance import DistanceOracle
 from repro.matching.lattice import median_stable_matching
 from repro.matching.optimality import passenger_optimal, taxi_optimal, taxi_optimal_exact
-from repro.matching.preferences import build_nonsharing_table
+from repro.matching.preferences import build_nonsharing_arrays, build_nonsharing_table
 
 __all__ = ["NSTDDispatcher", "nstd_p", "nstd_t", "nstd_m"]
 
@@ -35,6 +45,7 @@ class NSTDDispatcher(Dispatcher):
         optimize_for: str = "passenger",
         exact: bool = False,
         alpha_by_taxi: Mapping[int, float] | None = None,
+        use_arrays: bool = True,
     ):
         super().__init__(oracle, config)
         if optimize_for not in self._NAMES:
@@ -44,6 +55,7 @@ class NSTDDispatcher(Dispatcher):
         self.optimize_for = optimize_for
         self.exact = exact
         self.alpha_by_taxi = dict(alpha_by_taxi) if alpha_by_taxi else None
+        self.use_arrays = use_arrays
         self.name = self._NAMES[optimize_for]
 
     def dispatch(
@@ -52,19 +64,45 @@ class NSTDDispatcher(Dispatcher):
         schedule = DispatchSchedule()
         if not taxis or not requests:
             return schedule
-        table = build_nonsharing_table(
-            taxis, requests, self.oracle, self.config, alpha_by_taxi=self.alpha_by_taxi
+        pickup_matrix = trip_km = None
+        if self.frame_cache is not None:
+            pickup_matrix = self.frame_cache.pickup_matrix(taxis, requests)
+            trip_km = self.frame_cache.trip_km(requests)
+        array_path = (
+            self.use_arrays
+            and self.optimize_for in ("passenger", "taxi")
+            and not self.exact
         )
+        if array_path:
+            prefs = build_nonsharing_arrays(
+                taxis,
+                requests,
+                self.oracle,
+                self.config,
+                alpha_by_taxi=self.alpha_by_taxi,
+                pickup_matrix=pickup_matrix,
+                trip_km=trip_km,
+            )
+        else:
+            prefs = build_nonsharing_table(
+                taxis,
+                requests,
+                self.oracle,
+                self.config,
+                alpha_by_taxi=self.alpha_by_taxi,
+                pickup_matrix=pickup_matrix,
+                trip_km=trip_km,
+            )
         if self.optimize_for == "passenger":
-            matching = passenger_optimal(table)
+            matching = passenger_optimal(prefs)
         elif self.optimize_for == "median":
             # The Teo-Sethuraman compromise the paper cites as [13]:
             # every matched side gets its median stable partner.
-            matching = median_stable_matching(table)
+            matching = median_stable_matching(prefs)
         elif self.exact:
-            matching = taxi_optimal_exact(table)
+            matching = taxi_optimal_exact(prefs)
         else:
-            matching = taxi_optimal(table)
+            matching = taxi_optimal(prefs)
         taxis_by_id = {t.taxi_id: t for t in taxis}
         requests_by_id = {r.request_id: r for r in requests}
         for request_id, taxi_id in sorted(matching.pairs):

@@ -76,6 +76,7 @@ def pack_requests(
     packer: str = "local",
     max_passengers: int | None = 4,
     pairing_radius_km: float | None = None,
+    pickup_gap=None,
     cache: dict | None = None,
 ) -> list[RideGroup]:
     """Stage one of Algorithm 3: the dispatch units ``R' ∪ C'``.
@@ -91,6 +92,7 @@ def pack_requests(
         config,
         max_passengers=max_passengers,
         pairing_radius_km=pairing_radius_km,
+        pickup_gap=pickup_gap,
         cache=cache,
     )
     member_sets = [frozenset(g.request_ids) for g in candidates]
@@ -152,6 +154,11 @@ class STDDispatcher(Dispatcher):
         batch = clip_batch(requests, taxis, self.config, self.max_batch)
         if len(self._group_cache) > 500_000:
             self._group_cache.clear()
+        pickup_gap = None
+        if self.frame_cache is not None and self.pairing_radius_km is not None:
+            # clip_batch returns the batch id-sorted, the order the
+            # enumeration's radius prefilter expects.
+            pickup_gap = self.frame_cache.pickup_gap_matrix(batch)
         units = pack_requests(
             batch,
             self.oracle,
@@ -159,6 +166,7 @@ class STDDispatcher(Dispatcher):
             packer=self.packer,
             max_passengers=max_seats,
             pairing_radius_km=self.pairing_radius_km,
+            pickup_gap=pickup_gap,
             cache=self._group_cache,
         )
         table = build_sharing_table(taxis, units, self.oracle, self.config)

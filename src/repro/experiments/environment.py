@@ -1,0 +1,30 @@
+"""Host environment metadata for experiment and benchmark provenance.
+
+Wall-clock numbers are meaningless without knowing what produced them:
+the benchmark JSON artifacts embed this snapshot so a regression check
+can tell "the code got slower" apart from "the baseline came from a
+different machine".
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+import numpy as np
+
+__all__ = ["environment_metadata"]
+
+
+def environment_metadata() -> dict[str, str | int]:
+    """Versions and hardware facts that shape wall-clock timings."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "executable": sys.executable,
+    }

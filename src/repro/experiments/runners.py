@@ -7,6 +7,7 @@ These functions are the shared engine behind the per-figure harnesses in
 from __future__ import annotations
 
 from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.config import DispatchConfig, SimulationConfig
 from repro.core.errors import ExperimentError
@@ -103,6 +104,30 @@ def _window_demand_share(profile: CityProfile, start_h: float, end_h: float) -> 
     return share
 
 
+def _run_experiment_cell(
+    profile: CityProfile,
+    name: str,
+    scale: ExperimentScale,
+    oracle: DistanceOracle | None,
+    sim_config: SimulationConfig | None,
+) -> tuple[str, SimulationResult]:
+    """One (profile, algorithm) cell, self-contained and picklable.
+
+    Everything is rederived deterministically from the arguments —
+    workload from the profile and scale's seed, configuration from the
+    scaled profile — so a cell produces the identical
+    :class:`SimulationResult` whether it runs in this process or in a
+    worker (wall-clock telemetry aside).
+    """
+    oracle = oracle if oracle is not None else EuclideanDistance()
+    if sim_config is None:
+        sim_config = city_simulation_config(profile.scaled(scale.factor))
+    fleet, requests = build_workload(profile, scale)
+    dispatcher = make_dispatcher(name, oracle, sim_config.dispatch)
+    simulator = Simulator(dispatcher, oracle, sim_config)
+    return dispatcher.name, simulator.run(fleet, requests)
+
+
 def run_city_experiment(
     profile: CityProfile,
     algorithms: Sequence[str],
@@ -110,19 +135,37 @@ def run_city_experiment(
     *,
     oracle: DistanceOracle | None = None,
     sim_config: SimulationConfig | None = None,
+    workers: int = 1,
 ) -> dict[str, SimulationResult]:
     """Simulate one city-day under every requested algorithm.
 
     All algorithms see the identical fleet and trace, so differences in
     the output metrics are attributable to the dispatch policy alone.
+
+    ``workers`` > 1 runs the algorithms in a process pool.  Each worker
+    rebuilds its cell deterministically from the same seeds, so the
+    returned results are identical to a serial run (the parallel-sweep
+    test asserts this); result order follows ``algorithms`` either way.
     """
+    if workers > 1 and len(algorithms) > 1:
+        results: dict[str, SimulationResult] = {}
+        with ProcessPoolExecutor(max_workers=min(workers, len(algorithms))) as pool:
+            futures = [
+                pool.submit(_run_experiment_cell, profile, name, scale, oracle, sim_config)
+                for name in algorithms
+            ]
+            for future in futures:
+                dispatcher_name, result = future.result()
+                results[dispatcher_name] = result
+        return results
+
     oracle = oracle if oracle is not None else EuclideanDistance()
     if sim_config is None:
         # Configure against the *scaled* profile so θ, the thresholds and
         # the taxi speed pick up the dynamic-similarity space factor.
         sim_config = city_simulation_config(profile.scaled(scale.factor))
     fleet, requests = build_workload(profile, scale)
-    results: dict[str, SimulationResult] = {}
+    results = {}
     for name in algorithms:
         dispatcher = make_dispatcher(name, oracle, sim_config.dispatch)
         simulator = Simulator(dispatcher, oracle, sim_config)
@@ -138,14 +181,45 @@ def run_taxi_sweep(
     *,
     oracle: DistanceOracle | None = None,
     sim_config: SimulationConfig | None = None,
+    workers: int = 1,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Fig. 6's sweep: same trace, varying fleet size.
 
     ``taxi_counts`` are paper-scale fleet sizes; they are scaled by the
     experiment factor alongside the demand.
+
+    ``workers`` > 1 fans the full (fleet size × algorithm) grid out over
+    a process pool; each cell is deterministic in its arguments, so the
+    sweep's results are identical to the serial run.
     """
+    if workers > 1:
+        cells = [(count, name) for count in taxi_counts for name in algorithms]
+        if len(cells) > 1:
+            results: dict[int, dict[str, SimulationResult]] = {
+                count: {} for count in taxi_counts
+            }
+            with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+                futures = [
+                    (
+                        count,
+                        pool.submit(
+                            _run_experiment_cell,
+                            profile.with_taxis(count),
+                            name,
+                            scale,
+                            oracle,
+                            sim_config,
+                        ),
+                    )
+                    for count, name in cells
+                ]
+                for count, future in futures:
+                    dispatcher_name, result = future.result()
+                    results[count][dispatcher_name] = result
+            return results
+
     oracle = oracle if oracle is not None else EuclideanDistance()
-    results: dict[int, dict[str, SimulationResult]] = {}
+    results = {}
     for count in taxi_counts:
         swept = profile.with_taxis(count)
         # sim_config=None lets each run derive its configuration from the

@@ -1,12 +1,18 @@
 """Matching core: preference tables, Algorithm 1, Algorithm 2, baselines."""
 
+from repro.matching.arrays import NO_PARTNER, UNRANKED, PreferenceArrays
 from repro.matching.bipartite import (
     matching_total_cost,
     min_cost_matching,
     minimax_matching,
 )
 from repro.matching.brute_force import all_matchings, all_stable_matchings_brute_force
-from repro.matching.deferred_acceptance import DeferredAcceptanceStats, deferred_acceptance
+from repro.matching.deferred_acceptance import (
+    DeferredAcceptanceStats,
+    deferred_acceptance,
+    deferred_acceptance_arrays,
+    deferred_acceptance_dict,
+)
 from repro.matching.enumeration import (
     EnumerationStats,
     all_stable_matchings,
@@ -29,6 +35,7 @@ from repro.matching.optimality import (
 )
 from repro.matching.preferences import (
     PreferenceTable,
+    build_nonsharing_arrays,
     build_nonsharing_table,
     passenger_score,
     taxi_score,
@@ -62,11 +69,17 @@ from repro.matching.verification import (
 
 __all__ = [
     "PreferenceTable",
+    "PreferenceArrays",
+    "UNRANKED",
+    "NO_PARTNER",
     "build_nonsharing_table",
+    "build_nonsharing_arrays",
     "passenger_score",
     "taxi_score",
     "Matching",
     "deferred_acceptance",
+    "deferred_acceptance_dict",
+    "deferred_acceptance_arrays",
     "DeferredAcceptanceStats",
     "all_stable_matchings",
     "break_dispatch",

@@ -1,0 +1,283 @@
+"""``PreferenceArrays``: the array-native preference representation.
+
+:class:`~repro.matching.preferences.PreferenceTable` is the semantic
+reference structure — Python dicts of id tuples — but the frame hot path
+(Algorithm 1 at 700×700 scale, every minute of a city day) pays dearly
+for it: building per-reviewer rank dicts alone is O(E) dictionary
+inserts per frame.  :class:`PreferenceArrays` is the same market in flat
+NumPy arrays:
+
+* both sides' preference orders in CSR form (``proposer_indptr`` /
+  ``proposer_list`` and the reviewer mirror), entries best-first,
+  ``int32`` partner *indices* (not ids — ids live in ``proposer_ids`` /
+  ``reviewer_ids``);
+* per-edge cross ranks (``proposer_list_rank[e]`` is the rank of the
+  *proposing* side's member in the listed reviewer's own order), which
+  is all deferred acceptance needs for its refusal test — no rank dict,
+  no dense lookup in the inner loop;
+* dense rank matrices (``reviewer_rank[r, p]`` / ``proposer_rank[p,
+  r]``) for vectorized stability verification, with the **dummy
+  sentinel** :data:`UNRANKED` marking unacceptable pairs.
+
+**Rank-matrix refusal convention.**  Ranks are positions in the
+acceptable prefix of a preference order (0 = best).  The implicit dummy
+partner of Theorem 1 sits at rank :data:`UNRANKED` (``int32`` max): an
+unmatched reviewer "holds" its dummy, so the acceptance test for a
+proposal arriving with edge rank ``k`` is uniformly ``k <
+current_rank`` — against a real holder and against the dummy alike.
+Unacceptable pairs (behind the dummy on either side) never appear in
+the CSR lists and carry :data:`UNRANKED` in both dense matrices.
+
+``reversed()`` swaps the two sides by *relabeling fields only* — no
+array is copied — which is what makes the taxi-proposing NSTD-T fast
+path zero-copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import PreferenceError
+from repro.matching.preferences import PreferenceTable
+
+__all__ = ["PreferenceArrays", "UNRANKED", "NO_PARTNER"]
+
+#: Dummy-partner rank sentinel: every acceptable partner ranks strictly
+#: below this, so ``rank < UNRANKED`` is exactly "preferred to the dummy".
+UNRANKED: int = np.iinfo(np.int32).max
+
+#: Engine sentinel for "matched to the dummy" (no partner held).
+NO_PARTNER: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class PreferenceArrays:
+    """A mutually consistent preference market in flat arrays.
+
+    Attributes
+    ----------
+    proposer_ids / reviewer_ids:
+        ``int64`` original entity ids; position in these arrays is the
+        index every other field speaks in.
+    proposer_indptr / proposer_list:
+        CSR preference orders: proposer ``p``'s acceptable reviewers are
+        ``proposer_list[proposer_indptr[p]:proposer_indptr[p+1]]``,
+        best first.  The implicit dummy sits at the end of each segment.
+    proposer_list_rank:
+        Aligned with ``proposer_list``: the rank of proposer ``p`` in
+        the *listed reviewer's* order — the only cross-side data the
+        proposer-side deferred-acceptance loop touches.
+    reviewer_indptr / reviewer_list / reviewer_list_rank:
+        The mirror structure for reviewers (used when taxis propose).
+    proposer_rank / reviewer_rank:
+        Dense ``(P, R)`` / ``(R, P)`` ``int32`` rank matrices with
+        :data:`UNRANKED` for unacceptable pairs; the vectorized
+        stability check runs on these.
+    """
+
+    proposer_ids: np.ndarray
+    reviewer_ids: np.ndarray
+    proposer_indptr: np.ndarray
+    proposer_list: np.ndarray
+    proposer_list_rank: np.ndarray
+    reviewer_indptr: np.ndarray
+    reviewer_list: np.ndarray
+    reviewer_list_rank: np.ndarray
+    proposer_rank: np.ndarray
+    reviewer_rank: np.ndarray
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def n_proposers(self) -> int:
+        return len(self.proposer_ids)
+
+    @property
+    def n_reviewers(self) -> int:
+        return len(self.reviewer_ids)
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of mutually acceptable pairs (CSR edges per side)."""
+        return len(self.proposer_list)
+
+    # -- role reversal -----------------------------------------------------
+
+    def reversed(self) -> "PreferenceArrays":
+        """The same market with roles swapped — a pure field relabeling.
+
+        No array is copied; the reviewer-side CSR becomes the proposer
+        CSR and the dense matrices trade places.  Deferred acceptance on
+        the result is reviewer-optimal for this market.
+        """
+        return PreferenceArrays(
+            proposer_ids=self.reviewer_ids,
+            reviewer_ids=self.proposer_ids,
+            proposer_indptr=self.reviewer_indptr,
+            proposer_list=self.reviewer_list,
+            proposer_list_rank=self.reviewer_list_rank,
+            reviewer_indptr=self.proposer_indptr,
+            reviewer_list=self.proposer_list,
+            reviewer_list_rank=self.proposer_list_rank,
+            proposer_rank=self.reviewer_rank,
+            reviewer_rank=self.proposer_rank,
+        )
+
+    # -- conversions -------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: PreferenceTable) -> "PreferenceArrays":
+        """Pack a dict :class:`PreferenceTable` into arrays.
+
+        Entity order follows the table's dict insertion order, so a
+        round trip through :meth:`to_table` preserves iteration order.
+        This is the compatibility path (tests, hand-built tables); the
+        frame hot path builds arrays directly via
+        :func:`repro.matching.preferences.build_nonsharing_arrays`
+        without materializing the dicts at all.
+        """
+        proposer_ids = np.fromiter(table.proposer_prefs, dtype=np.int64, count=len(table.proposer_prefs))
+        reviewer_ids = np.fromiter(table.reviewer_prefs, dtype=np.int64, count=len(table.reviewer_prefs))
+        p_index = {int(pid): i for i, pid in enumerate(proposer_ids)}
+        r_index = {int(rid): i for i, rid in enumerate(reviewer_ids)}
+
+        n_prop, n_rev = len(proposer_ids), len(reviewer_ids)
+        proposer_rank = np.full((n_prop, n_rev), UNRANKED, dtype=np.int32)
+        reviewer_rank = np.full((n_rev, n_prop), UNRANKED, dtype=np.int32)
+
+        p_indptr = np.zeros(n_prop + 1, dtype=np.int64)
+        p_cols: list[int] = []
+        for pid, prefs in table.proposer_prefs.items():
+            p = p_index[pid]
+            for k, rid in enumerate(prefs):
+                r = r_index.get(rid)
+                if r is None:
+                    raise PreferenceError(f"proposer {pid} lists unknown reviewer {rid}")
+                p_cols.append(r)
+                proposer_rank[p, r] = k
+            p_indptr[p + 1] = len(prefs)
+        np.cumsum(p_indptr, out=p_indptr)
+
+        r_indptr = np.zeros(n_rev + 1, dtype=np.int64)
+        r_cols: list[int] = []
+        for rid, prefs in table.reviewer_prefs.items():
+            r = r_index[rid]
+            for k, pid in enumerate(prefs):
+                p = p_index.get(pid)
+                if p is None:
+                    raise PreferenceError(f"reviewer {rid} lists unknown proposer {pid}")
+                r_cols.append(p)
+                reviewer_rank[r, p] = k
+            r_indptr[r + 1] = len(prefs)
+        np.cumsum(r_indptr, out=r_indptr)
+
+        proposer_list = np.array(p_cols, dtype=np.int32)
+        reviewer_list = np.array(r_cols, dtype=np.int32)
+        if len(proposer_list) != len(reviewer_list):
+            raise PreferenceError(
+                "preference lists are not mutually consistent: "
+                f"{len(proposer_list)} proposer edges vs {len(reviewer_list)} reviewer edges"
+            )
+        proposer_owner = np.repeat(np.arange(n_prop), np.diff(p_indptr))
+        reviewer_owner = np.repeat(np.arange(n_rev), np.diff(r_indptr))
+        proposer_list_rank = reviewer_rank[proposer_list, proposer_owner]
+        reviewer_list_rank = proposer_rank[reviewer_list, reviewer_owner]
+        if len(proposer_list) and (
+            (proposer_list_rank == UNRANKED).any() or (reviewer_list_rank == UNRANKED).any()
+        ):
+            raise PreferenceError("preference lists are not mutually consistent")
+        return cls(
+            proposer_ids=proposer_ids,
+            reviewer_ids=reviewer_ids,
+            proposer_indptr=p_indptr,
+            proposer_list=proposer_list,
+            proposer_list_rank=proposer_list_rank,
+            reviewer_indptr=r_indptr,
+            reviewer_list=reviewer_list,
+            reviewer_list_rank=reviewer_list_rank,
+            proposer_rank=proposer_rank,
+            reviewer_rank=reviewer_rank,
+        )
+
+    def to_table(self, *, validate: bool = False) -> PreferenceTable:
+        """Unpack into the dict :class:`PreferenceTable` (scores omitted)."""
+        proposer_prefs: dict[int, tuple[int, ...]] = {}
+        rid_list = self.reviewer_ids.tolist()
+        pid_list = self.proposer_ids.tolist()
+        p_indptr = self.proposer_indptr.tolist()
+        p_cols = self.proposer_list.tolist()
+        for p, pid in enumerate(pid_list):
+            proposer_prefs[pid] = tuple(
+                rid_list[r] for r in p_cols[p_indptr[p] : p_indptr[p + 1]]
+            )
+        reviewer_prefs: dict[int, tuple[int, ...]] = {}
+        r_indptr = self.reviewer_indptr.tolist()
+        r_cols = self.reviewer_list.tolist()
+        for r, rid in enumerate(rid_list):
+            reviewer_prefs[rid] = tuple(
+                pid_list[p] for p in r_cols[r_indptr[r] : r_indptr[r + 1]]
+            )
+        return PreferenceTable(
+            proposer_prefs=proposer_prefs, reviewer_prefs=reviewer_prefs, validate=validate
+        )
+
+    # -- equality (for tests) ---------------------------------------------
+
+    def equals(self, other: "PreferenceArrays") -> bool:
+        """Structural equality, field by field (array-aware)."""
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in (
+                "proposer_ids",
+                "reviewer_ids",
+                "proposer_indptr",
+                "proposer_list",
+                "proposer_list_rank",
+                "reviewer_indptr",
+                "reviewer_list",
+                "reviewer_list_rank",
+                "proposer_rank",
+                "reviewer_rank",
+            )
+        )
+
+    def validate(self) -> None:
+        """O(E) consistency check for hand-built instances.
+
+        The trusted builders produce consistent arrays by construction;
+        call this from tests or when ingesting external data.
+        """
+        n_prop, n_rev = self.n_proposers, self.n_reviewers
+        if self.proposer_indptr[0] != 0 or self.proposer_indptr[-1] != len(self.proposer_list):
+            raise PreferenceError("proposer_indptr does not span proposer_list")
+        if self.reviewer_indptr[0] != 0 or self.reviewer_indptr[-1] != len(self.reviewer_list):
+            raise PreferenceError("reviewer_indptr does not span reviewer_list")
+        if len(self.proposer_list) != len(self.reviewer_list):
+            raise PreferenceError("edge counts differ between sides")
+        if self.proposer_rank.shape != (n_prop, n_rev):
+            raise PreferenceError(f"proposer_rank shape {self.proposer_rank.shape}")
+        if self.reviewer_rank.shape != (n_rev, n_prop):
+            raise PreferenceError(f"reviewer_rank shape {self.reviewer_rank.shape}")
+        if len(self.proposer_list) and (
+            self.proposer_list.min() < 0 or self.proposer_list.max() >= n_rev
+        ):
+            raise PreferenceError("proposer_list contains out-of-range reviewer index")
+        if len(self.reviewer_list) and (
+            self.reviewer_list.min() < 0 or self.reviewer_list.max() >= n_prop
+        ):
+            raise PreferenceError("reviewer_list contains out-of-range proposer index")
+        # Mutual consistency: the edge sets of both sides coincide, and
+        # the dense matrices agree with the CSR ranks.
+        p_owner = np.repeat(np.arange(n_prop), np.diff(self.proposer_indptr))
+        r_owner = np.repeat(np.arange(n_rev), np.diff(self.reviewer_indptr))
+        p_edges = set(zip(p_owner.tolist(), self.proposer_list.tolist()))
+        r_edges = set(zip(self.reviewer_list.tolist(), r_owner.tolist()))
+        if p_edges != r_edges:
+            diff = sorted(p_edges ^ r_edges)[:5]
+            raise PreferenceError(f"sides disagree on acceptable pairs: {diff}")
+        if not np.array_equal(self.proposer_list_rank, self.reviewer_rank[self.proposer_list, p_owner]):
+            raise PreferenceError("proposer_list_rank disagrees with reviewer_rank")
+        if not np.array_equal(self.reviewer_list_rank, self.proposer_rank[self.reviewer_list, r_owner]):
+            raise PreferenceError("reviewer_list_rank disagrees with proposer_rank")

@@ -12,6 +12,30 @@ limit.  The result is the **passenger-optimal** stable matching
 (Property 2), and by Theorem 2 its unserved requests are unserved in
 every stable matching.
 
+Two engines implement the identical algorithm:
+
+* the **dict engine** (:func:`deferred_acceptance_dict`) runs on
+  :class:`~repro.matching.preferences.PreferenceTable` and is the
+  retained semantic reference;
+* the **array engine** (:func:`deferred_acceptance_arrays`) runs on
+  :class:`~repro.matching.arrays.PreferenceArrays` with flat
+  ``next_choice`` / ``current_partner`` / ``current_rank`` int arrays
+  and the per-edge cross-rank refusal test — no rank dictionaries are
+  ever built, which is where the dict engine spends most of a frame.
+  It executes in **batched proposal rounds**: every free proposer
+  proposes to its next choice at once, and each reviewer keeps the
+  best suitor via one vectorized min-reduction.
+
+The two engines run different proposal *orders* yet are bit-identical
+in matching *and* counters, which the property suite asserts.  Both
+facts are the McVitie–Wilson order-independence of deferred acceptance:
+under any execution order the algorithm makes the same *set* of
+proposals (hence equal proposal counters and, by Property 2, the same
+proposer-optimal matching), and every proposal is either held when the
+algorithm stops or refused exactly once — immediately, or later by
+displacement — so refusal counters agree too (``refusals = proposals −
+matched`` in both engines).
+
 Complexity: O(|R|·|T|) proposals, as in the paper.
 """
 
@@ -19,10 +43,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.matching.arrays import NO_PARTNER, UNRANKED, PreferenceArrays
 from repro.matching.preferences import PreferenceTable
 from repro.matching.result import Matching
 
-__all__ = ["deferred_acceptance", "DeferredAcceptanceStats"]
+__all__ = [
+    "deferred_acceptance",
+    "deferred_acceptance_dict",
+    "deferred_acceptance_arrays",
+    "DeferredAcceptanceStats",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,18 +67,33 @@ class DeferredAcceptanceStats:
 
 
 def deferred_acceptance(
-    table: PreferenceTable, *, with_stats: bool = False
+    table: PreferenceTable | PreferenceArrays, *, with_stats: bool = False
 ) -> Matching | tuple[Matching, DeferredAcceptanceStats]:
-    """Run Algorithm 1 on ``table`` and return the proposer-optimal matching.
+    """Run Algorithm 1 and return the proposer-optimal matching.
+
+    Dispatches on the input representation: a
+    :class:`~repro.matching.arrays.PreferenceArrays` instance runs on
+    the array engine (the frame fast path), a
+    :class:`~repro.matching.preferences.PreferenceTable` on the dict
+    reference engine.  Both produce identical matchings and counters.
 
     Parameters
     ----------
     table:
         Mutually consistent preference lists (dummies are implicit list
-        ends).
+        ends), in either representation.
     with_stats:
         When true, also return proposal/refusal counters.
     """
+    if isinstance(table, PreferenceArrays):
+        return deferred_acceptance_arrays(table, with_stats=with_stats)
+    return deferred_acceptance_dict(table, with_stats=with_stats)
+
+
+def deferred_acceptance_dict(
+    table: PreferenceTable, *, with_stats: bool = False
+) -> Matching | tuple[Matching, DeferredAcceptanceStats]:
+    """The retained dict-based reference engine (the oracle in tests)."""
     # next_choice[p] = index of the next entry p will propose to.
     next_choice: dict[int, int] = {p: 0 for p in table.proposer_prefs}
     current_partner: dict[int, int] = {}  # reviewer -> proposer currently held
@@ -90,6 +137,89 @@ def deferred_acceptance(
         # (Proposal lines 6-7) and stays unserved.
 
     matching = Matching(engaged_to)
+    if with_stats:
+        stats = DeferredAcceptanceStats(
+            proposals=proposals, refusals=refusals, matched_pairs=matching.size
+        )
+        return matching, stats
+    return matching
+
+
+def deferred_acceptance_arrays(
+    arrays: PreferenceArrays, *, with_stats: bool = False
+) -> Matching | tuple[Matching, DeferredAcceptanceStats]:
+    """The array engine: Algorithm 1 in batched proposal rounds.
+
+    State is three flat arrays indexed by entity position —
+    ``next_choice[p]`` (cursor into the proposer's CSR segment),
+    ``current_partner[r]`` (:data:`NO_PARTNER` means the dummy) and
+    ``current_rank[r]``, the rank at which the reviewer accepted its
+    held proposer (:data:`UNRANKED` for the dummy).  Each round, every
+    free proposer with entries left proposes to its next choice at
+    once; ``np.minimum.at`` folds the proposals into ``current_rank``
+    so a reviewer keeps exactly the suitor it prefers over everything
+    it has seen, dummy included (ranks within a reviewer's list are
+    unique, so the round's winner is the proposal whose rank equals the
+    reduced value).  Refused proposers and displaced holders form the
+    next round's free pool.  Nothing is hashed and no rank structure is
+    built at run time; per-round work is a handful of vectorized ops
+    over the currently free proposers.
+
+    By McVitie–Wilson order-independence this produces the identical
+    matching and counters as the sequential dict engine (see the module
+    docstring).
+    """
+    n_prop = arrays.n_proposers
+    n_rev = arrays.n_reviewers
+    indptr = arrays.proposer_indptr
+    pref = arrays.proposer_list
+    pref_rank = arrays.proposer_list_rank
+
+    next_choice = indptr[:-1].copy()  # each cursor starts at its CSR segment
+    ends = indptr[1:]
+    current_partner = np.full(n_rev, NO_PARTNER, dtype=np.int64)
+    # The dummy's rank: any listed entry beats it.
+    current_rank = np.full(n_rev, np.int64(UNRANKED), dtype=np.int64)
+
+    proposals = 0
+    refusals = 0
+
+    free = np.arange(n_prop, dtype=np.int64)
+    while free.size:
+        # Proposers whose list is exhausted fall to their dummy and drop
+        # out unserved (Proposal lines 6-7).
+        active = free[next_choice[free] < ends[free]]
+        if active.size == 0:
+            break
+        edges = next_choice[active]
+        reviewers = pref[edges].astype(np.int64)
+        ranks = pref_rank[edges].astype(np.int64)
+        next_choice[active] += 1
+        proposals += int(active.size)
+        # Refusal lines 10-14, one reduction for the whole round: each
+        # proposed-to reviewer's held rank drops to its best incoming
+        # offer; the unique proposal achieving it is accepted.
+        np.minimum.at(current_rank, reviewers, ranks)
+        won = ranks == current_rank[reviewers]
+        winners = active[won]
+        win_reviewers = reviewers[won]
+        holders = current_partner[win_reviewers]
+        displaced = holders[holders != NO_PARTNER]
+        current_partner[win_reviewers] = winners
+        # Line 16 (immediate refusals) plus line 14 (displacements).
+        refusals += int(active.size - winners.size) + int(displaced.size)
+        free = np.concatenate((active[~won], displaced))
+
+    proposer_ids = arrays.proposer_ids
+    reviewer_ids = arrays.reviewer_ids
+    matched_reviewers = np.flatnonzero(current_partner != NO_PARTNER)
+    matched_proposers = current_partner[matched_reviewers]
+    matching = Matching(
+        {
+            int(proposer_ids[p]): int(reviewer_ids[r])
+            for p, r in zip(matched_proposers.tolist(), matched_reviewers.tolist())
+        }
+    )
     if with_stats:
         stats = DeferredAcceptanceStats(
             proposals=proposals, refusals=refusals, matched_pairs=matching.size

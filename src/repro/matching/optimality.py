@@ -27,6 +27,7 @@ from collections.abc import Callable, Sequence
 from repro.core.errors import MatchingError
 from repro.core.types import PassengerRequest
 from repro.geometry.distance import DistanceOracle
+from repro.matching.arrays import PreferenceArrays
 from repro.matching.deferred_acceptance import deferred_acceptance
 from repro.matching.enumeration import all_stable_matchings
 from repro.matching.preferences import PreferenceTable
@@ -42,15 +43,22 @@ __all__ = [
 ]
 
 
-def passenger_optimal(table: PreferenceTable) -> Matching:
-    """NSTD-P: the passenger-optimal stable matching (Algorithm 1)."""
+def passenger_optimal(table: PreferenceTable | PreferenceArrays) -> Matching:
+    """NSTD-P: the passenger-optimal stable matching (Algorithm 1).
+
+    Accepts either preference representation; arrays run on the
+    array-backed engine.
+    """
     return deferred_acceptance(table)
 
 
-def taxi_optimal(table: PreferenceTable) -> Matching:
+def taxi_optimal(table: PreferenceTable | PreferenceArrays) -> Matching:
     """NSTD-T fast path: deferred acceptance with taxis proposing.
 
     Returns a matching in the original orientation (request → taxi).
+    For :class:`~repro.matching.arrays.PreferenceArrays` the role swap
+    is a zero-copy field relabeling, so the taxi-proposing run costs no
+    more than the passenger-proposing one.
     """
     reversed_matching = deferred_acceptance(table.reversed())
     return Matching({proposer: reviewer for reviewer, proposer in reversed_matching.pairs})

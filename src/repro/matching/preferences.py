@@ -71,6 +71,7 @@ __all__ = [
     "PreferenceTable",
     "build_nonsharing_table",
     "build_nonsharing_table_reference",
+    "build_nonsharing_arrays",
     "passenger_score",
     "taxi_score",
 ]
@@ -237,6 +238,8 @@ def build_nonsharing_table(
     *,
     alpha_by_taxi: Mapping[int, float] | None = None,
     engine: str = "auto",
+    pickup_matrix: np.ndarray | None = None,
+    trip_km: np.ndarray | None = None,
 ) -> PreferenceTable:
     """The paper's non-sharing preference orders (Section IV-A).
 
@@ -264,8 +267,121 @@ def build_nonsharing_table(
     pruning, and the frame is big enough; dense otherwise), ``"dense"``,
     ``"pruned"``, or ``"scalar"`` (the reference double loop).  Every
     engine returns an identical table.
+
+    ``pickup_matrix`` / ``trip_km`` optionally inject frame-cached
+    distance kernels (the taxi-major ``D(t_i, r_j^s)`` matrix and the
+    per-request trip vector; see
+    :class:`repro.simulation.FrameDistanceCache`).  Supplying a pickup
+    matrix forces the dense engine — the matrix *is* the dense kernel
+    output — and the caller is responsible for the values being
+    bit-identical to scalar ``distance`` calls (true for every cache in
+    this package, which computes with ``exact=True`` kernels).
     """
     config = config if config is not None else DispatchConfig()
+    alphas = _checked_alphas(taxis, requests, config, alpha_by_taxi)
+
+    if engine == "scalar":
+        if pickup_matrix is not None:
+            raise PreferenceError("pickup_matrix requires a vectorized engine")
+        return _scalar_table(taxis, requests, oracle, config, alphas)
+    pairs = _vectorized_pairs_dispatch(
+        taxis, requests, oracle, config, alphas, engine, pickup_matrix, trip_km
+    )
+    return _pairs_to_table(taxis, requests, *pairs)
+
+
+def build_nonsharing_arrays(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    alpha_by_taxi: Mapping[int, float] | None = None,
+    engine: str = "auto",
+    pickup_matrix: np.ndarray | None = None,
+    trip_km: np.ndarray | None = None,
+):
+    """The same market as :func:`build_nonsharing_table`, emitted directly
+    as :class:`~repro.matching.arrays.PreferenceArrays`.
+
+    This is the frame fast path: the vectorized pair pipeline feeds two
+    lexsorts and a handful of scatters, and **no intermediate Python
+    dict or tuple is materialized** — proposer index ``j`` is position
+    ``j`` in ``requests``, reviewer index ``i`` is position ``i`` in
+    ``taxis``, exactly the order the dict builder would have used.  The
+    result is structurally identical to
+    ``PreferenceArrays.from_table(build_nonsharing_table(...))`` (the
+    property suite asserts this), at a fraction of the cost.
+
+    ``engine``/``pickup_matrix``/``trip_km`` behave as in
+    :func:`build_nonsharing_table`; ``engine="scalar"`` routes through
+    the dict reference and packs it (the oracle path for tests).
+    """
+    from repro.matching.arrays import PreferenceArrays, UNRANKED  # deferred: avoids cycle
+
+    config = config if config is not None else DispatchConfig()
+    alphas = _checked_alphas(taxis, requests, config, alpha_by_taxi)
+    if engine == "scalar":
+        if pickup_matrix is not None:
+            raise PreferenceError("pickup_matrix requires a vectorized engine")
+        return PreferenceArrays.from_table(_scalar_table(taxis, requests, oracle, config, alphas))
+    rj, ti, pick, driver = _vectorized_pairs_dispatch(
+        taxis, requests, oracle, config, alphas, engine, pickup_matrix, trip_km
+    )
+
+    n_requests, n_taxis = len(requests), len(taxis)
+    request_ids = np.array([r.request_id for r in requests], dtype=np.int64)
+    taxi_ids = np.array([t.taxi_id for t in taxis], dtype=np.int64)
+    n_pairs = len(rj)
+
+    # Proposer-side CSR: one global lexsort groups edges by request (in
+    # input position order) with each segment sorted by (score, taxi id),
+    # reproducing the reference's per-list sorted().
+    proposer_order = np.lexsort((taxi_ids[ti], pick, rj))
+    p_owner = rj[proposer_order]
+    proposer_list = ti[proposer_order].astype(np.int32)
+    p_indptr = np.zeros(n_requests + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rj, minlength=n_requests), out=p_indptr[1:])
+    p_within = (np.arange(n_pairs, dtype=np.int64) - p_indptr[p_owner]).astype(np.int32)
+    proposer_rank = np.full((n_requests, n_taxis), UNRANKED, dtype=np.int32)
+    proposer_rank[p_owner, proposer_list] = p_within
+
+    # Reviewer-side mirror.
+    reviewer_order = np.lexsort((request_ids[rj], driver, ti))
+    r_owner = ti[reviewer_order]
+    reviewer_list = rj[reviewer_order].astype(np.int32)
+    r_indptr = np.zeros(n_taxis + 1, dtype=np.int64)
+    np.cumsum(np.bincount(ti, minlength=n_taxis), out=r_indptr[1:])
+    r_within = (np.arange(n_pairs, dtype=np.int64) - r_indptr[r_owner]).astype(np.int32)
+    reviewer_rank = np.full((n_taxis, n_requests), UNRANKED, dtype=np.int32)
+    reviewer_rank[r_owner, reviewer_list] = r_within
+
+    # Per-edge cross ranks: scatter each side's within-segment rank back
+    # to original pair positions, then gather in the other side's order.
+    rank_in_reviewer = np.empty(n_pairs, dtype=np.int32)
+    rank_in_reviewer[reviewer_order] = r_within
+    rank_in_proposer = np.empty(n_pairs, dtype=np.int32)
+    rank_in_proposer[proposer_order] = p_within
+    return PreferenceArrays(
+        proposer_ids=request_ids,
+        reviewer_ids=taxi_ids,
+        proposer_indptr=p_indptr,
+        proposer_list=proposer_list,
+        proposer_list_rank=rank_in_reviewer[proposer_order],
+        reviewer_indptr=r_indptr,
+        reviewer_list=reviewer_list,
+        reviewer_list_rank=rank_in_proposer[reviewer_order],
+        proposer_rank=proposer_rank,
+        reviewer_rank=reviewer_rank,
+    )
+
+
+def _checked_alphas(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    config: DispatchConfig,
+    alpha_by_taxi: Mapping[int, float] | None,
+) -> dict[int, float]:
     _check_unique_ids(taxis, requests)
     alphas = {
         taxi.taxi_id: (alpha_by_taxi or {}).get(taxi.taxi_id, config.alpha) for taxi in taxis
@@ -273,9 +389,22 @@ def build_nonsharing_table(
     for taxi_id, alpha in alphas.items():
         if alpha < 0.0:
             raise PreferenceError(f"taxi {taxi_id} has negative alpha {alpha}")
+    return alphas
 
-    if engine == "scalar":
-        return _scalar_table(taxis, requests, oracle, config, alphas)
+
+def _vectorized_pairs_dispatch(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig,
+    alphas: Mapping[int, float],
+    engine: str,
+    pickup_matrix: np.ndarray | None,
+    trip_km: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Engine selection for the vectorized candidate-pair pipeline."""
+    if pickup_matrix is not None and engine == "pruned":
+        raise PreferenceError("pickup_matrix implies the dense engine")
     if engine == "pruned":
         if not _prune_eligible(oracle, config):
             raise PreferenceError(
@@ -283,16 +412,27 @@ def build_nonsharing_table(
                 "grid-prunable oracle (Euclidean/Manhattan or an "
                 "expansion-scaled wrapper of one)"
             )
-        return _vectorized_table(taxis, requests, oracle, config, alphas, prune=True)
-    if engine == "dense":
-        return _vectorized_table(taxis, requests, oracle, config, alphas, prune=False)
-    if engine != "auto":
+        prune = True
+    elif engine == "dense":
+        prune = False
+    elif engine == "auto":
+        prune = (
+            pickup_matrix is None
+            and _prune_eligible(oracle, config)
+            and len(taxis) * len(requests) >= _PRUNE_MIN_PAIRS
+        )
+    else:
         raise PreferenceError(f"unknown engine {engine!r}")
-    prune = (
-        _prune_eligible(oracle, config)
-        and len(taxis) * len(requests) >= _PRUNE_MIN_PAIRS
+    return _vectorized_pairs(
+        taxis,
+        requests,
+        oracle,
+        config,
+        alphas,
+        prune=prune,
+        pickup_matrix=pickup_matrix,
+        trip_km=trip_km,
     )
-    return _vectorized_table(taxis, requests, oracle, config, alphas, prune=prune)
 
 
 def build_nonsharing_table_reference(
@@ -375,7 +515,7 @@ def _scalar_table(
     )
 
 
-def _vectorized_table(
+def _vectorized_pairs(
     taxis: Sequence[Taxi],
     requests: Sequence[PassengerRequest],
     oracle: DistanceOracle,
@@ -383,18 +523,23 @@ def _vectorized_table(
     alphas: Mapping[int, float],
     *,
     prune: bool,
-) -> PreferenceTable:
+    pickup_matrix: np.ndarray | None = None,
+    trip_km: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The acceptable candidate pairs of one frame, as flat arrays.
+
+    Returns ``(rj, ti, pick, driver)``: request/taxi *positions* (into
+    the given sequences) of every mutually acceptable pair plus both
+    scores, in no particular order.  This is the shared front half of
+    the dict and array builders.
+    """
     n_requests = len(requests)
     n_taxis = len(taxis)
-    request_ids = np.array([r.request_id for r in requests], dtype=np.int64)
-    taxi_ids = np.array([t.taxi_id for t in taxis], dtype=np.int64)
+    empty_idx = np.empty(0, dtype=np.intp)
+    empty_f = np.empty(0, dtype=np.float64)
 
     if n_requests == 0 or n_taxis == 0:
-        return PreferenceTable(
-            proposer_prefs={r.request_id: () for r in requests},
-            reviewer_prefs={t.taxi_id: () for t in taxis},
-            validate=False,
-        )
+        return empty_idx, empty_idx, empty_f, empty_f
 
     seats = np.array([t.seats for t in taxis], dtype=np.int64)
     party = np.array([r.passengers for r in requests], dtype=np.int64)
@@ -407,15 +552,22 @@ def _vectorized_table(
     # once and the packed arrays feed every kernel call below; otherwise
     # the Point lists go through the scalar-loop fallbacks.
     exact_kernels = batch_kernels_exact(oracle)
-    if exact_kernels:
-        pickup_xy = as_point_array(pickups)
-        taxi_xy = as_point_array(taxi_points)
+    if trip_km is not None:
+        trip = np.asarray(trip_km, dtype=np.float64)
+        if trip.shape != (n_requests,):
+            raise PreferenceError(f"trip_km has shape {trip.shape}, expected ({n_requests},)")
+    elif exact_kernels:
         trip = np.asarray(
-            oracle.paired(pickup_xy, as_point_array([r.dropoff for r in requests])),
+            oracle.paired(
+                as_point_array(pickups), as_point_array([r.dropoff for r in requests])
+            ),
             dtype=np.float64,
         )
     else:
         trip = oracle_paired(oracle, pickups, [r.dropoff for r in requests], exact=True)
+    if exact_kernels and (prune or pickup_matrix is None):
+        pickup_xy = as_point_array(pickups)
+        taxi_xy = as_point_array(taxi_points)
 
     if prune:
         # Candidate pruning: only taxis within the passenger threshold can
@@ -449,7 +601,14 @@ def _vectorized_table(
     else:
         # Taxi-major matrix so rows/sources are taxi locations, matching
         # the scalar ``distance(taxi.location, request.pickup)`` order.
-        if exact_kernels:
+        if pickup_matrix is not None:
+            pick_matrix = np.asarray(pickup_matrix, dtype=np.float64)
+            if pick_matrix.shape != (n_taxis, n_requests):
+                raise PreferenceError(
+                    f"pickup_matrix has shape {pick_matrix.shape}, "
+                    f"expected ({n_taxis}, {n_requests})"
+                )
+        elif exact_kernels:
             pick_matrix = np.asarray(oracle.pairwise(taxi_xy, pickup_xy), dtype=np.float64)
         else:
             pick_matrix = oracle_pairwise(oracle, taxi_points, pickups, exact=True)
@@ -467,7 +626,29 @@ def _vectorized_table(
         & np.isfinite(driver)
         & (driver <= config.taxi_threshold_km)
     )
-    rj, ti, pick, driver = rj[ok], ti[ok], pick[ok], driver[ok]
+    return rj[ok], ti[ok], pick[ok], driver[ok]
+
+
+def _pairs_to_table(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    rj: np.ndarray,
+    ti: np.ndarray,
+    pick: np.ndarray,
+    driver: np.ndarray,
+) -> PreferenceTable:
+    """The dict tail of the vectorized pipeline: sort, group, tuple-ize."""
+    n_requests = len(requests)
+    n_taxis = len(taxis)
+    request_ids = np.array([r.request_id for r in requests], dtype=np.int64)
+    taxi_ids = np.array([t.taxi_id for t in taxis], dtype=np.int64)
+
+    if len(rj) == 0:
+        return PreferenceTable(
+            proposer_prefs={r.request_id: () for r in requests},
+            reviewer_prefs={t.taxi_id: () for t in taxis},
+            validate=False,
+        )
 
     # One global lexsort per side reproduces the per-list sorted() of the
     # reference: primary key the owner, then score, then partner id.

@@ -23,6 +23,8 @@ import itertools
 from dataclasses import dataclass, field, replace
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.config import DispatchConfig
 from repro.core.errors import PackingError
 from repro.core.types import PassengerRequest, RideGroup
@@ -78,6 +80,7 @@ def enumerate_feasible_groups(
     max_passengers: int | None = 4,
     assume_metric: bool = True,
     pairing_radius_km: float | None = None,
+    pickup_gap: np.ndarray | None = None,
     cache: dict[tuple[int, ...], RideGroup | None] | None = None,
     with_stats: bool = False,
 ) -> list[RideGroup] | tuple[list[RideGroup], FeasibilityStats]:
@@ -95,6 +98,11 @@ def enumerate_feasible_groups(
     O(|R|³) enumeration; a radius of a few θ keeps every plausibly
     attractive group while restoring city-scale tractability.  ``None``
     reproduces the paper's unpruned enumeration.
+
+    ``pickup_gap`` optionally supplies the pickup-to-pickup distance
+    matrix for the **id-sorted** requests (e.g. from the simulation
+    frame cache) so the radius prefilter skips recomputing it; ignored
+    when no ``pairing_radius_km`` is set.
     """
     config = config if config is not None else DispatchConfig()
     stats = FeasibilityStats()
@@ -131,14 +139,22 @@ def enumerate_feasible_groups(
     # The radius prefilter inspects every request pair; one batched
     # pickup-to-pickup matrix replaces O(|R|²) scalar oracle calls
     # (exact=True keeps the kept/skipped decisions identical).
-    pickup_gap = None
+    gap = None
     if pairing_radius_km is not None and len(ordered) >= 2 and config.max_group_size >= 2:
-        pickups = [r.pickup for r in ordered]
-        pickup_gap = oracle_pairwise(oracle, pickups, pickups, exact=True)
+        if pickup_gap is not None:
+            gap = np.asarray(pickup_gap, dtype=np.float64)
+            if gap.shape != (len(ordered), len(ordered)):
+                raise PackingError(
+                    f"pickup_gap has shape {gap.shape}, "
+                    f"expected ({len(ordered)}, {len(ordered)})"
+                )
+        else:
+            pickups = [r.pickup for r in ordered]
+            gap = oracle_pairwise(oracle, pickups, pickups, exact=True)
 
     if config.max_group_size >= 2:
         for (ia, a), (ib, b) in itertools.combinations(enumerate(ordered), 2):
-            if pickup_gap is not None and pickup_gap[ia, ib] > pairing_radius_km:
+            if gap is not None and gap[ia, ib] > pairing_radius_km:
                 continue
             evaluate((a, b), is_pair=True)
 

@@ -2,6 +2,7 @@
 
 from repro.simulation.engine import SimulationResult, Simulator
 from repro.simulation.events import AssignmentRecord, RequestOutcome, TaxiStats
+from repro.simulation.frame_cache import FrameDistanceCache
 from repro.simulation.repositioning import (
     DriftToAnchor,
     DriftToRecentDemand,
@@ -13,6 +14,7 @@ from repro.simulation.taxi_state import StopArrival, TaxiAgent
 __all__ = [
     "Simulator",
     "SimulationResult",
+    "FrameDistanceCache",
     "RequestOutcome",
     "AssignmentRecord",
     "TaxiStats",

@@ -14,6 +14,7 @@ the trace generators.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from collections.abc import Sequence
@@ -25,6 +26,7 @@ from repro.dispatch.base import Dispatcher
 from repro.dispatch.scoring import assignment_metrics
 from repro.geometry.distance import DistanceOracle
 from repro.simulation.events import AssignmentRecord, FrameStats, RequestOutcome, TaxiStats
+from repro.simulation.frame_cache import FrameDistanceCache
 from repro.simulation.repositioning import RepositioningPolicy
 from repro.simulation.taxi_state import TaxiAgent
 
@@ -42,6 +44,7 @@ class SimulationResult:
     final_time_s: float
     taxi_stats: dict[int, TaxiStats] = field(default_factory=dict)
     frame_stats: list[FrameStats] = field(default_factory=list)
+    frame_length_s: float = 60.0
 
     # -- request-side views ------------------------------------------------
 
@@ -86,20 +89,29 @@ class SimulationResult:
         ``FrameStats.dispatch_ms`` series.
 
         ``active_frames`` counts frames where the dispatcher actually
-        ran (idle taxis and queued requests both present); means are
-        reported over both all frames and active frames, since a lightly
-        loaded trace has many trivial frames that dilute the former.
+        ran (idle taxis and queued requests both present); means and
+        percentiles are reported over active frames, since a lightly
+        loaded trace has many trivial frames that dilute them.
+
+        ``frames_over_budget`` counts frames whose dispatch exceeded the
+        frame length itself (``frame_length_s``, one minute by default):
+        a dispatcher that blows this budget cannot keep up with real
+        time, the paper's Fig. 8 criterion.
         """
         samples = [f.dispatch_ms for f in self.frame_stats]
-        active = [f.dispatch_ms for f in self.frame_stats if f.dispatch_ms > 0.0]
+        active = sorted(f.dispatch_ms for f in self.frame_stats if f.dispatch_ms > 0.0)
         total = sum(samples)
+        budget_ms = self.frame_length_s * 1e3
         return {
             "frames": float(len(samples)),
             "active_frames": float(len(active)),
             "total_dispatch_ms": total,
             "mean_dispatch_ms": total / len(samples) if samples else 0.0,
             "mean_active_dispatch_ms": sum(active) / len(active) if active else 0.0,
+            "p50_dispatch_ms": _percentile(active, 0.50),
+            "p95_dispatch_ms": _percentile(active, 0.95),
             "max_dispatch_ms": max(samples, default=0.0),
+            "frames_over_budget": float(sum(1 for ms in samples if ms > budget_ms)),
         }
 
     def summary(self) -> dict[str, float]:
@@ -114,6 +126,14 @@ class SimulationResult:
             "mean_taxi_dissatisfaction": sum(td) / len(td) if td else 0.0,
             "shared_ride_fraction": self.shared_ride_fraction,
         }
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list (0.0 if empty)."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
 
 
 @dataclass(slots=True)
@@ -163,6 +183,11 @@ class Simulator:
         queue: dict[int, _PendingRequest] = {}
         assignments: list[AssignmentRecord] = []
         frame_stats: list[FrameStats] = []
+
+        # One frame-scoped distance memo for the whole run; the engine
+        # owns invalidation (begin_frame below), the dispatcher reads it.
+        cache = FrameDistanceCache(self.oracle)
+        self.dispatcher.frame_cache = cache
 
         frame = config.frame_length_s
         deadline = config.horizon_s + self.overrun_s
@@ -215,6 +240,7 @@ class Simulator:
             assignments_before = len(assignments)
             idle = [agent.snapshot() for agent in agents.values() if agent.is_idle_at(time_s)]
             dispatch_ms = 0.0
+            cache.begin_frame()  # taxi positions changed: drop stale matrices
             if queue and idle:
                 batch = [entry.request for entry in queue.values()]
                 dispatch_start = time.perf_counter()
@@ -233,7 +259,7 @@ class Simulator:
                     )
                     arrivals = agent.assign(assignment, time_s, self.oracle, config)
                     revenue = sum(
-                        requests_by_id[rid].trip_distance(self.oracle)
+                        cache.trip_distance(requests_by_id[rid])
                         for rid in assignment.request_ids
                     )
                     assignments.append(
@@ -295,6 +321,10 @@ class Simulator:
             for taxi_id, agent in agents.items()
         }
 
+        # Detach the run-scoped cache: a dispatcher used outside this
+        # engine afterwards must not read matrices from the last frame.
+        self.dispatcher.frame_cache = None
+
         # Anything still queued at the deadline is unserved.
         return SimulationResult(
             dispatcher_name=self.dispatcher.name,
@@ -304,4 +334,5 @@ class Simulator:
             final_time_s=min(time_s, deadline),
             taxi_stats=taxi_stats,
             frame_stats=frame_stats,
+            frame_length_s=config.frame_length_s,
         )

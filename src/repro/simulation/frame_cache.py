@@ -1,0 +1,154 @@
+"""Per-frame memo of batched distance work shared across a dispatch frame.
+
+Every dispatcher in the evaluation opens its frame the same way: a
+taxi-to-pickup distance matrix (preference tables, Hungarian cost
+matrices, nearest-taxi queries) plus per-request trip distances (taxi
+scores, revenue accounting).  Without a cache each consumer recomputes
+those matrices from the oracle; with one, the engine computes each
+matrix once per frame and every consumer reads the same array.
+
+Ownership and invalidation
+--------------------------
+The :class:`~repro.simulation.engine.Simulator` owns one cache per run
+and hands it to the dispatcher through the ``frame_cache`` attribute on
+:class:`~repro.dispatch.base.Dispatcher`.  At every frame boundary the
+engine calls :meth:`FrameDistanceCache.begin_frame`, which drops all
+**taxi-dependent** matrices — taxis move between frames, so anything
+keyed on taxi positions is stale the moment the frame ends.  Purely
+**request-keyed** values (trip distances, pickup-to-pickup gaps) are
+immutable facts about frozen requests and persist for the life of the
+run; queued requests carry them across frames for free.
+
+Exactness
+---------
+Every cached value is computed with ``exact=True`` batch kernels, which
+fall back to scalar ``distance`` loops on oracles that do not honour
+the exactness contract (see :mod:`repro.geometry.batch`).  A cache hit
+is therefore bit-identical to the scalar oracle call it replaces, so
+threading the cache through a dispatcher can never change its output —
+only how fast it is produced.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.types import PassengerRequest, Taxi
+from repro.geometry.batch import oracle_paired, oracle_pairwise
+from repro.geometry.distance import DistanceOracle
+
+__all__ = ["FrameDistanceCache"]
+
+
+class FrameDistanceCache:
+    """One frame's batched distance matrices, computed once, read many."""
+
+    def __init__(self, oracle: DistanceOracle):
+        self.oracle = oracle
+        # taxi-dependent: cleared every begin_frame()
+        self._pickup: dict[tuple[tuple[int, ...], tuple[int, ...]], np.ndarray] = {}
+        # request-keyed: persist across frames (requests are frozen)
+        self._gap: dict[tuple[int, ...], np.ndarray] = {}
+        self._trip_km: dict[int, float] = {}
+        self.frames = 0
+        self.hits = 0
+        self.misses = 0
+
+    def begin_frame(self) -> None:
+        """Start a new frame: drop everything keyed on taxi positions."""
+        self.frames += 1
+        self._pickup.clear()
+
+    # -- taxi-dependent ----------------------------------------------------
+
+    def pickup_matrix(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> np.ndarray:
+        """``D(t_i, r_j^s)`` as a read-only ``(len(taxis), len(requests))``
+        matrix (taxi-major, the kernels' contiguous layout).
+
+        Keyed by the id order of both sides, so callers that sort their
+        inputs differently within one frame each get a correctly ordered
+        matrix; identical orders share one array.
+        """
+        key = (
+            tuple(t.taxi_id for t in taxis),
+            tuple(r.request_id for r in requests),
+        )
+        cached = self._pickup.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        matrix = oracle_pairwise(
+            self.oracle,
+            [t.location for t in taxis],
+            [r.pickup for r in requests],
+            exact=True,
+        )
+        matrix.setflags(write=False)
+        self._pickup[key] = matrix
+        return matrix
+
+    # -- request-keyed (persist across frames) -----------------------------
+
+    def pickup_gap_matrix(self, requests: Sequence[PassengerRequest]) -> np.ndarray:
+        """``D(r_a^s, r_b^s)`` for all request pairs, read-only, in the
+        given request order; reused verbatim when the same id sequence
+        recurs (queued requests waiting across frames)."""
+        key = tuple(r.request_id for r in requests)
+        cached = self._gap.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        pickups = [r.pickup for r in requests]
+        matrix = oracle_pairwise(self.oracle, pickups, pickups, exact=True)
+        matrix.setflags(write=False)
+        # Gap matrices for *different* queue snapshots mostly overlap but
+        # are not views of each other; keep only the latest per length to
+        # bound memory on long runs.
+        if len(self._gap) > 64:
+            self._gap.clear()
+        self._gap[key] = matrix
+        return matrix
+
+    def trip_km(self, requests: Sequence[PassengerRequest]) -> np.ndarray:
+        """``D(r_j^s, r_j^d)`` per request, in the given order.
+
+        Trip distances are memoized by request id for the life of the
+        cache, so a request that waits in the queue for many frames is
+        measured exactly once.
+        """
+        trips = self._trip_km
+        missing = [r for r in requests if r.request_id not in trips]
+        if missing:
+            self.misses += 1
+            distances = oracle_paired(
+                self.oracle,
+                [r.pickup for r in missing],
+                [r.dropoff for r in missing],
+                exact=True,
+            )
+            for request, km in zip(missing, distances.tolist()):
+                trips[request.request_id] = km
+        else:
+            self.hits += 1
+        return np.array([trips[r.request_id] for r in requests], dtype=np.float64)
+
+    def trip_distance(self, request: PassengerRequest) -> float:
+        """Single-request trip distance through the same memo."""
+        km = self._trip_km.get(request.request_id)
+        if km is None:
+            km = float(
+                oracle_paired(
+                    self.oracle, [request.pickup], [request.dropoff], exact=True
+                )[0]
+            )
+            self._trip_km[request.request_id] = km
+            self.misses += 1
+        else:
+            self.hits += 1
+        return km

@@ -1,0 +1,66 @@
+"""Serial/parallel equivalence of the experiment runners.
+
+``workers > 1`` fans cells out over a process pool; because every cell
+rederives its workload and configuration deterministically from its
+arguments, the parallel run must be indistinguishable from the serial
+one in everything except wall clock.  These tests assert that on the
+full result surface — outcomes, assignments, and summary metrics —
+while deliberately ignoring the timing telemetry
+(``FrameStats.dispatch_ms``), which legitimately differs per host and
+per scheduling.
+"""
+
+from repro.experiments import ExperimentScale, run_city_experiment, run_taxi_sweep
+from repro.trace import boston_profile
+
+TINY = ExperimentScale(factor=0.004, seed=11, hours=(8.0, 9.0))
+ALGORITHMS = ("Greedy", "NSTD-P")
+
+
+def comparable(result):
+    """Everything observable about a run except wall-clock telemetry."""
+    return {
+        "summary": result.summary(),
+        "outcomes": [
+            (o.request_id, o.taxi_id, o.dispatch_time_s, o.pickup_time_s, o.dropoff_time_s)
+            for o in result.outcomes
+        ],
+        "assignments": [
+            (a.frame_time_s, a.taxi_id, a.request_ids, a.revenue_km) for a in result.assignments
+        ],
+        "frames_run": result.frames_run,
+        "taxi_stats": {
+            taxi_id: (stats.driven_km, stats.rides, stats.requests_served, stats.revenue_km)
+            for taxi_id, stats in result.taxi_stats.items()
+        },
+    }
+
+
+class TestRunCityExperimentWorkers:
+    def test_parallel_identical_to_serial(self):
+        serial = run_city_experiment(boston_profile(), ALGORITHMS, TINY)
+        parallel = run_city_experiment(boston_profile(), ALGORITHMS, TINY, workers=2)
+        assert list(serial) == list(parallel)  # order follows `algorithms`
+        for name in serial:
+            assert comparable(serial[name]) == comparable(parallel[name]), name
+
+    def test_single_algorithm_stays_serial(self):
+        # workers > 1 with one algorithm has nothing to fan out; the
+        # serial path must still produce the run.
+        results = run_city_experiment(boston_profile(), ("Greedy",), TINY, workers=4)
+        assert list(results) == ["Greedy"]
+
+
+class TestRunTaxiSweepWorkers:
+    def test_parallel_identical_to_serial(self):
+        counts = (100, 200)
+        serial = run_taxi_sweep(boston_profile(), ALGORITHMS, counts, TINY)
+        parallel = run_taxi_sweep(boston_profile(), ALGORITHMS, counts, TINY, workers=2)
+        assert list(serial) == list(parallel) == list(counts)
+        for count in counts:
+            assert list(serial[count]) == list(parallel[count])
+            for name in serial[count]:
+                assert comparable(serial[count][name]) == comparable(parallel[count][name]), (
+                    count,
+                    name,
+                )

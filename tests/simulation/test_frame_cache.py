@@ -1,0 +1,163 @@
+"""Unit tests for the per-frame distance memo.
+
+The cache's contract has three legs: exactness (a hit is bit-identical
+to the scalar oracle call it replaces), invalidation (taxi-dependent
+matrices die at the frame boundary, request-keyed values persist), and
+transparency (installing the cache on a dispatcher changes nothing but
+wall clock).  Each leg gets its own test class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.dispatch.nonsharing import (
+    GreedyNearestDispatcher,
+    MinCostDispatcher,
+    MinimaxDispatcher,
+    NSTDDispatcher,
+)
+from repro.dispatch.sharing import STDDispatcher
+from repro.geometry import EuclideanDistance, ManhattanDistance, Point
+from repro.simulation import FrameDistanceCache
+
+ORACLE = EuclideanDistance()
+
+
+def small_frame(seed=3, n_taxis=6, n_requests=8, spread=3.0):
+    rng = np.random.default_rng(seed)
+    taxis = [Taxi(i, Point(*rng.normal(0, spread, 2))) for i in range(n_taxis)]
+    requests = [
+        PassengerRequest(j, Point(*rng.normal(0, spread, 2)), Point(*rng.normal(0, spread, 2)))
+        for j in range(n_requests)
+    ]
+    return taxis, requests
+
+
+class TestExactness:
+    def test_pickup_matrix_matches_scalar_oracle(self):
+        taxis, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        matrix = cache.pickup_matrix(taxis, requests)
+        for i, taxi in enumerate(taxis):
+            for j, request in enumerate(requests):
+                assert matrix[i, j] == ORACLE.distance(taxi.location, request.pickup)
+
+    def test_trip_km_matches_scalar_oracle(self):
+        _, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        trips = cache.trip_km(requests)
+        for j, request in enumerate(requests):
+            assert trips[j] == ORACLE.distance(request.pickup, request.dropoff)
+        for request in requests:
+            assert cache.trip_distance(request) == ORACLE.distance(
+                request.pickup, request.dropoff
+            )
+
+    def test_pickup_gap_matrix_matches_scalar_oracle(self):
+        _, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        gap = cache.pickup_gap_matrix(requests)
+        for a, ra in enumerate(requests):
+            for b, rb in enumerate(requests):
+                assert gap[a, b] == ORACLE.distance(ra.pickup, rb.pickup)
+
+    def test_exact_on_non_batch_oracle(self):
+        # Manhattan has no exact batch kernel contract issue either, but
+        # exercise a second metric to catch any kernel/metric mixup.
+        taxis, requests = small_frame()
+        oracle = ManhattanDistance()
+        cache = FrameDistanceCache(oracle)
+        matrix = cache.pickup_matrix(taxis, requests)
+        assert matrix[2, 5] == oracle.distance(taxis[2].location, requests[5].pickup)
+
+
+class TestInvalidationAndReuse:
+    def test_pickup_matrix_reused_within_frame(self):
+        taxis, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        cache.begin_frame()
+        first = cache.pickup_matrix(taxis, requests)
+        second = cache.pickup_matrix(taxis, requests)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_pickup_matrix_dropped_at_frame_boundary(self):
+        taxis, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        cache.begin_frame()
+        first = cache.pickup_matrix(taxis, requests)
+        cache.begin_frame()
+        second = cache.pickup_matrix(taxis, requests)
+        assert first is not second
+        assert cache.misses == 2
+        assert cache.frames == 2
+
+    def test_different_orders_get_distinct_correct_matrices(self):
+        taxis, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        forward = cache.pickup_matrix(taxis, requests)
+        backward = cache.pickup_matrix(taxis[::-1], requests)
+        assert np.array_equal(forward[::-1], backward)
+
+    def test_request_keyed_values_survive_frames(self):
+        _, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        cache.begin_frame()
+        gap = cache.pickup_gap_matrix(requests)
+        trips = cache.trip_km(requests)
+        cache.begin_frame()
+        assert cache.pickup_gap_matrix(requests) is gap
+        assert np.array_equal(cache.trip_km(requests), trips)
+        assert cache.hits == 2
+
+    def test_trip_memo_computes_only_missing(self):
+        _, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        cache.trip_km(requests[:4])
+        misses_before = cache.misses
+        # Superset: one more batched miss measures only the four new ones.
+        full = cache.trip_km(requests)
+        assert cache.misses == misses_before + 1
+        assert full[0] == ORACLE.distance(requests[0].pickup, requests[0].dropoff)
+
+    def test_matrices_are_read_only(self):
+        taxis, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        matrix = cache.pickup_matrix(taxis, requests)
+        gap = cache.pickup_gap_matrix(requests)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            gap[0, 0] = 1.0
+
+
+class TestDispatcherTransparency:
+    """Installing the cache must never change a dispatcher's schedule."""
+
+    CONFIG = DispatchConfig(passenger_threshold_km=4.0, taxi_threshold_km=6.0)
+
+    def dispatchers(self):
+        yield GreedyNearestDispatcher(ORACLE, self.CONFIG)
+        yield MinCostDispatcher(ORACLE, self.CONFIG)
+        yield MinimaxDispatcher(ORACLE, self.CONFIG)
+        yield NSTDDispatcher(ORACLE, self.CONFIG, optimize_for="passenger")
+        yield NSTDDispatcher(ORACLE, self.CONFIG, optimize_for="taxi")
+        yield NSTDDispatcher(ORACLE, self.CONFIG, optimize_for="passenger", use_arrays=False)
+        yield STDDispatcher(
+            ORACLE, self.CONFIG, optimize_for="passenger", pairing_radius_km=3.0
+        )
+
+    def test_schedules_identical_with_and_without_cache(self):
+        taxis, requests = small_frame(seed=9, n_taxis=10, n_requests=14)
+        for dispatcher in self.dispatchers():
+            dispatcher.frame_cache = None
+            bare = dispatcher.dispatch(taxis, requests)
+            cache = FrameDistanceCache(ORACLE)
+            cache.begin_frame()
+            dispatcher.frame_cache = cache
+            cached = dispatcher.dispatch(taxis, requests)
+            bare_pairs = sorted((a.taxi_id, a.request_ids) for a in bare.assignments)
+            cached_pairs = sorted((a.taxi_id, a.request_ids) for a in cached.assignments)
+            assert bare_pairs == cached_pairs, dispatcher.name
+            assert cache.misses > 0, dispatcher.name  # the cache was actually consulted

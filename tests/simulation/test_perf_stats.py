@@ -1,0 +1,98 @@
+"""Unit tests for ``SimulationResult.perf_stats``.
+
+The percentile and budget fields are computed from hand-built
+``FrameStats`` series so every expected value is checkable by eye;
+one end-to-end run sanity-checks that a real simulation populates them
+consistently.
+"""
+
+import numpy as np
+
+from repro.core import DispatchConfig, PassengerRequest, SimulationConfig, Taxi
+from repro.dispatch import nstd_p
+from repro.geometry import EuclideanDistance, Point
+from repro.simulation import SimulationResult, Simulator
+from repro.simulation.events import FrameStats
+
+
+def result_with_dispatch_ms(samples, frame_length_s=60.0):
+    return SimulationResult(
+        dispatcher_name="synthetic",
+        outcomes=[],
+        assignments=[],
+        frames_run=len(samples),
+        final_time_s=60.0 * len(samples),
+        frame_stats=[
+            FrameStats(
+                time_s=60.0 * (k + 1),
+                queue_length=0,
+                idle_taxis=0,
+                dispatched_requests=0,
+                dispatched_taxis=0,
+                abandoned=0,
+                dispatch_ms=ms,
+            )
+            for k, ms in enumerate(samples)
+        ],
+        frame_length_s=frame_length_s,
+    )
+
+
+class TestPercentiles:
+    def test_p50_p95_over_active_frames_only(self):
+        # Idle frames (0.0 ms) must not dilute the percentiles.
+        samples = [0.0, 0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+        perf = result_with_dispatch_ms(samples).perf_stats()
+        assert perf["frames"] == 12.0
+        assert perf["active_frames"] == 10.0
+        # Nearest-rank over the 10 active samples: p50 -> 5th, p95 -> 10th.
+        assert perf["p50_dispatch_ms"] == 50.0
+        assert perf["p95_dispatch_ms"] == 100.0
+
+    def test_single_active_frame(self):
+        perf = result_with_dispatch_ms([0.0, 7.5]).perf_stats()
+        assert perf["p50_dispatch_ms"] == 7.5
+        assert perf["p95_dispatch_ms"] == 7.5
+
+    def test_empty_run(self):
+        perf = result_with_dispatch_ms([]).perf_stats()
+        assert perf["frames"] == 0.0
+        assert perf["p50_dispatch_ms"] == 0.0
+        assert perf["p95_dispatch_ms"] == 0.0
+        assert perf["frames_over_budget"] == 0.0
+
+
+class TestFramesOverBudget:
+    def test_counts_frames_exceeding_frame_length(self):
+        # 60 s frames: the budget is 60,000 ms; two frames blow it.
+        samples = [100.0, 59_999.0, 60_000.0, 60_001.0, 120_000.0]
+        perf = result_with_dispatch_ms(samples).perf_stats()
+        assert perf["frames_over_budget"] == 2.0
+
+    def test_budget_scales_with_frame_length(self):
+        samples = [600.0, 1_500.0]
+        perf = result_with_dispatch_ms(samples, frame_length_s=1.0).perf_stats()
+        assert perf["frames_over_budget"] == 1.0
+
+
+class TestEndToEnd:
+    def test_real_run_populates_perf_fields(self):
+        rng = np.random.default_rng(5)
+        oracle = EuclideanDistance()
+        taxis = [Taxi(i, Point(*rng.normal(0, 2, 2))) for i in range(4)]
+        requests = [
+            PassengerRequest(
+                j,
+                Point(*rng.normal(0, 2, 2)),
+                Point(*rng.normal(0, 2, 2)),
+                request_time_s=float(rng.uniform(0, 600)),
+            )
+            for j in range(15)
+        ]
+        config = SimulationConfig(horizon_s=1800.0, dispatch=DispatchConfig())
+        result = Simulator(nstd_p(oracle, config.dispatch), oracle, config).run(taxis, requests)
+        perf = result.perf_stats()
+        assert result.frame_length_s == config.frame_length_s
+        assert perf["active_frames"] >= 1.0
+        assert 0.0 < perf["p50_dispatch_ms"] <= perf["p95_dispatch_ms"] <= perf["max_dispatch_ms"]
+        assert perf["frames_over_budget"] == 0.0  # toy frames never take a minute
