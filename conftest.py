@@ -1,7 +1,40 @@
 """Ensure the src/ layout is importable when the package is not installed."""
+import os
+import signal
 import sys
 from pathlib import Path
+
+import pytest
 
 SRC = Path(__file__).resolve().parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+#: Per-test wall-clock ceiling in seconds (0 disables the watchdog).
+#: A hung frame — the exact failure mode the resilience layer exists to
+#: prevent — should fail one test loudly, not stall the whole suite.
+_WATCHDOG_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog():
+    """Fail any test that runs longer than the watchdog allows.
+
+    Uses SIGALRM, so it is active only on the main thread of platforms
+    that have it (POSIX); elsewhere it is a no-op.  Nested alarms are
+    not preserved — the test suite does not otherwise use SIGALRM.
+    """
+    if _WATCHDOG_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(f"test exceeded the {_WATCHDOG_S}s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(_WATCHDOG_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -16,11 +16,14 @@ __all__ = [
     "PreferenceError",
     "MatchingError",
     "UnstableMatchingError",
+    "EnumerationBudgetError",
     "PackingError",
     "RoutingError",
     "DispatchError",
     "SimulationError",
     "ExperimentError",
+    "FrameBudgetExceededError",
+    "TransientFaultError",
 ]
 
 
@@ -56,6 +59,21 @@ class UnstableMatchingError(MatchingError):
         self.blocking_pairs = list(blocking_pairs or [])
 
 
+class EnumerationBudgetError(MatchingError):
+    """A lattice enumeration or break cascade exhausted its work budget.
+
+    Carries the partial lattice collected before the budget ran out
+    (``matchings``) and the number of nodes expanded (``nodes``), so
+    callers that asked for a hard failure can still salvage the anytime
+    result.
+    """
+
+    def __init__(self, message: str, *, matchings: list | None = None, nodes: int = 0):
+        super().__init__(message)
+        self.matchings = list(matchings or [])
+        self.nodes = nodes
+
+
 class PackingError(ReproError):
     """Set-packing input is invalid (e.g. an empty candidate subset)."""
 
@@ -74,3 +92,26 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was misconfigured or referenced unknown data."""
+
+
+class FrameBudgetExceededError(ReproError):
+    """A dispatcher's cooperative checkpoint found the frame deadline past.
+
+    The simulation engine catches this and walks the degradation ladder;
+    it escapes to users only when they run a budgeted dispatcher outside
+    the engine.
+    """
+
+    def __init__(self, message: str, *, elapsed_s: float = 0.0, budget_s: float = 0.0):
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s
+
+
+class TransientFaultError(ReproError):
+    """An injected or observed transient infrastructure fault.
+
+    Raised by :class:`repro.resilience.faults.FaultyOracle` (and
+    recognisable to retry logic in the engine and experiment runners);
+    by definition a retry of the same operation may succeed.
+    """

@@ -26,6 +26,7 @@ from repro.core.types import (
 from repro.geometry.distance import DistanceOracle
 
 if TYPE_CHECKING:  # imported lazily to avoid a dispatch <-> simulation cycle
+    from repro.resilience.budget import FrameBudget
     from repro.simulation.frame_cache import FrameDistanceCache
 
 __all__ = ["Dispatcher", "single_assignment", "group_assignment"]
@@ -43,10 +44,24 @@ class Dispatcher(abc.ABC):
     #: and both paths are bit-identical by the exactness contract.
     frame_cache: "FrameDistanceCache | None" = None
 
+    #: Optional frame deadline, installed by the simulation engine when a
+    #: resilience policy is active.  Dispatchers call :meth:`checkpoint`
+    #: at stage boundaries; with no budget installed a checkpoint is a
+    #: no-op, so instrumented dispatchers behave identically outside the
+    #: resilience path.
+    frame_budget: "FrameBudget | None" = None
+
     def __init__(self, oracle: DistanceOracle, config: DispatchConfig | None = None):
         self.oracle = oracle
         self.config = config if config is not None else DispatchConfig()
         self.frame_cache = None
+        self.frame_budget = None
+
+    def checkpoint(self, label: str | None = None) -> None:
+        """Cooperative frame-deadline check (see ``frame_budget``)."""
+        budget = self.frame_budget
+        if budget is not None:
+            budget.checkpoint(label)
 
     @abc.abstractmethod
     def dispatch(

@@ -48,6 +48,7 @@ class GreedyNearestDispatcher(Dispatcher):
         for request in sorted(requests, key=lambda r: r.request_id):
             if not index:
                 break
+            self.checkpoint("greedy:request")
             chosen = self._nearest_feasible(index, taxis_by_id, request, threshold)
             if chosen is None:
                 continue
@@ -73,6 +74,7 @@ class GreedyNearestDispatcher(Dispatcher):
         for j, request in enumerate(ordered_requests):
             if not available.any():
                 break
+            self.checkpoint("greedy:request")
             column = pick[:, j]
             feasible = available & (column <= threshold) & (request.passengers <= seats)
             if not feasible.any():

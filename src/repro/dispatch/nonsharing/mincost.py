@@ -80,6 +80,7 @@ class MinCostDispatcher(Dispatcher):
             if self.frame_cache is not None
             else None
         )
+        self.checkpoint("mcbm:start")
         matrix = build_cost_matrix(
             ordered_taxis,
             ordered_requests,
@@ -87,6 +88,7 @@ class MinCostDispatcher(Dispatcher):
             self.config.passenger_threshold_km,
             pickup_matrix=pickup,
         )
+        self.checkpoint("mcbm:cost-matrix")
         for j, i in min_cost_matching(matrix):
             schedule.add(single_assignment(ordered_taxis[i], ordered_requests[j]))
         return self._validated(schedule, taxis, requests)

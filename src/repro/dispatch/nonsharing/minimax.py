@@ -35,6 +35,7 @@ class MinimaxDispatcher(Dispatcher):
             if self.frame_cache is not None
             else None
         )
+        self.checkpoint("mmcm:start")
         matrix = build_cost_matrix(
             ordered_taxis,
             ordered_requests,
@@ -42,6 +43,7 @@ class MinimaxDispatcher(Dispatcher):
             self.config.passenger_threshold_km,
             pickup_matrix=pickup,
         )
+        self.checkpoint("mmcm:cost-matrix")
         for j, i in minimax_matching(matrix):
             schedule.add(single_assignment(ordered_taxis[i], ordered_requests[j]))
         return self._validated(schedule, taxis, requests)

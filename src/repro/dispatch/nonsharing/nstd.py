@@ -64,6 +64,7 @@ class NSTDDispatcher(Dispatcher):
         schedule = DispatchSchedule()
         if not taxis or not requests:
             return schedule
+        self.checkpoint("nstd:start")
         pickup_matrix = trip_km = None
         if self.frame_cache is not None:
             pickup_matrix = self.frame_cache.pickup_matrix(taxis, requests)
@@ -93,6 +94,7 @@ class NSTDDispatcher(Dispatcher):
                 pickup_matrix=pickup_matrix,
                 trip_km=trip_km,
             )
+        self.checkpoint("nstd:prefs-built")
         if self.optimize_for == "passenger":
             matching = passenger_optimal(prefs)
         elif self.optimize_for == "median":
@@ -100,9 +102,13 @@ class NSTDDispatcher(Dispatcher):
             # every matched side gets its median stable partner.
             matching = median_stable_matching(prefs)
         elif self.exact:
-            matching = taxi_optimal_exact(prefs)
+            # Under a frame deadline the full Algorithm 2 enumeration
+            # becomes anytime: the taxi-best matching found in budget is
+            # still stable, so a truncated pick remains a valid frame.
+            matching = taxi_optimal_exact(prefs, deadline=self.frame_budget)
         else:
             matching = taxi_optimal(prefs)
+        self.checkpoint("nstd:matched")
         taxis_by_id = {t.taxi_id: t for t in taxis}
         requests_by_id = {r.request_id: r for r in requests}
         for request_id, taxi_id in sorted(matching.pairs):

@@ -70,6 +70,7 @@ class ILPDispatcher(Dispatcher):
         schedule = DispatchSchedule()
         if not taxis or not requests:
             return schedule
+        self.checkpoint("ilp:start")
         max_seats = max(t.seats for t in taxis)
         batch = clip_batch(requests, taxis, self.config, self.max_batch)
         if len(self._group_cache) > 500_000:
@@ -83,7 +84,9 @@ class ILPDispatcher(Dispatcher):
             pairing_radius_km=self.pairing_radius_km,
             cache=self._group_cache,
         )
+        self.checkpoint("ilp:packed")
         candidates = self._candidates(taxis, units)
+        self.checkpoint("ilp:candidates")
         if len(candidates) <= self.exact_limit:
             chosen = self._solve_exact(candidates)
         else:

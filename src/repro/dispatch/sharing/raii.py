@@ -56,6 +56,7 @@ class RAIIDispatcher(Dispatcher):
         index.bulk_load((t.taxi_id, t.location) for t in taxis)
 
         for request in clip_batch(requests, taxis, self.config, self.max_batch):
+            self.checkpoint("raii:request")
             candidates = index.nearest(request.pickup, k=self.candidate_count)
             best_plan: TaxiPlan | None = None
             best_quote = None

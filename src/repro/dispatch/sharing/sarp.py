@@ -37,6 +37,7 @@ class SARPDispatcher(Dispatcher):
             return schedule
         plans = [TaxiPlan(taxi=t) for t in sorted(taxis, key=lambda t: t.taxi_id)]
         for request in clip_batch(requests, taxis, self.config, self.max_batch):
+            self.checkpoint("sarp:request")
             best_plan: TaxiPlan | None = None
             best_quote = None
             for plan in plans:

@@ -32,6 +32,7 @@ from repro.packing.set_packing import (
     greedy_set_packing,
     local_search_packing,
 )
+from repro.resilience.budget import WorkBudget
 from repro.routing.shared_route import build_ride_group
 
 __all__ = ["STDDispatcher", "std_p", "std_t", "pack_requests", "clip_batch"]
@@ -62,9 +63,9 @@ def clip_batch(
     return ordered[: max(bound, 1)]
 
 _PACKERS = {
-    "greedy": lambda sets: greedy_set_packing(sets),
-    "local": lambda sets: local_search_packing(sets),
-    "exact": lambda sets: exact_set_packing(sets),
+    "greedy": lambda sets, budget: greedy_set_packing(sets),
+    "local": lambda sets, budget: local_search_packing(sets, budget=budget),
+    "exact": lambda sets, budget: exact_set_packing(sets, budget=budget),
 }
 
 
@@ -78,11 +79,17 @@ def pack_requests(
     pairing_radius_km: float | None = None,
     pickup_gap=None,
     cache: dict | None = None,
+    budget: WorkBudget | None = None,
 ) -> list[RideGroup]:
     """Stage one of Algorithm 3: the dispatch units ``R' ∪ C'``.
 
     Returns packed multi-request groups plus singleton groups for every
     unpacked request, with consecutive group ids in deterministic order.
+
+    ``budget`` makes the stage *anytime*: group enumeration and the
+    packer stop expanding when the budget exhausts, so the result may
+    pack fewer requests but is always a valid set of dispatch units
+    (unpacked requests simply ride as singletons).
     """
     if packer not in _PACKERS:
         raise DispatchError(f"unknown packer {packer!r}; choose from {sorted(_PACKERS)}")
@@ -94,9 +101,10 @@ def pack_requests(
         pairing_radius_km=pairing_radius_km,
         pickup_gap=pickup_gap,
         cache=cache,
+        budget=budget,
     )
     member_sets = [frozenset(g.request_ids) for g in candidates]
-    chosen_indices = _PACKERS[packer](member_sets).chosen if member_sets else ()
+    chosen_indices = _PACKERS[packer](member_sets, budget).chosen if member_sets else ()
 
     units: list[RideGroup] = []
     packed_ids: set[int] = set()
@@ -150,6 +158,7 @@ class STDDispatcher(Dispatcher):
         schedule = DispatchSchedule()
         if not taxis or not requests:
             return schedule
+        self.checkpoint("std:start")
         max_seats = max(t.seats for t in taxis)
         batch = clip_batch(requests, taxis, self.config, self.max_batch)
         if len(self._group_cache) > 500_000:
@@ -159,6 +168,12 @@ class STDDispatcher(Dispatcher):
             # clip_batch returns the batch id-sorted, the order the
             # enumeration's radius prefilter expects.
             pickup_gap = self.frame_cache.pickup_gap_matrix(batch)
+        # Under a frame deadline the exponential pack stage runs anytime:
+        # it stops growing the candidate pool when time is up and packs
+        # what it has, leaving the rest as singleton units.
+        pack_budget = (
+            WorkBudget(deadline=self.frame_budget) if self.frame_budget is not None else None
+        )
         units = pack_requests(
             batch,
             self.oracle,
@@ -168,8 +183,11 @@ class STDDispatcher(Dispatcher):
             pairing_radius_km=self.pairing_radius_km,
             pickup_gap=pickup_gap,
             cache=self._group_cache,
+            budget=pack_budget,
         )
+        self.checkpoint("std:packed")
         table = build_sharing_table(taxis, units, self.oracle, self.config)
+        self.checkpoint("std:table-built")
         if self.optimize_for == "passenger":
             matching = passenger_optimal(table)
         else:

@@ -6,11 +6,14 @@ These functions are the shared engine behind the per-figure harnesses in
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import logging
+import time
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.config import DispatchConfig, SimulationConfig
-from repro.core.errors import ExperimentError
+from repro.core.errors import ExperimentError, TransientFaultError
 from repro.core.types import PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher
 from repro.dispatch.nonsharing import (
@@ -26,6 +29,8 @@ from repro.dispatch.sharing import (
     STDDispatcher,
 )
 from repro.geometry.distance import DistanceOracle, EuclideanDistance
+from repro.resilience.faults import FaultPlan, maybe_crash_worker
+from repro.resilience.ladder import ResiliencePolicy
 from repro.simulation.engine import SimulationResult, Simulator
 from repro.trace.profiles import CityProfile
 from repro.trace.synthetic import SyntheticTraceGenerator
@@ -38,7 +43,18 @@ __all__ = [
     "run_taxi_sweep",
 ]
 
+logger = logging.getLogger(__name__)
+
 _SECONDS_PER_HOUR = 3600.0
+
+#: First retry delay for transient-fault cell retries; doubles per attempt.
+#: Module-level so tests can monkeypatch the sleep away.
+_BACKOFF_BASE_S = 0.05
+_sleep: Callable[[float], None] = time.sleep
+
+#: Cell-level retries on :class:`TransientFaultError` when no resilience
+#: policy supplies ``transient_retries``.
+_DEFAULT_CELL_RETRIES = 2
 
 
 def make_dispatcher(
@@ -104,12 +120,20 @@ def _window_demand_share(profile: CityProfile, start_h: float, end_h: float) -> 
     return share
 
 
+def _cell_key(profile: CityProfile, name: str) -> str:
+    """Unique, deterministic id for one (profile, fleet size, algorithm) cell."""
+    return f"{profile.name}:{profile.n_taxis}:{name}"
+
+
 def _run_experiment_cell(
     profile: CityProfile,
     name: str,
     scale: ExperimentScale,
     oracle: DistanceOracle | None,
     sim_config: SimulationConfig | None,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
+    attempt: int = 0,
 ) -> tuple[str, SimulationResult]:
     """One (profile, algorithm) cell, self-contained and picklable.
 
@@ -118,14 +142,77 @@ def _run_experiment_cell(
     scaled profile — so a cell produces the identical
     :class:`SimulationResult` whether it runs in this process or in a
     worker (wall-clock telemetry aside).
+
+    ``faults`` injects a deterministic fault schedule derived from
+    (plan, cell, attempt): the distance oracle is wrapped, crash-listed
+    algorithms kill their *worker process* (never the parent), and any
+    supplied ``resilience`` policy is bound to the cell's injector so
+    its virtual clock drives the frame budgets.  Without a policy,
+    transient faults escape the cell and are retried by
+    :func:`_run_cell_with_recovery` at the next attempt number.
     """
+    if faults is not None:
+        maybe_crash_worker(faults, name)
     oracle = oracle if oracle is not None else EuclideanDistance()
+    policy = resilience
+    if faults is not None:
+        injector = faults.build_injector(_cell_key(profile, name), attempt)
+        oracle = injector.wrap(oracle)
+        if policy is not None:
+            policy = policy.with_injector(injector)
     if sim_config is None:
         sim_config = city_simulation_config(profile.scaled(scale.factor))
     fleet, requests = build_workload(profile, scale)
     dispatcher = make_dispatcher(name, oracle, sim_config.dispatch)
-    simulator = Simulator(dispatcher, oracle, sim_config)
+    simulator = Simulator(dispatcher, oracle, sim_config, resilience=policy)
     return dispatcher.name, simulator.run(fleet, requests)
+
+
+def _run_cell_with_recovery(
+    profile: CityProfile,
+    name: str,
+    scale: ExperimentScale,
+    oracle: DistanceOracle | None,
+    sim_config: SimulationConfig | None,
+    faults: FaultPlan | None,
+    resilience: ResiliencePolicy | None,
+    *,
+    first_attempt: int = 0,
+) -> tuple[str, SimulationResult]:
+    """Run one cell with retry + exponential backoff on transient faults.
+
+    Attempt numbers vary the injector's fault schedule, so a cell whose
+    plan fails its first N attempts deterministically succeeds on attempt
+    N — the serial twin of the parallel path's retry-after-future-failure,
+    which starts at ``first_attempt=1``.
+    """
+    retries = (
+        resilience.transient_retries if resilience is not None else _DEFAULT_CELL_RETRIES
+    )
+    last: TransientFaultError | None = None
+    for offset in range(retries + 1):
+        attempt = first_attempt + offset
+        try:
+            return _run_experiment_cell(
+                profile, name, scale, oracle, sim_config, faults, resilience, attempt
+            )
+        except TransientFaultError as exc:
+            last = exc
+            if offset == retries:
+                break
+            delay = _BACKOFF_BASE_S * (2**offset)
+            logger.warning(
+                "cell %s attempt %d hit a transient fault (%s); retrying in %.2fs",
+                _cell_key(profile, name),
+                attempt,
+                exc,
+                delay,
+            )
+            _sleep(delay)
+    raise ExperimentError(
+        f"cell {_cell_key(profile, name)} failed {retries + 1} attempts "
+        f"(last fault: {last})"
+    ) from last
 
 
 def run_city_experiment(
@@ -136,6 +223,8 @@ def run_city_experiment(
     oracle: DistanceOracle | None = None,
     sim_config: SimulationConfig | None = None,
     workers: int = 1,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> dict[str, SimulationResult]:
     """Simulate one city-day under every requested algorithm.
 
@@ -146,30 +235,77 @@ def run_city_experiment(
     rebuilds its cell deterministically from the same seeds, so the
     returned results are identical to a serial run (the parallel-sweep
     test asserts this); result order follows ``algorithms`` either way.
+
+    ``faults``/``resilience`` thread the chaos-testing layer through
+    every cell.  Failures recover rather than abort: a cell that raises
+    :class:`TransientFaultError` is retried (with exponential backoff
+    and a fresh attempt-derived fault schedule), and a worker crash that
+    breaks the pool re-runs every unfinished cell serially in the parent
+    process.
     """
     if workers > 1 and len(algorithms) > 1:
-        results: dict[str, SimulationResult] = {}
+        completed: dict[str, tuple[str, SimulationResult]] = {}
         with ProcessPoolExecutor(max_workers=min(workers, len(algorithms))) as pool:
             futures = [
-                pool.submit(_run_experiment_cell, profile, name, scale, oracle, sim_config)
+                (
+                    name,
+                    pool.submit(
+                        _run_experiment_cell,
+                        profile,
+                        name,
+                        scale,
+                        oracle,
+                        sim_config,
+                        faults,
+                        resilience,
+                        0,
+                    ),
+                )
                 for name in algorithms
             ]
-            for future in futures:
-                dispatcher_name, result = future.result()
-                results[dispatcher_name] = result
-        return results
+            for name, future in futures:
+                try:
+                    completed[name] = future.result()
+                except TransientFaultError as exc:
+                    logger.warning(
+                        "parallel cell %s hit a transient fault (%s); retrying serially",
+                        _cell_key(profile, name),
+                        exc,
+                    )
+                    completed[name] = _run_cell_with_recovery(
+                        profile, name, scale, oracle, sim_config, faults, resilience,
+                        first_attempt=1,
+                    )
+                except BrokenProcessPool:
+                    logger.warning(
+                        "process pool broke on cell %s; recovering serially",
+                        _cell_key(profile, name),
+                    )
+                    completed[name] = _run_cell_with_recovery(
+                        profile, name, scale, oracle, sim_config, faults, resilience
+                    )
+        return {completed[name][0]: completed[name][1] for name in algorithms}
 
     oracle = oracle if oracle is not None else EuclideanDistance()
     if sim_config is None:
         # Configure against the *scaled* profile so θ, the thresholds and
         # the taxi speed pick up the dynamic-similarity space factor.
         sim_config = city_simulation_config(profile.scaled(scale.factor))
-    fleet, requests = build_workload(profile, scale)
-    results = {}
+    results: dict[str, SimulationResult] = {}
+    if faults is None and resilience is None:
+        # The fault-free fast path shares one workload build across all
+        # algorithms, exactly as before the resilience layer existed.
+        fleet, requests = build_workload(profile, scale)
+        for name in algorithms:
+            dispatcher = make_dispatcher(name, oracle, sim_config.dispatch)
+            simulator = Simulator(dispatcher, oracle, sim_config)
+            results[dispatcher.name] = simulator.run(fleet, requests)
+        return results
     for name in algorithms:
-        dispatcher = make_dispatcher(name, oracle, sim_config.dispatch)
-        simulator = Simulator(dispatcher, oracle, sim_config)
-        results[dispatcher.name] = simulator.run(fleet, requests)
+        dispatcher_name, result = _run_cell_with_recovery(
+            profile, name, scale, oracle, sim_config, faults, resilience
+        )
+        results[dispatcher_name] = result
     return results
 
 
@@ -182,6 +318,8 @@ def run_taxi_sweep(
     oracle: DistanceOracle | None = None,
     sim_config: SimulationConfig | None = None,
     workers: int = 1,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> dict[int, dict[str, SimulationResult]]:
     """Fig. 6's sweep: same trace, varying fleet size.
 
@@ -190,7 +328,10 @@ def run_taxi_sweep(
 
     ``workers`` > 1 fans the full (fleet size × algorithm) grid out over
     a process pool; each cell is deterministic in its arguments, so the
-    sweep's results are identical to the serial run.
+    sweep's results are identical to the serial run — including under
+    fault injection, where transient failures retry with the same
+    attempt-derived schedules either way and a broken pool falls back to
+    serial re-runs of whatever hadn't finished.
     """
     if workers > 1:
         cells = [(count, name) for count in taxi_counts for name in algorithms]
@@ -202,6 +343,7 @@ def run_taxi_sweep(
                 futures = [
                     (
                         count,
+                        name,
                         pool.submit(
                             _run_experiment_cell,
                             profile.with_taxis(count),
@@ -209,12 +351,35 @@ def run_taxi_sweep(
                             scale,
                             oracle,
                             sim_config,
+                            faults,
+                            resilience,
+                            0,
                         ),
                     )
                     for count, name in cells
                 ]
-                for count, future in futures:
-                    dispatcher_name, result = future.result()
+                for count, name, future in futures:
+                    swept = profile.with_taxis(count)
+                    try:
+                        dispatcher_name, result = future.result()
+                    except TransientFaultError as exc:
+                        logger.warning(
+                            "sweep cell %s hit a transient fault (%s); retrying serially",
+                            _cell_key(swept, name),
+                            exc,
+                        )
+                        dispatcher_name, result = _run_cell_with_recovery(
+                            swept, name, scale, oracle, sim_config, faults, resilience,
+                            first_attempt=1,
+                        )
+                    except BrokenProcessPool:
+                        logger.warning(
+                            "process pool broke on sweep cell %s; recovering serially",
+                            _cell_key(swept, name),
+                        )
+                        dispatcher_name, result = _run_cell_with_recovery(
+                            swept, name, scale, oracle, sim_config, faults, resilience
+                        )
                     results[count][dispatcher_name] = result
             return results
 
@@ -225,6 +390,12 @@ def run_taxi_sweep(
         # sim_config=None lets each run derive its configuration from the
         # scaled profile (dynamic-similarity speed and thresholds).
         results[count] = run_city_experiment(
-            swept, algorithms, scale, oracle=oracle, sim_config=sim_config
+            swept,
+            algorithms,
+            scale,
+            oracle=oracle,
+            sim_config=sim_config,
+            faults=faults,
+            resilience=resilience,
         )
     return results

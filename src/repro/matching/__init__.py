@@ -17,6 +17,7 @@ from repro.matching.enumeration import (
     EnumerationStats,
     all_stable_matchings,
     break_dispatch,
+    enumerate_all_stable_matchings,
 )
 from repro.matching.hopcroft_karp import hopcroft_karp, maximum_matching_size
 from repro.matching.lattice import (
@@ -82,6 +83,7 @@ __all__ = [
     "deferred_acceptance_arrays",
     "DeferredAcceptanceStats",
     "all_stable_matchings",
+    "enumerate_all_stable_matchings",
     "break_dispatch",
     "EnumerationStats",
     "passenger_optimal",

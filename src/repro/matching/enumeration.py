@@ -39,12 +39,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import MatchingError
+from repro.core.errors import EnumerationBudgetError, MatchingError
 from repro.matching.deferred_acceptance import deferred_acceptance
 from repro.matching.preferences import PreferenceTable
 from repro.matching.result import Matching
+from repro.resilience.budget import FrameBudget, WorkBudget
 
-__all__ = ["break_dispatch", "all_stable_matchings", "EnumerationStats"]
+__all__ = [
+    "break_dispatch",
+    "all_stable_matchings",
+    "enumerate_all_stable_matchings",
+    "EnumerationStats",
+]
 
 
 @dataclass(slots=True)
@@ -56,15 +62,27 @@ class EnumerationStats:
     duplicates: int = 0
     truncated: bool = False
     stable_matchings: int = 0
+    nodes: int = 0
     notes: list[str] = field(default_factory=list)
 
 
-def break_dispatch(table: PreferenceTable, matching: Matching, request_id: int) -> Matching | None:
+def break_dispatch(
+    table: PreferenceTable,
+    matching: Matching,
+    request_id: int,
+    *,
+    budget: WorkBudget | None = None,
+) -> Matching | None:
     """One ``BreakDispatch`` on stable ``matching`` and request ``request_id``.
 
     Returns the resulting stable matching, or ``None`` when the break is
     unsuccessful per Rules 1–3.  ``matching`` must be stable; this is not
     re-verified here for speed (the enumerator only feeds stable inputs).
+
+    ``budget`` bounds the cascade: each displaced proposer charges one
+    node, and an exhausted budget raises
+    :class:`~repro.core.errors.EnumerationBudgetError` (the enumerator
+    catches it and returns its anytime result).
     """
     if request_id not in table.proposer_prefs:
         raise MatchingError(f"unknown request id {request_id}")
@@ -87,6 +105,14 @@ def break_dispatch(table: PreferenceTable, matching: Matching, request_id: int) 
 
     chain: list[int] = [request_id]
     while chain:
+        # Bounded-cascade guard: a budgeted cascade stops here rather
+        # than running unbounded (and a cascade that could somehow drain
+        # its chain falls out of the loop to the typed raise below).
+        if budget is not None and not budget.spend():
+            raise EnumerationBudgetError(
+                f"break cascade for request {request_id} exhausted its work budget",
+                nodes=budget.nodes,
+            )
         proposer = chain.pop()
         if proposer < request_id:
             return None  # Rule 2: an earlier request would have to propose.
@@ -121,7 +147,13 @@ def break_dispatch(table: PreferenceTable, matching: Matching, request_id: int) 
         else:
             return None  # Proposer fell to its dummy: failure case (i).
         pointer[proposer] = index
-    raise MatchingError("break cascade terminated without resolution")  # pragma: no cover
+    # Unreachable for stable inputs (every cascade step re-fills the
+    # chain or returns, per Theorem 3); typed so a violated invariant
+    # surfaces as a budgetable enumeration failure, not a crash.
+    raise EnumerationBudgetError(
+        "break cascade terminated without resolution",
+        nodes=budget.nodes if budget is not None else 0,
+    )
 
 
 def all_stable_matchings(
@@ -129,6 +161,9 @@ def all_stable_matchings(
     *,
     limit: int | None = None,
     with_stats: bool = False,
+    max_nodes: int | None = None,
+    deadline: FrameBudget | None = None,
+    on_budget: str = "truncate",
 ) -> list[Matching] | tuple[list[Matching], EnumerationStats]:
     """Every stable matching of ``table`` (Algorithm 2).
 
@@ -137,11 +172,25 @@ def all_stable_matchings(
     exponential in adversarial markets); when hit, ``stats.truncated`` is
     set.
 
+    ``max_nodes`` and/or ``deadline`` make the enumeration *anytime*:
+    cascade steps and break attempts charge a shared work budget, and
+    when it runs out the matchings found so far are returned with
+    ``stats.truncated`` set (the prefix is identical to an unbudgeted
+    run, which this degrades to when neither bound is given).  Pass
+    ``on_budget="raise"`` to get an
+    :class:`~repro.core.errors.EnumerationBudgetError` carrying the
+    partial lattice instead.
+
     Theorem 4 promises each stable matching is generated exactly once;
     we still deduplicate defensively and expose the duplicate count in
     the stats so tests can assert it stays zero.
     """
+    if on_budget not in ("truncate", "raise"):
+        raise MatchingError(f"on_budget must be 'truncate' or 'raise', got {on_budget!r}")
     stats = EnumerationStats()
+    budget: WorkBudget | None = None
+    if max_nodes is not None or deadline is not None:
+        budget = WorkBudget(max_nodes, deadline=deadline)
     optimal = deferred_acceptance(table)
     seen: set[Matching] = {optimal}
     ordered: list[Matching] = [optimal]
@@ -154,8 +203,17 @@ def all_stable_matchings(
                 continue
             if current.reviewer_of(rid) is None:
                 continue  # Rule 3
+            if budget is not None and not budget.spend():
+                stats.truncated = True
+                stats.notes.append("work budget exhausted before break attempt")
+                return False
             stats.break_attempts += 1
-            produced = break_dispatch(table, current, rid)
+            try:
+                produced = break_dispatch(table, current, rid, budget=budget)
+            except EnumerationBudgetError:
+                stats.truncated = True
+                stats.notes.append("work budget exhausted mid-cascade")
+                return False
             if produced is None:
                 continue
             stats.break_successes += 1
@@ -173,6 +231,19 @@ def all_stable_matchings(
 
     explore(optimal, request_ids[0] if request_ids else 0)
     stats.stable_matchings = len(ordered)
+    if budget is not None:
+        stats.nodes = budget.nodes
+    if stats.truncated and budget is not None and on_budget == "raise":
+        raise EnumerationBudgetError(
+            f"enumeration exhausted its work budget after {len(ordered)} matchings",
+            matchings=ordered,
+            nodes=budget.nodes,
+        )
     if with_stats:
         return ordered, stats
     return ordered
+
+
+#: The name the resilience layer documents for the anytime entry point;
+#: identical to :func:`all_stable_matchings`.
+enumerate_all_stable_matchings = all_stable_matchings

@@ -64,14 +64,26 @@ def taxi_optimal(table: PreferenceTable | PreferenceArrays) -> Matching:
     return Matching({proposer: reviewer for reviewer, proposer in reversed_matching.pairs})
 
 
-def taxi_optimal_exact(table: PreferenceTable, *, limit: int | None = None) -> Matching:
+def taxi_optimal_exact(
+    table: PreferenceTable,
+    *,
+    limit: int | None = None,
+    max_nodes: int | None = None,
+    deadline=None,
+) -> Matching:
     """NSTD-T via the paper's route: enumerate with Algorithm 2, then pick
     the matching every taxi weakly prefers (the taxi-best lattice point).
 
     Selection minimizes the sum of taxi-side ranks; on the stable-matching
     lattice this is uniquely minimized by the taxi-optimal matching.
+
+    ``max_nodes``/``deadline`` bound the enumeration (see
+    :func:`~repro.matching.enumeration.all_stable_matchings`); when it
+    truncates, the selection is over the anytime prefix, which always
+    contains the passenger-optimal matching, so a valid stable matching
+    is still returned.
     """
-    matchings = all_stable_matchings(table, limit=limit)
+    matchings = all_stable_matchings(table, limit=limit, max_nodes=max_nodes, deadline=deadline)
     if not matchings:
         raise MatchingError("no stable matchings found")
     return min(matchings, key=lambda m: (_taxi_rank_sum(table, m), sorted(m.pairs)))

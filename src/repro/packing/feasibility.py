@@ -30,6 +30,7 @@ from repro.core.errors import PackingError
 from repro.core.types import PassengerRequest, RideGroup
 from repro.geometry.batch import oracle_pairwise
 from repro.geometry.distance import DistanceOracle
+from repro.resilience.budget import WorkBudget
 from repro.routing.shared_route import build_ride_group, feasible_shared_route
 
 __all__ = ["FeasibilityStats", "group_is_feasible", "enumerate_feasible_groups"]
@@ -45,6 +46,7 @@ class FeasibilityStats:
     triples_feasible: int = 0
     triples_pruned: int = 0
     groups: int = 0
+    truncated: bool = False
     notes: list[str] = field(default_factory=list)
 
 
@@ -83,6 +85,7 @@ def enumerate_feasible_groups(
     pickup_gap: np.ndarray | None = None,
     cache: dict[tuple[int, ...], RideGroup | None] | None = None,
     with_stats: bool = False,
+    budget: WorkBudget | None = None,
 ) -> list[RideGroup] | tuple[list[RideGroup], FeasibilityStats]:
     """All feasible sharing groups of size 2..``config.max_group_size``.
 
@@ -103,6 +106,11 @@ def enumerate_feasible_groups(
     matrix for the **id-sorted** requests (e.g. from the simulation
     frame cache) so the radius prefilter skips recomputing it; ignored
     when no ``pairing_radius_km`` is set.
+
+    ``budget`` charges one node per candidate subset considered; an
+    exhausted budget stops the enumeration early and marks
+    ``stats.truncated``.  The groups found so far remain valid — unpaired
+    requests simply ride as singletons downstream.
     """
     config = config if config is not None else DispatchConfig()
     stats = FeasibilityStats()
@@ -154,12 +162,18 @@ def enumerate_feasible_groups(
 
     if config.max_group_size >= 2:
         for (ia, a), (ib, b) in itertools.combinations(enumerate(ordered), 2):
+            if budget is not None and not budget.spend():
+                stats.truncated = True
+                break
             if gap is not None and gap[ia, ib] > pairing_radius_km:
                 continue
             evaluate((a, b), is_pair=True)
 
-    if config.max_group_size >= 3:
+    if config.max_group_size >= 3 and not stats.truncated:
         for a, b, c in itertools.combinations(ordered, 3):
+            if budget is not None and not budget.spend():
+                stats.truncated = True
+                break
             if assume_metric:
                 pairs_ok = (
                     (a.request_id, b.request_id) in feasible_pairs
@@ -171,6 +185,8 @@ def enumerate_feasible_groups(
                     continue
             evaluate((a, b, c), is_pair=False)
 
+    if stats.truncated:
+        stats.notes.append("group enumeration stopped by work budget")
     stats.groups = len(groups)
     if with_stats:
         return groups, stats

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 from repro.core.errors import PackingError
+from repro.resilience.budget import WorkBudget
 
 __all__ = [
     "PackingResult",
@@ -35,10 +36,16 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class PackingResult:
-    """Chosen set indices plus the elements they cover."""
+    """Chosen set indices plus the elements they cover.
+
+    ``truncated`` marks a best-so-far *anytime* result: a work budget ran
+    out before the solver finished, so the packing is valid but possibly
+    smaller than the solver would otherwise return.
+    """
 
     chosen: tuple[int, ...]
     covered: frozenset[int]
+    truncated: bool = False
 
     @property
     def size(self) -> int:
@@ -102,6 +109,7 @@ def local_search_packing(
     initial: Sequence[int] | None = None,
     swap_out: int = 2,
     max_rounds: int = 50,
+    budget: WorkBudget | None = None,
 ) -> PackingResult:
     """Greedy + (p, p+1)-swap local search for ``p ≤ swap_out``.
 
@@ -110,6 +118,11 @@ def local_search_packing(
     ones.  With ``swap_out = 2`` this is the local-search regime that
     yields the cited (k+2)/3 ratio for k-set packing; rounds are capped
     defensively, though convergence is typically immediate.
+
+    ``budget`` charges one node per swap probe; an exhausted budget stops
+    the search and returns the current (always valid) packing with
+    ``truncated`` set — the anytime behaviour the frame deadline relies
+    on.
     """
     if swap_out < 0:
         raise PackingError(f"swap_out must be non-negative, got {swap_out}")
@@ -117,6 +130,7 @@ def local_search_packing(
     chosen = set(initial) if initial is not None else set(greedy_set_packing(sets).chosen)
     if not verify_packing(sets, sorted(chosen)):
         raise PackingError("initial selection is not a valid packing")
+    truncated = False
 
     def covered_by(indices: Iterable[int]) -> set[int]:
         covered: set[int] = set()
@@ -125,6 +139,9 @@ def local_search_packing(
         return covered
 
     for _ in range(max_rounds):
+        if budget is not None and not budget.spend():
+            truncated = True
+            break
         improved = False
         covered = covered_by(chosen)
 
@@ -141,6 +158,10 @@ def local_search_packing(
         done = False
         for p in range(1, swap_out + 1):
             for removal in itertools.combinations(sorted(chosen), p):
+                if budget is not None and not budget.spend():
+                    truncated = True
+                    done = True
+                    break
                 remaining = chosen - set(removal)
                 base_cover = covered_by(remaining)
                 candidates = [
@@ -158,11 +179,13 @@ def local_search_packing(
                     break
             if done:
                 break
-        if not improved:
+        if truncated or not improved:
             break
 
     result = tuple(sorted(chosen))
-    return PackingResult(chosen=result, covered=frozenset(covered_by(result)))
+    return PackingResult(
+        chosen=result, covered=frozenset(covered_by(result)), truncated=truncated
+    )
 
 
 def _find_disjoint(
@@ -185,29 +208,43 @@ def _find_disjoint(
     return extend(0, [], frozenset())
 
 
-def exact_set_packing(sets: Sequence[Iterable[int]], *, node_limit: int = 2_000_000) -> PackingResult:
+def exact_set_packing(
+    sets: Sequence[Iterable[int]],
+    *,
+    node_limit: int = 2_000_000,
+    budget: WorkBudget | None = None,
+) -> PackingResult:
     """Exact maximum set packing by branch-and-bound.
 
     Branches on include/exclude in index order with an optimistic bound
     (remaining sets all packable).  ``node_limit`` guards against
     adversarial inputs; exceeding it raises :class:`PackingError` rather
     than silently returning a suboptimal answer.
+
+    ``budget`` is the cooperative alternative: when it exhausts, the
+    search stops and the best packing found so far is returned with
+    ``truncated`` set (a valid anytime answer — the incumbent is always
+    a pairwise-disjoint selection).
     """
     normalized = _normalize(sets)
     n = len(normalized)
     best: list[tuple[int, ...]] = [()]
     nodes = 0
+    stopped = False
 
     # The exclude branch is a loop (not a recursive call) so recursion
     # depth is bounded by the packing size, never by the set count.
     def branch(index: int, taken: list[int], covered: frozenset[int]) -> None:
-        nonlocal nodes
+        nonlocal nodes, stopped
         if len(taken) > len(best[0]):
             best[0] = tuple(taken)
-        while index < n:
+        while index < n and not stopped:
             nodes += 1
             if nodes > node_limit:
                 raise PackingError(f"branch-and-bound exceeded {node_limit} nodes")
+            if budget is not None and not budget.spend():
+                stopped = True
+                return
             # Optimistic bound: every remaining set could be packed.
             if len(taken) + (n - index) <= len(best[0]):
                 return
@@ -222,4 +259,4 @@ def exact_set_packing(sets: Sequence[Iterable[int]], *, node_limit: int = 2_000_
     covered: set[int] = set()
     for i in chosen:
         covered |= normalized[i]
-    return PackingResult(chosen=chosen, covered=frozenset(covered))
+    return PackingResult(chosen=chosen, covered=frozenset(covered), truncated=stopped)

@@ -1,0 +1,46 @@
+"""Resilience layer: frame deadlines, degradation ladder, fault injection.
+
+See DESIGN.md §8.  The package keeps the paper's one-minute frame
+contract under load and under faults: budgets bound every expensive
+stage, the ladder guarantees some dispatcher answers every frame, and
+the fault injector makes the failure paths deterministic and testable.
+"""
+
+from repro.core.errors import (
+    EnumerationBudgetError,
+    FrameBudgetExceededError,
+    TransientFaultError,
+)
+from repro.resilience.budget import FrameBudget, WorkBudget
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyOracle,
+    in_worker_process,
+    maybe_crash_worker,
+)
+from repro.resilience.ladder import ResiliencePolicy, Rung, default_ladder
+from repro.resilience.report import (
+    DROPPED_RUNG,
+    FrameResilienceRecord,
+    ResilienceReport,
+)
+
+__all__ = [
+    "FrameBudget",
+    "WorkBudget",
+    "FrameBudgetExceededError",
+    "TransientFaultError",
+    "EnumerationBudgetError",
+    "FaultInjector",
+    "FaultyOracle",
+    "FaultPlan",
+    "in_worker_process",
+    "maybe_crash_worker",
+    "ResiliencePolicy",
+    "Rung",
+    "default_ladder",
+    "ResilienceReport",
+    "FrameResilienceRecord",
+    "DROPPED_RUNG",
+]

@@ -1,0 +1,250 @@
+"""Deterministic fault injection for chaos testing the dispatch loop.
+
+A :class:`FaultInjector` is a seeded source of three fault species a
+production O2O broker actually sees:
+
+* **latency spikes** — a distance-oracle call stalls (a slow map
+  service, a cold cache).  Injected as *virtual* time on the injector's
+  deterministic clock, so chaos tests reproduce bit-for-bit without
+  real sleeping; frame budgets driven by :meth:`FaultInjector.clock`
+  observe the spike and trigger the degradation ladder.
+* **transient oracle errors** — a call fails but a retry may succeed.
+  Raised as :class:`~repro.core.errors.TransientFaultError` from the
+  wrapped oracle.
+* **worker crashes** — a process-pool worker dies mid-cell (OOM killer,
+  segfault).  Expressed through :class:`FaultPlan.crash_algorithms` and
+  executed by :func:`maybe_crash_worker` inside pool workers only, so
+  the experiment runners' ``BrokenProcessPool`` recovery path is
+  exercised for real.
+
+The injector is **armed** by default; the simulation engine disarms it
+outside dispatch attempts so post-dispatch accounting (assignment
+metrics, revenue) is never poisoned — real platforms put the retry
+boundary around the decision stage, not the bookkeeping.
+
+:class:`FaultPlan` is the picklable description shipped to pool
+workers; each experiment cell derives its own injector from the plan,
+the cell key, and the attempt number, so retries see a fresh fault
+schedule and serial re-runs reproduce parallel runs exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import zlib
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import TransientFaultError
+from repro.geometry.distance import DistanceOracle
+from repro.geometry.point import Point
+
+__all__ = [
+    "FaultInjector",
+    "FaultyOracle",
+    "FaultPlan",
+    "in_worker_process",
+    "maybe_crash_worker",
+]
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source shared by one run's oracle calls.
+
+    ``fail_first_calls`` deterministically fails the first N armed calls
+    regardless of rates — the hook cell-level retry tests use to make
+    attempt 0 fail and attempt 1 succeed.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        latency_rate: float = 0.0,
+        latency_s: float = 5.0,
+        error_rate: float = 0.0,
+        per_call_cost_s: float = 0.0,
+        fail_first_calls: int = 0,
+    ):
+        for name, rate in (("latency_rate", latency_rate), ("error_rate", error_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.latency_rate = latency_rate
+        self.latency_s = latency_s
+        self.error_rate = error_rate
+        self.per_call_cost_s = per_call_cost_s
+        self.fail_first_calls = fail_first_calls
+        self.armed = True
+        self.calls = 0
+        self.latency_spikes = 0
+        self.errors_raised = 0
+        self._virtual_s = 0.0
+        self._rng = random.Random(seed)
+
+    # -- virtual clock -----------------------------------------------------
+
+    def clock(self) -> float:
+        """Deterministic virtual seconds elapsed; drives frame budgets."""
+        return self._virtual_s
+
+    def advance(self, seconds: float) -> None:
+        """Manually advance the virtual clock (tests, custom harnesses)."""
+        self._virtual_s += seconds
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    # -- fault decisions ---------------------------------------------------
+
+    def before_call(self) -> None:
+        """One oracle call is about to run: charge time, maybe fault.
+
+        Disarmed calls still pay the per-call base cost (the oracle does
+        run) but never spike or fail, and do not consume the RNG stream,
+        so the fault schedule depends only on the armed call sequence.
+        """
+        self.calls += 1
+        self._virtual_s += self.per_call_cost_s
+        if not self.armed:
+            return
+        if self.errors_raised < self.fail_first_calls:
+            self.errors_raised += 1
+            raise TransientFaultError(
+                f"injected deterministic fault on armed call {self.calls}"
+            )
+        draw = self._rng.random()
+        if draw < self.error_rate:
+            self.errors_raised += 1
+            raise TransientFaultError(f"injected transient oracle error (call {self.calls})")
+        if draw < self.error_rate + self.latency_rate:
+            self.latency_spikes += 1
+            self._virtual_s += self.latency_s
+
+    def wrap(self, oracle: DistanceOracle) -> "FaultyOracle":
+        """The distance oracle with this injector in front of every call."""
+        return FaultyOracle(oracle, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(seed={self.seed}, calls={self.calls}, "
+            f"spikes={self.latency_spikes}, errors={self.errors_raised})"
+        )
+
+
+class FaultyOracle:
+    """A distance oracle wrapper that consults a :class:`FaultInjector`.
+
+    Batch calls (``pairwise``/``distances``/``paired``) count as one
+    fault opportunity each, mirroring one RPC to a map service; the
+    ``batch_exact`` contract passes through unchanged, so with the
+    injector disarmed the wrapper is observationally identical to its
+    base oracle.
+    """
+
+    def __init__(self, base: DistanceOracle, injector: FaultInjector):
+        self._base = base
+        self._injector = injector
+
+    @property
+    def base(self) -> DistanceOracle:
+        return self._base
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._injector
+
+    @property
+    def batch_exact(self) -> bool:
+        return bool(getattr(self._base, "batch_exact", False))
+
+    def distance(self, a: Point, b: Point) -> float:
+        self._injector.before_call()
+        return self._base.distance(a, b)
+
+    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]):
+        from repro.geometry.batch import oracle_pairwise
+
+        self._injector.before_call()
+        return oracle_pairwise(self._base, points_a, points_b)
+
+    def distances(self, origin: Point, points: Sequence[Point]):
+        from repro.geometry.batch import oracle_distances
+
+        self._injector.before_call()
+        return oracle_distances(self._base, origin, points)
+
+    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]):
+        from repro.geometry.batch import oracle_paired
+
+        self._injector.before_call()
+        return oracle_paired(self._base, points_a, points_b)
+
+    def __getattr__(self, name: str):
+        # Oracles expose extras (e.g. RoadNetwork.snap); pass them through.
+        return getattr(self._base, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultyOracle({self._base!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Picklable fault schedule shipped into experiment cells and workers.
+
+    ``crash_algorithms`` names cells whose *worker-process* execution
+    dies via ``os._exit`` (only when actually inside a pool worker, so
+    the serial recovery re-run in the parent completes cleanly).
+    ``fail_attempts`` makes the first N attempts of every cell raise a
+    deterministic :class:`~repro.core.errors.TransientFaultError` on
+    their first armed oracle call, exercising per-cell retry/backoff.
+    """
+
+    seed: int = 0
+    latency_rate: float = 0.0
+    latency_s: float = 5.0
+    error_rate: float = 0.0
+    per_call_cost_s: float = 0.0
+    fail_attempts: int = 0
+    crash_algorithms: tuple[str, ...] = ()
+
+    def build_injector(self, cell_key: str, attempt: int = 0) -> FaultInjector:
+        """A fresh injector whose stream is stable in (plan, cell, attempt)."""
+        derived = zlib.crc32(f"{self.seed}:{cell_key}:{attempt}".encode())
+        return FaultInjector(
+            seed=derived,
+            latency_rate=self.latency_rate,
+            latency_s=self.latency_s,
+            error_rate=self.error_rate,
+            per_call_cost_s=self.per_call_cost_s,
+            fail_first_calls=1 if attempt < self.fail_attempts else 0,
+        )
+
+    def wrap_oracle(
+        self, oracle: DistanceOracle, cell_key: str, attempt: int = 0
+    ) -> tuple[DistanceOracle, FaultInjector]:
+        injector = self.build_injector(cell_key, attempt)
+        return injector.wrap(oracle), injector
+
+
+def in_worker_process() -> bool:
+    """Whether this process is a multiprocessing worker (has a parent)."""
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_crash_worker(plan: FaultPlan | None, cell_key: str) -> None:
+    """Die abruptly (as the OOM killer would) if the plan targets this cell.
+
+    Only fires inside pool workers: the serial fallback re-run of the
+    same cell in the parent process proceeds normally, which is exactly
+    the recovery contract the runners promise.
+    """
+    if plan is not None and cell_key in plan.crash_algorithms and in_worker_process():
+        os._exit(3)

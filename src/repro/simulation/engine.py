@@ -20,11 +20,18 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.errors import SimulationError
-from repro.core.types import PassengerRequest, Taxi
+from repro.core.errors import (
+    FrameBudgetExceededError,
+    ReproError,
+    SimulationError,
+    TransientFaultError,
+)
+from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher
 from repro.dispatch.scoring import assignment_metrics
 from repro.geometry.distance import DistanceOracle
+from repro.resilience.ladder import ResiliencePolicy, Rung
+from repro.resilience.report import DROPPED_RUNG, FrameResilienceRecord, ResilienceReport
 from repro.simulation.events import AssignmentRecord, FrameStats, RequestOutcome, TaxiStats
 from repro.simulation.frame_cache import FrameDistanceCache
 from repro.simulation.repositioning import RepositioningPolicy
@@ -45,6 +52,9 @@ class SimulationResult:
     taxi_stats: dict[int, TaxiStats] = field(default_factory=dict)
     frame_stats: list[FrameStats] = field(default_factory=list)
     frame_length_s: float = 60.0
+    #: Per-frame degradation-ladder accounting; ``None`` unless the run
+    #: had a :class:`~repro.resilience.ladder.ResiliencePolicy` installed.
+    resilience: ResilienceReport | None = None
 
     # -- request-side views ------------------------------------------------
 
@@ -159,12 +169,14 @@ class Simulator:
         *,
         overrun_s: float = 6.0 * 3600.0,
         repositioning: RepositioningPolicy | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.dispatcher = dispatcher
         self.oracle = oracle
         self.sim_config = sim_config if sim_config is not None else SimulationConfig()
         self.overrun_s = overrun_s
         self.repositioning = repositioning
+        self.resilience = resilience
 
     def run(self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]) -> SimulationResult:
         """Simulate until every request resolves or the horizon+overrun ends."""
@@ -188,6 +200,22 @@ class Simulator:
         # owns invalidation (begin_frame below), the dispatcher reads it.
         cache = FrameDistanceCache(self.oracle)
         self.dispatcher.frame_cache = cache
+
+        # The degradation ladder (if any) is instantiated once per run;
+        # every rung shares the frame cache and the run's oracle.
+        policy = self.resilience
+        rungs: list[tuple[Rung, Dispatcher]] | None = None
+        report: ResilienceReport | None = None
+        if policy is not None:
+            rungs = policy.build_rungs(self.dispatcher, self.oracle)
+            report = ResilienceReport()
+            for _, rung_dispatcher in rungs:
+                rung_dispatcher.frame_cache = cache
+            if policy.fault_injector is not None:
+                # Faults are confined to dispatch attempts: the ladder
+                # arms the injector per attempt and the engine's own
+                # accounting never runs with it armed.
+                policy.fault_injector.disarm()
 
         frame = config.frame_length_s
         deadline = config.horizon_s + self.overrun_s
@@ -244,7 +272,13 @@ class Simulator:
             if queue and idle:
                 batch = [entry.request for entry in queue.values()]
                 dispatch_start = time.perf_counter()
-                schedule = self.dispatcher.dispatch(idle, batch)
+                if policy is None:
+                    schedule = self.dispatcher.dispatch(idle, batch)
+                else:
+                    schedule, record = self._dispatch_resilient(
+                        policy, rungs, idle, batch, time_s
+                    )
+                    report.record(record)
                 dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
                 schedule.validate(idle, batch)
                 requests_by_id = {r.request_id: r for r in batch}
@@ -324,6 +358,10 @@ class Simulator:
         # Detach the run-scoped cache: a dispatcher used outside this
         # engine afterwards must not read matrices from the last frame.
         self.dispatcher.frame_cache = None
+        if rungs is not None:
+            for _, rung_dispatcher in rungs:
+                rung_dispatcher.frame_cache = None
+                rung_dispatcher.frame_budget = None
 
         # Anything still queued at the deadline is unserved.
         return SimulationResult(
@@ -335,4 +373,79 @@ class Simulator:
             taxi_stats=taxi_stats,
             frame_stats=frame_stats,
             frame_length_s=config.frame_length_s,
+            resilience=report,
+        )
+
+    def _dispatch_resilient(
+        self,
+        policy: ResiliencePolicy,
+        rungs: list[tuple[Rung, Dispatcher]],
+        idle: list[Taxi],
+        batch: list[PassengerRequest],
+        time_s: float,
+    ) -> tuple[DispatchSchedule, FrameResilienceRecord]:
+        """Walk the degradation ladder until some rung answers the frame.
+
+        Budgeted rungs share one :class:`FrameBudget` anchored at the
+        frame's start, each extended to its own (later) deadline slice;
+        transient faults retry the same rung up to
+        ``policy.transient_retries`` times; any other dispatcher error
+        falls to the next rung.  If even the terminal rung fails, the
+        frame is answered with an empty schedule and recorded as
+        dropped — the condition chaos runs assert never happens.
+        """
+        frame = self.sim_config.frame_length_s
+        budget = policy.make_budget(frame)
+        injector = policy.fault_injector
+        budgeted_count = sum(1 for rung, _ in rungs if rung.budgeted)
+        budgeted_seen = 0
+        attempts = 0
+        faults = 0
+        trigger: str | None = None
+        for index, (rung, dispatcher) in enumerate(rungs):
+            if rung.budgeted:
+                budget.extend_to(
+                    policy.rung_deadline_s(budgeted_seen, budgeted_count, frame)
+                )
+                budgeted_seen += 1
+            for _ in range(policy.transient_retries + 1):
+                attempts += 1
+                dispatcher.frame_budget = budget if rung.budgeted else None
+                if injector is not None:
+                    injector.arm()
+                try:
+                    schedule = dispatcher.dispatch(idle, batch)
+                except FrameBudgetExceededError:
+                    trigger = trigger or "deadline"
+                    break  # this rung is out of time: next rung
+                except TransientFaultError:
+                    faults += 1
+                    trigger = trigger or "fault"
+                    continue  # transient: retry the same rung
+                except ReproError:
+                    trigger = trigger or "error"
+                    break  # broken decision: next rung
+                finally:
+                    if injector is not None:
+                        injector.disarm()
+                    dispatcher.frame_budget = None
+                return schedule, FrameResilienceRecord(
+                    time_s=time_s,
+                    rung=rung.name,
+                    rung_index=index,
+                    trigger=trigger,
+                    attempts=attempts,
+                    faults=faults,
+                    budget_s=budget.duration_s,
+                    elapsed_s=budget.elapsed(),
+                )
+        return DispatchSchedule(), FrameResilienceRecord(
+            time_s=time_s,
+            rung=DROPPED_RUNG,
+            rung_index=len(rungs),
+            trigger=trigger,
+            attempts=attempts,
+            faults=faults,
+            budget_s=budget.duration_s,
+            elapsed_s=budget.elapsed(),
         )

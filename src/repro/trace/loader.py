@@ -22,13 +22,17 @@ from __future__ import annotations
 
 import csv
 import datetime as dt
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.errors import TraceFormatError
 from repro.trace.records import TripRecord
 
 __all__ = ["LoadReport", "load_nyc_trace", "load_generic_trace", "parse_timestamp"]
+
+#: Skip ratio above which loaders emit a data-quality warning.
+_SKIP_WARN_RATIO = 0.01
 
 _NYC_TIME_COLUMNS = ("tpep_pickup_datetime", "lpep_pickup_datetime", "pickup_datetime")
 _NYC_COLUMN_SETS = {
@@ -42,15 +46,40 @@ _NYC_COLUMN_SETS = {
 
 @dataclass(slots=True)
 class LoadReport:
-    """Outcome of a trace load: the records plus skip accounting."""
+    """Outcome of a trace load: the records plus skip accounting.
+
+    ``skip_reasons`` breaks ``skipped_rows`` down by cause
+    (``short_row``, ``bad_timestamp``, ``bad_coordinate``,
+    ``bad_passengers``, ``degenerate_coords``); the per-reason counts
+    always sum to ``skipped_rows``.
+    """
 
     records: list[TripRecord]
     total_rows: int
     skipped_rows: int
+    skip_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def loaded_rows(self) -> int:
         return len(self.records)
+
+    @property
+    def skip_ratio(self) -> float:
+        return self.skipped_rows / self.total_rows if self.total_rows else 0.0
+
+
+def _warn_if_lossy(report: LoadReport, path: Path) -> LoadReport:
+    if report.skip_ratio > _SKIP_WARN_RATIO:
+        breakdown = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(report.skip_reasons.items())
+        )
+        warnings.warn(
+            f"{path}: skipped {report.skipped_rows}/{report.total_rows} rows "
+            f"({report.skip_ratio:.1%}) — {breakdown}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return report
 
 
 def parse_timestamp(value: str) -> dt.datetime:
@@ -80,6 +109,13 @@ def load_nyc_trace(path: str | Path, max_rows: int | None = None) -> LoadReport:
     rows: list[tuple[dt.datetime, float, float, float, float, int]] = []
     total = 0
     skipped = 0
+    reasons: dict[str, int] = {}
+
+    def skip(reason: str) -> None:
+        nonlocal skipped
+        skipped += 1
+        reasons[reason] = reasons.get(reason, 0) + 1
+
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None:
@@ -96,21 +132,32 @@ def load_nyc_trace(path: str | Path, max_rows: int | None = None) -> LoadReport:
                 total -= 1
                 break
             try:
-                when = parse_timestamp(row[time_col])
+                when = parse_timestamp(row[time_col] or "")
+            except (TraceFormatError, KeyError):
+                skip("bad_timestamp")
+                continue
+            try:
                 plon = float(row[cols["pickup_lon"]])
                 plat = float(row[cols["pickup_lat"]])
                 dlon = float(row[cols["dropoff_lon"]])
                 dlat = float(row[cols["dropoff_lat"]])
+            except (ValueError, TypeError, KeyError):
+                skip("bad_coordinate")
+                continue
+            try:
                 passengers = max(1, int(float(row[cols["passengers"]] or 1)))
-            except (TraceFormatError, ValueError, KeyError):
-                skipped += 1
+            except (ValueError, TypeError, KeyError):
+                skip("bad_passengers")
                 continue
             if _degenerate(plon, plat) or _degenerate(dlon, dlat):
-                skipped += 1
+                skip("degenerate_coords")
                 continue
             rows.append((when, plon, plat, dlon, dlat, passengers))
     if not rows:
-        return LoadReport(records=[], total_rows=total, skipped_rows=skipped)
+        return _warn_if_lossy(
+            LoadReport(records=[], total_rows=total, skipped_rows=skipped, skip_reasons=reasons),
+            path,
+        )
     epoch = min(r[0] for r in rows)
     records = [
         TripRecord(
@@ -121,7 +168,10 @@ def load_nyc_trace(path: str | Path, max_rows: int | None = None) -> LoadReport:
         )
         for when, plon, plat, dlon, dlat, passengers in rows
     ]
-    return LoadReport(records=records, total_rows=total, skipped_rows=skipped)
+    return _warn_if_lossy(
+        LoadReport(records=records, total_rows=total, skipped_rows=skipped, skip_reasons=reasons),
+        path,
+    )
 
 
 def load_generic_trace(path: str | Path, max_rows: int | None = None) -> LoadReport:
@@ -131,6 +181,13 @@ def load_generic_trace(path: str | Path, max_rows: int | None = None) -> LoadRep
     raw: list[tuple[float | dt.datetime, float, float, float, float, int]] = []
     total = 0
     skipped = 0
+    reasons: dict[str, int] = {}
+
+    def skip(reason: str) -> None:
+        nonlocal skipped
+        skipped += 1
+        reasons[reason] = reasons.get(reason, 0) + 1
+
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
@@ -142,26 +199,37 @@ def load_generic_trace(path: str | Path, max_rows: int | None = None) -> LoadRep
                 total -= 1
                 break
             if len(row) < 5:
-                skipped += 1
+                skip("short_row")
                 continue
+            time_field = row[0].strip()
+            when: float | dt.datetime
             try:
-                time_field = row[0].strip()
-                when: float | dt.datetime
                 try:
                     when = float(time_field)
                 except ValueError:
                     when = parse_timestamp(time_field)
+            except TraceFormatError:
+                skip("bad_timestamp")
+                continue
+            try:
                 plon, plat, dlon, dlat = (float(v) for v in row[1:5])
+            except ValueError:
+                skip("bad_coordinate")
+                continue
+            try:
                 passengers = max(1, int(float(row[5]))) if len(row) > 5 and row[5].strip() else 1
-            except (TraceFormatError, ValueError):
-                skipped += 1
+            except ValueError:
+                skip("bad_passengers")
                 continue
             if _degenerate(plon, plat) or _degenerate(dlon, dlat):
-                skipped += 1
+                skip("degenerate_coords")
                 continue
             raw.append((when, plon, plat, dlon, dlat, passengers))
     if not raw:
-        return LoadReport(records=[], total_rows=total, skipped_rows=skipped)
+        return _warn_if_lossy(
+            LoadReport(records=[], total_rows=total, skipped_rows=skipped, skip_reasons=reasons),
+            path,
+        )
     if isinstance(raw[0][0], dt.datetime):
         epoch = min(r[0] for r in raw)  # type: ignore[type-var]
         times = [(r[0] - epoch).total_seconds() for r in raw]  # type: ignore[operator]
@@ -172,7 +240,10 @@ def load_generic_trace(path: str | Path, max_rows: int | None = None) -> LoadRep
         TripRecord(request_time_s=t, pickup=(r[1], r[2]), dropoff=(r[3], r[4]), passengers=r[5])
         for t, r in zip(times, raw)
     ]
-    return LoadReport(records=records, total_rows=total, skipped_rows=skipped)
+    return _warn_if_lossy(
+        LoadReport(records=records, total_rows=total, skipped_rows=skipped, skip_reasons=reasons),
+        path,
+    )
 
 
 def _degenerate(lon: float, lat: float) -> bool:

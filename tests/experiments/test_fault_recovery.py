@@ -1,0 +1,128 @@
+"""Fault recovery in the experiment runners.
+
+Three failure species, three recovery paths:
+
+* transient oracle errors -> per-cell retry with exponential backoff
+  (attempt numbers re-derive the fault schedule, so a deterministic
+  first-attempt failure heals on the retry);
+* worker crashes -> ``BrokenProcessPool`` -> serial re-run of whatever
+  cells had not finished;
+* and everything must stay bit-identical between serial and parallel
+  execution, faults included.
+"""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments import ExperimentScale, run_city_experiment, run_taxi_sweep
+from repro.experiments import runners as runners_module
+from repro.resilience import FaultPlan
+from repro.trace import boston_profile
+
+TINY = ExperimentScale(factor=0.004, seed=11, hours=(8.0, 9.0))
+ALGORITHMS = ("Greedy", "NSTD-P")
+
+
+def comparable(result):
+    """Everything observable about a run except wall-clock telemetry."""
+    return {
+        "summary": result.summary(),
+        "outcomes": [
+            (o.request_id, o.taxi_id, o.dispatch_time_s, o.pickup_time_s, o.dropoff_time_s)
+            for o in result.outcomes
+        ],
+        "assignments": [
+            (a.frame_time_s, a.taxi_id, a.request_ids, a.revenue_km)
+            for a in result.assignments
+        ],
+        "frames_run": result.frames_run,
+    }
+
+
+@pytest.fixture(autouse=True)
+def no_real_backoff(monkeypatch):
+    """Record retry delays instead of sleeping through them."""
+    delays = []
+    monkeypatch.setattr(runners_module, "_sleep", delays.append)
+    return delays
+
+
+class TestTransientRetry:
+    def test_failing_first_attempt_heals_on_retry(self, no_real_backoff):
+        plan = FaultPlan(seed=5, fail_attempts=1)
+        faulted = run_city_experiment(boston_profile(), ALGORITHMS, TINY, faults=plan)
+        clean = run_city_experiment(boston_profile(), ALGORITHMS, TINY)
+        assert list(faulted) == list(clean)
+        for name in clean:
+            # The healed attempt injects nothing (zero rates), so the
+            # recovered run is bit-identical to the fault-free one.
+            assert comparable(faulted[name]) == comparable(clean[name]), name
+        # One retry per cell, each after one backoff sleep.
+        assert len(no_real_backoff) == len(ALGORITHMS)
+
+    def test_backoff_is_exponential(self, no_real_backoff):
+        plan = FaultPlan(seed=5, fail_attempts=2)
+        run_city_experiment(boston_profile(), ("Greedy",), TINY, faults=plan)
+        base = runners_module._BACKOFF_BASE_S
+        assert no_real_backoff == [base, base * 2]
+
+    def test_exhausted_retries_raise_experiment_error(self, no_real_backoff):
+        plan = FaultPlan(seed=5, fail_attempts=99)
+        with pytest.raises(ExperimentError, match="failed"):
+            run_city_experiment(boston_profile(), ("Greedy",), TINY, faults=plan)
+
+
+class TestBrokenPoolRecovery:
+    def test_worker_crash_recovers_serially(self):
+        plan = FaultPlan(seed=0, crash_algorithms=("Greedy",))
+        recovered = run_city_experiment(
+            boston_profile(), ALGORITHMS, TINY, workers=2, faults=plan
+        )
+        clean = run_city_experiment(boston_profile(), ALGORITHMS, TINY)
+        assert list(recovered) == list(clean)
+        for name in clean:
+            # The crash only ever fires inside pool workers; the serial
+            # re-run in the parent injects nothing, so recovery is exact.
+            assert comparable(recovered[name]) == comparable(clean[name]), name
+
+    def test_sweep_recovers_from_worker_crash(self):
+        plan = FaultPlan(seed=0, crash_algorithms=("Greedy",))
+        counts = (100, 200)
+        recovered = run_taxi_sweep(
+            boston_profile(), ALGORITHMS, counts, TINY, workers=2, faults=plan
+        )
+        clean = run_taxi_sweep(boston_profile(), ALGORITHMS, counts, TINY)
+        assert list(recovered) == list(clean) == list(counts)
+        for count in counts:
+            for name in clean[count]:
+                assert comparable(recovered[count][name]) == comparable(
+                    clean[count][name]
+                ), (count, name)
+
+
+class TestSerialParallelEquivalenceUnderFaults:
+    def test_city_experiment(self, no_real_backoff):
+        plan = FaultPlan(seed=21, fail_attempts=1)
+        serial = run_city_experiment(boston_profile(), ALGORITHMS, TINY, faults=plan)
+        parallel = run_city_experiment(
+            boston_profile(), ALGORITHMS, TINY, workers=2, faults=plan
+        )
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert comparable(serial[name]) == comparable(parallel[name]), name
+
+    def test_taxi_sweep(self, no_real_backoff):
+        plan = FaultPlan(seed=21, fail_attempts=1)
+        counts = (100, 200)
+        serial = run_taxi_sweep(
+            boston_profile(), ALGORITHMS, counts, TINY, faults=plan
+        )
+        parallel = run_taxi_sweep(
+            boston_profile(), ALGORITHMS, counts, TINY, workers=2, faults=plan
+        )
+        assert list(serial) == list(parallel) == list(counts)
+        for count in counts:
+            for name in serial[count]:
+                assert comparable(serial[count][name]) == comparable(
+                    parallel[count][name]
+                ), (count, name)

@@ -1,0 +1,98 @@
+"""Anytime behaviour of the sharing pack stage under work budgets."""
+
+from repro.core import DispatchConfig, PassengerRequest
+from repro.geometry import EuclideanDistance, Point
+from repro.packing import enumerate_feasible_groups
+from repro.packing.set_packing import (
+    exact_set_packing,
+    local_search_packing,
+    verify_packing,
+)
+from repro.resilience import WorkBudget
+
+CHAIN_SETS = [frozenset({i, i + 1}) for i in range(12)]
+
+
+def shareable_requests(n=8):
+    """Requests clustered so many pairs are feasible."""
+    return [
+        PassengerRequest(
+            j,
+            Point(0.05 * j, 0.0),
+            Point(0.05 * j, 5.0),
+            request_time_s=0.0,
+        )
+        for j in range(n)
+    ]
+
+
+class TestExactPackingBudget:
+    def test_unbudgeted_result_untouched(self):
+        result = exact_set_packing(CHAIN_SETS)
+        assert not result.truncated
+        assert result.chosen == (0, 2, 4, 6, 8, 10)
+
+    def test_truncated_result_is_valid_best_so_far(self):
+        result = exact_set_packing(CHAIN_SETS, budget=WorkBudget(2))
+        assert result.truncated
+        assert verify_packing(CHAIN_SETS, result.chosen)
+        assert result.size <= 6
+
+    def test_generous_budget_is_exact_and_untruncated(self):
+        result = exact_set_packing(CHAIN_SETS, budget=WorkBudget(10**6))
+        assert not result.truncated
+        assert result.chosen == exact_set_packing(CHAIN_SETS).chosen
+
+
+class TestLocalSearchBudget:
+    def test_unbudgeted_result_untouched(self):
+        result = local_search_packing(CHAIN_SETS)
+        assert not result.truncated
+        assert verify_packing(CHAIN_SETS, result.chosen)
+
+    def test_truncated_result_is_valid(self):
+        result = local_search_packing(CHAIN_SETS, budget=WorkBudget(0))
+        assert result.truncated
+        assert verify_packing(CHAIN_SETS, result.chosen)
+        # The greedy seed survives: truncation never yields an empty
+        # packing when the greedy pass found one.
+        assert result.size > 0
+
+
+class TestFeasibilityBudget:
+    def test_unbudgeted_enumeration_untouched(self):
+        requests = shareable_requests()
+        oracle = EuclideanDistance()
+        config = DispatchConfig(theta_km=2.0, max_group_size=2)
+        groups, stats = enumerate_feasible_groups(
+            requests, oracle, config, with_stats=True
+        )
+        assert groups
+        assert not stats.truncated
+
+    def test_budget_truncates_enumeration(self):
+        requests = shareable_requests()
+        oracle = EuclideanDistance()
+        config = DispatchConfig(theta_km=2.0, max_group_size=2)
+        full = enumerate_feasible_groups(requests, oracle, config)
+        part, stats = enumerate_feasible_groups(
+            requests, oracle, config, with_stats=True, budget=WorkBudget(3)
+        )
+        assert stats.truncated
+        assert any("work budget" in note for note in stats.notes)
+        assert len(part) < len(full)
+        # The prefix property: truncated groups are the first candidates
+        # the unbudgeted enumeration would emit, same ids and order.
+        assert [g.request_ids for g in part] == [
+            g.request_ids for g in full[: len(part)]
+        ]
+
+    def test_budget_skips_triples_after_pairs_exhaust(self):
+        requests = shareable_requests(6)
+        oracle = EuclideanDistance()
+        config = DispatchConfig(theta_km=5.0, max_group_size=3)
+        _, stats = enumerate_feasible_groups(
+            requests, oracle, config, with_stats=True, budget=WorkBudget(2)
+        )
+        assert stats.truncated
+        assert stats.triples_tested == 0

@@ -1,0 +1,158 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import TransientFaultError
+from repro.geometry import EuclideanDistance, Point
+from repro.geometry.batch import oracle_pairwise
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultyOracle,
+    in_worker_process,
+    maybe_crash_worker,
+)
+
+
+class TestFaultInjector:
+    def test_deterministic_schedule(self):
+        def schedule(seed):
+            injector = FaultInjector(seed, latency_rate=0.3, error_rate=0.2)
+            events = []
+            for _ in range(50):
+                spikes = injector.latency_spikes
+                try:
+                    injector.before_call()
+                except TransientFaultError:
+                    events.append("error")
+                else:
+                    events.append("spike" if injector.latency_spikes > spikes else "ok")
+            return events
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_latency_advances_virtual_clock_only(self):
+        injector = FaultInjector(0, latency_rate=1.0, latency_s=5.0)
+        assert injector.clock() == 0.0
+        injector.before_call()
+        assert injector.clock() == pytest.approx(5.0)
+        assert injector.latency_spikes == 1
+
+    def test_per_call_cost_charged_even_disarmed(self):
+        injector = FaultInjector(0, per_call_cost_s=0.5, error_rate=1.0)
+        injector.disarm()
+        injector.before_call()  # would raise if armed
+        assert injector.clock() == pytest.approx(0.5)
+        assert injector.errors_raised == 0
+
+    def test_disarmed_calls_do_not_consume_rng(self):
+        armed_only = FaultInjector(3, latency_rate=0.5)
+        interleaved = FaultInjector(3, latency_rate=0.5)
+        for _ in range(20):
+            armed_only.before_call()
+        for i in range(40):
+            if i % 2:
+                interleaved.disarm()
+            else:
+                interleaved.arm()
+            interleaved.before_call()
+        # 20 armed calls either way -> identical spike count.
+        assert interleaved.latency_spikes == armed_only.latency_spikes
+
+    def test_fail_first_calls(self):
+        injector = FaultInjector(0, fail_first_calls=2)
+        with pytest.raises(TransientFaultError):
+            injector.before_call()
+        with pytest.raises(TransientFaultError):
+            injector.before_call()
+        injector.before_call()  # third call is clean
+        assert injector.errors_raised == 2
+
+    def test_advance(self):
+        injector = FaultInjector(0)
+        injector.advance(3.25)
+        assert injector.clock() == pytest.approx(3.25)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0, latency_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(0, error_rate=-0.1)
+
+
+class TestFaultyOracle:
+    def test_disarmed_is_observationally_identical(self):
+        base = EuclideanDistance()
+        injector = FaultInjector(0, error_rate=1.0)
+        injector.disarm()
+        wrapped = injector.wrap(base)
+        a, b = Point(0, 0), Point(3, 4)
+        assert wrapped.distance(a, b) == base.distance(a, b)
+        assert wrapped.batch_exact == bool(getattr(base, "batch_exact", False))
+
+    def test_armed_errors_propagate(self):
+        injector = FaultInjector(0, error_rate=1.0)
+        wrapped = injector.wrap(EuclideanDistance())
+        with pytest.raises(TransientFaultError):
+            wrapped.distance(Point(0, 0), Point(1, 1))
+
+    def test_batch_calls_count_one_fault_opportunity(self):
+        injector = FaultInjector(0)
+        wrapped = injector.wrap(EuclideanDistance())
+        points = [Point(0, 0), Point(1, 1)]
+        matrix = wrapped.pairwise(points, points)
+        assert injector.calls == 1
+        assert matrix.shape == (2, 2)
+        # And the wrapper is itself usable through the batch helpers.
+        assert oracle_pairwise(wrapped, points, points).shape == (2, 2)
+
+    def test_base_and_injector_accessors(self):
+        base = EuclideanDistance()
+        injector = FaultInjector(0)
+        wrapped = FaultyOracle(base, injector)
+        assert wrapped.base is base
+        assert wrapped.injector is injector
+
+
+class TestFaultPlan:
+    def test_picklable(self):
+        plan = FaultPlan(seed=9, latency_rate=0.1, crash_algorithms=("STD-P",))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_injector_derivation_is_stable_and_distinct(self):
+        plan = FaultPlan(seed=1, latency_rate=0.2)
+        a0 = plan.build_injector("city:10:NSTD-P", attempt=0)
+        a0_again = plan.build_injector("city:10:NSTD-P", attempt=0)
+        a1 = plan.build_injector("city:10:NSTD-P", attempt=1)
+        b0 = plan.build_injector("city:10:GREEDY", attempt=0)
+        assert a0.seed == a0_again.seed
+        assert a0.seed != a1.seed
+        assert a0.seed != b0.seed
+
+    def test_fail_attempts_gate(self):
+        plan = FaultPlan(seed=0, fail_attempts=2)
+        assert plan.build_injector("k", attempt=0).fail_first_calls == 1
+        assert plan.build_injector("k", attempt=1).fail_first_calls == 1
+        assert plan.build_injector("k", attempt=2).fail_first_calls == 0
+
+    def test_wrap_oracle(self):
+        plan = FaultPlan(seed=0)
+        oracle, injector = plan.wrap_oracle(EuclideanDistance(), "k")
+        assert isinstance(oracle, FaultyOracle)
+        assert oracle.injector is injector
+
+
+class TestWorkerCrash:
+    def test_not_in_worker_process_here(self):
+        assert not in_worker_process()
+
+    def test_maybe_crash_worker_noop_in_parent(self):
+        # Would os._exit(3) inside a pool worker; in the parent process
+        # (this test) it must be a no-op even for a targeted cell.
+        plan = FaultPlan(seed=0, crash_algorithms=("NSTD-P",))
+        maybe_crash_worker(plan, "NSTD-P")
+        maybe_crash_worker(plan, "GREEDY")
+        maybe_crash_worker(None, "NSTD-P")

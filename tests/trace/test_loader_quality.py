@@ -1,0 +1,154 @@
+"""Data-quality accounting in the trace loaders: per-reason skip counts,
+the lossy-load warning, and the timestamp/coordinate rejection paths."""
+
+import warnings
+
+import pytest
+
+from repro.core import TraceFormatError
+from repro.trace import load_generic_trace, load_nyc_trace
+from repro.trace.loader import _degenerate, parse_timestamp
+
+NYC_HEADER = (
+    "VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,"
+    "trip_distance,pickup_longitude,pickup_latitude,RatecodeID,store_and_fwd_flag,"
+    "dropoff_longitude,dropoff_latitude,payment_type,fare_amount"
+)
+
+GOOD_NYC = "2,2016-01-01 00:00:00,2016-01-01 00:10:00,1,2.1,-73.99,40.73,1,N,-73.98,40.75,1,9.0"
+
+
+def write_nyc(tmp_path, rows):
+    path = tmp_path / "yellow.csv"
+    path.write_text(NYC_HEADER + "\n" + "\n".join(rows) + "\n")
+    return path
+
+
+def write_generic(tmp_path, rows):
+    path = tmp_path / "boston.csv"
+    path.write_text("time,plon,plat,dlon,dlat,passengers\n" + "\n".join(rows) + "\n")
+    return path
+
+
+class TestParseTimestampRejection:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "   ",
+            "yesterday",
+            "2016-13-01 00:00:00",  # month 13
+            "2016-01-01 25:00:00",  # hour 25
+            "2016-01-01",  # date only
+            "00:30:00",  # time only
+            "1451606400",  # epoch seconds are not a timestamp format
+        ],
+    )
+    def test_rejects(self, value):
+        with pytest.raises(TraceFormatError):
+            parse_timestamp(value)
+
+    def test_accepts_all_documented_formats(self):
+        for value in (
+            "2016-01-01 00:30:00",
+            "2016-01-01T00:30:00",
+            "01/02/2016 10:00:00",
+            "01/02/2016 10:00",
+        ):
+            assert parse_timestamp(value).year == 2016
+
+    def test_strips_whitespace(self):
+        assert parse_timestamp("  2016-01-01 00:30:00  ").minute == 30
+
+
+class TestDegenerateFilter:
+    def test_origin_is_degenerate(self):
+        assert _degenerate(0.0, 0.0)
+        assert _degenerate(1e-12, -1e-12)
+
+    def test_real_coordinates_are_not(self):
+        assert not _degenerate(-73.99, 40.73)
+        # Zero on a single axis is a legitimate coordinate (Greenwich).
+        assert not _degenerate(0.0, 51.48)
+        assert not _degenerate(-73.99, 0.0)
+
+
+class TestSkipReasonsNYC:
+    def test_each_reason_counted(self, tmp_path):
+        path = write_nyc(
+            tmp_path,
+            [
+                GOOD_NYC,
+                "2,not-a-time,x,1,2.1,-73.99,40.73,1,N,-73.98,40.75,1,9.0",
+                "2,2016-01-01 00:01:00,x,1,2.1,oops,40.73,1,N,-73.98,40.75,1,9.0",
+                "2,2016-01-01 00:02:00,x,bogus,2.1,-73.99,40.73,1,N,-73.98,40.75,1,9.0",
+                "2,2016-01-01 00:03:00,x,1,2.1,0,0,1,N,-73.98,40.75,1,9.0",
+            ],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = load_nyc_trace(path)
+        assert report.loaded_rows == 1
+        assert report.skipped_rows == 4
+        assert report.skip_reasons == {
+            "bad_timestamp": 1,
+            "bad_coordinate": 1,
+            "bad_passengers": 1,
+            "degenerate_coords": 1,
+        }
+        assert sum(report.skip_reasons.values()) == report.skipped_rows
+
+    def test_clean_load_has_empty_reasons(self, tmp_path):
+        report = load_nyc_trace(write_nyc(tmp_path, [GOOD_NYC]))
+        assert report.skip_reasons == {}
+        assert report.skip_ratio == 0.0
+
+
+class TestSkipReasonsGeneric:
+    def test_each_reason_counted(self, tmp_path):
+        path = write_generic(
+            tmp_path,
+            [
+                "0,1.0,1.0,2.0,2.0,1",
+                "only,two",
+                "whenever,1.0,1.0,2.0,2.0,1",
+                "10,nope,1.0,2.0,2.0,1",
+                "20,1.0,1.0,2.0,2.0,many",
+                "30,0,0,2.0,2.0,1",
+            ],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = load_generic_trace(path)
+        assert report.loaded_rows == 1
+        assert report.skip_reasons == {
+            "short_row": 1,
+            "bad_timestamp": 1,
+            "bad_coordinate": 1,
+            "bad_passengers": 1,
+            "degenerate_coords": 1,
+        }
+        assert sum(report.skip_reasons.values()) == report.skipped_rows
+
+
+class TestLossyWarning:
+    def test_warns_above_one_percent(self, tmp_path):
+        path = write_nyc(tmp_path, [GOOD_NYC, GOOD_NYC.replace("-73.99", "0").replace("40.73", "0")])
+        with pytest.warns(RuntimeWarning, match="degenerate_coords=1"):
+            load_nyc_trace(path)
+
+    def test_quiet_below_threshold(self, tmp_path):
+        rows = [GOOD_NYC] * 200
+        rows.append("2,not-a-time,x,1,2.1,-73.99,40.73,1,N,-73.98,40.75,1,9.0")
+        path = write_nyc(tmp_path, rows)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            report = load_nyc_trace(path)  # 1/201 < 1%: no warning
+        assert report.skipped_rows == 1
+
+    def test_skip_ratio_property(self, tmp_path):
+        path = write_generic(tmp_path, ["0,1.0,1.0,2.0,2.0,1", "only,two"])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = load_generic_trace(path)
+        assert report.skip_ratio == pytest.approx(0.5)
