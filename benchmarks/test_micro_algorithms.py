@@ -214,12 +214,12 @@ class TestKernelSpeedups:
         def scalar_pairwise():
             return [[ORACLE.distance(p, loc) for loc in locations] for p in pickups]
 
-        batch = oracle_pairwise(ORACLE, pickups, locations, exact=True)
+        batch = oracle_pairwise(ORACLE, sources=pickups, targets=locations, exact=True)
         assert np.array_equal(np.asarray(scalar_pairwise()), batch)
         record("pairwise_scalar", _best_ms(scalar_pairwise))
         record(
             "pairwise_euclidean",
-            _best_ms(lambda: oracle_pairwise(ORACLE, pickups, locations, exact=True)),
+            _best_ms(lambda: oracle_pairwise(ORACLE, sources=pickups, targets=locations, exact=True)),
             baseline="pairwise_scalar",
         )
 

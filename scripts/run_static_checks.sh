@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Static-analysis gate for the dispatch core.
+#
+#   scripts/run_static_checks.sh          # lint + typing + style + tier-1 tests
+#   scripts/run_static_checks.sh --fast   # skip the test suite
+#
+# repro-lint (stdlib-only) always runs and is authoritative: a finding
+# fails the gate.  mypy and ruff are pinned optional dev dependencies
+# (pip install -e '.[dev]'); when they are not installed the gate
+# reports them as skipped rather than failing, so the script works in
+# hermetic environments that cannot install packages.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_tests=1
+if [ "${1:-}" = "--fast" ]; then
+    run_tests=0
+fi
+
+failures=0
+
+step() {
+    echo
+    echo "== $1"
+}
+
+step "repro-lint (repo invariants REP001-REP007)"
+if ! python -m repro.devtools src/; then
+    failures=$((failures + 1))
+fi
+
+step "mypy --strict (optional dev dependency)"
+if python -c "import mypy" >/dev/null 2>&1; then
+    if ! python -m mypy; then
+        failures=$((failures + 1))
+    fi
+else
+    echo "mypy not installed; skipped (pip install -e '.[dev]' to enable)"
+fi
+
+step "ruff check (optional dev dependency)"
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    if ! python -m ruff check src/ tests/ benchmarks/ 2>/dev/null \
+        && ! ruff check src/ tests/ benchmarks/; then
+        failures=$((failures + 1))
+    fi
+else
+    echo "ruff not installed; skipped (pip install -e '.[dev]' to enable)"
+fi
+
+if [ "$run_tests" -eq 1 ]; then
+    step "tier-1 test suite"
+    if ! python -m pytest -x -q; then
+        failures=$((failures + 1))
+    fi
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "static checks: $failures gate(s) FAILED"
+    exit 1
+fi
+echo "static checks: all gates passed"

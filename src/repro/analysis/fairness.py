@@ -38,7 +38,7 @@ def gini(values: Sequence[float]) -> float:
     ordered = sorted(values)
     n = len(ordered)
     total = sum(ordered)
-    if total == 0.0:
+    if total <= 0.0:  # all-zero input (values are validated non-negative)
         return 0.0
     weighted = sum(rank * value for rank, value in enumerate(ordered, start=1))
     return (2.0 * weighted) / (n * total) - (n + 1.0) / n
@@ -52,7 +52,7 @@ def jain_index(values: Sequence[float]) -> float:
         raise ValueError("Jain's index requires non-negative values")
     total = sum(values)
     squares = sum(v * v for v in values)
-    if squares == 0.0:
+    if squares <= 0.0:  # all-zero input (values are validated non-negative)
         return 1.0
     return (total * total) / (len(values) * squares)
 
@@ -84,6 +84,6 @@ def driver_income_report(
             "revenue_gini": gini(revenues),
             "revenue_jain": jain_index(revenues),
             "mean_paid_ratio": sum(s.paid_ratio for s in stats) / len(stats),
-            "idle_driver_share": sum(1 for r in revenues if r == 0.0) / len(revenues),
+            "idle_driver_share": sum(1 for r in revenues if r <= 0.0) / len(revenues),
         }
     return report

@@ -1,0 +1,37 @@
+"""`repro-lint`: repo-specific static analysis for the dispatch core.
+
+The reproduction's correctness claims rest on conventions no general
+linter knows about: bit-reproducible determinism (seeded RNGs, virtual
+clocks), the batched-kernel source-row convention, cooperative
+``checkpoint()`` calls inside dispatcher loops, and typed budget errors
+that must never be swallowed.  This package mechanizes those invariants
+as AST lint rules (stdlib :mod:`ast` only — no new runtime
+dependencies) so they are enforced on every push instead of re-found in
+review.
+
+Public surface:
+
+* :func:`lint_paths` — lint files/directories, returning a
+  :class:`LintReport`;
+* :class:`Finding` / :class:`LintReport` — structured results;
+* :data:`all_rules` — the registered rule classes, by rule id;
+* ``python -m repro.devtools`` / the ``repro-lint`` console script —
+  the CLI (JSON or human-readable output).
+
+Each rule documents the convention it guards and which PR introduced
+it; see ``DESIGN.md`` §9 for the full table.  Individual findings can
+be waived in place with a reasoned suppression comment::
+
+    time.sleep(delay)  # repro-lint: disable=REP001 virtualized by chaos tests
+
+A suppression without a reason is itself a finding (``REP000``): every
+waiver must say why the invariant does not apply.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import lint_paths, lint_source
+from repro.devtools.findings import Finding, LintReport
+from repro.devtools.registry import all_rules
+
+__all__ = ["Finding", "LintReport", "all_rules", "lint_paths", "lint_source"]

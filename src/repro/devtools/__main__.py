@@ -1,0 +1,10 @@
+"""``python -m repro.devtools`` — the uninstalled face of ``repro-lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

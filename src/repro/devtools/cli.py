@@ -1,0 +1,105 @@
+"""The ``repro-lint`` command line.
+
+Usage::
+
+    repro-lint src/                      # human-readable, exit 1 on findings
+    repro-lint --format json src/        # machine-readable report
+    repro-lint --select REP001,REP005 …  # subset of rules
+    repro-lint --list-rules              # rule ids, summaries, conventions
+
+Also reachable without installation as ``python -m repro.devtools``.
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.devtools.engine import lint_paths
+from repro.devtools.registry import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific invariant lints for the dispatch core.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings waived by suppression comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule_id, cls in all_rules().items():
+        print(f"{rule_id}  {cls.summary}")
+        print(f"        {cls.convention}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+    select = [part.strip() for part in args.select.split(",")] if args.select else None
+    try:
+        report = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+        return 0 if report.ok else 1
+
+    for finding in report.findings:
+        print(finding.render())
+        if finding.snippet:
+            print(f"    {finding.snippet}")
+    if args.show_suppressed:
+        for finding in report.suppressed:
+            print(finding.render())
+    counts = report.counts()
+    summary = (
+        ", ".join(f"{rule}: {count}" for rule, count in counts.items())
+        if counts
+        else "clean"
+    )
+    print(
+        f"repro-lint: {report.files_checked} files, {len(report.findings)} findings "
+        f"({summary}), {len(report.suppressed)} suppressed"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` is built per linted file: the parsed AST, raw
+source lines, and an import-alias table that lets rules resolve names
+like ``np.random.seed`` or ``t.sleep`` back to the canonical dotted
+path (``numpy.random.seed``, ``time.sleep``) regardless of how the
+module was imported.  Rules stay purely syntactic otherwise — no code
+is executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.devtools.findings import Finding
+
+__all__ = ["FileContext"]
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: local name -> canonical dotted prefix, e.g. ``np -> numpy``,
+    #: ``sleep -> time.sleep`` (from ``from time import sleep``).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.Module) -> "FileContext":
+        ctx = cls(path=path, source=source, tree=tree, lines=source.splitlines())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    ctx.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    ctx.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return ctx
+
+    def snippet(self, node: ast.AST) -> str:
+        """The first source line of ``node``, stripped, for reports."""
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def dotted_name(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, alias-expanded.
+
+        ``np.random.seed`` -> ``numpy.random.seed`` under ``import numpy
+        as np``; ``sleep`` -> ``time.sleep`` under ``from time import
+        sleep``.  Returns ``None`` for anything that is not a plain
+        attribute chain rooted at a name (calls, subscripts, ...).
+        """
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def finding(
+        self, rule: str, message: str, node: ast.AST, *, snippet: bool = True
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            rule=rule,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            snippet=self.snippet(node) if snippet else "",
+        )

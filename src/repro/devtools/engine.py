@@ -1,0 +1,103 @@
+"""Lint orchestration: walk files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import replace
+from pathlib import Path
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import META_RULE_ID, Finding, LintReport
+from repro.devtools.registry import all_rules
+from repro.devtools.suppressions import SuppressionIndex
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+#: Directory names never descended into when expanding path arguments.
+_SKIPPED_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+
+
+def _selected_rules(select: Sequence[str] | None) -> list[object]:
+    registry = all_rules()
+    if select is None:
+        return [cls() for cls in registry.values()]
+    unknown = [rule_id for rule_id in select if rule_id.upper() not in registry]
+    if unknown:
+        raise ValueError(f"unknown lint rule ids: {', '.join(sorted(unknown))}")
+    return [registry[rule_id.upper()]() for rule_id in select]
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, select: Sequence[str] | None = None
+) -> LintReport:
+    """Lint one source string; the core everything else wraps."""
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule=META_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        )
+        return report
+    ctx = FileContext.build(path, source, tree)
+    suppressions = SuppressionIndex(source, path)
+    report.findings.extend(suppressions.malformed)
+    for rule in _selected_rules(select):
+        for finding in rule.check(ctx):
+            waiver = suppressions.lookup(finding.rule, finding.line)
+            if waiver is None:
+                report.findings.append(finding)
+            else:
+                report.suppressed.append(replace(finding, suppression_reason=waiver.reason))
+    report.sort()
+    return report
+
+
+def lint_file(path: Path, *, select: Sequence[str] | None = None) -> LintReport:
+    """Lint one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        report = LintReport(files_checked=1)
+        report.findings.append(
+            Finding(
+                rule=META_RULE_ID,
+                message=f"file is unreadable: {exc}",
+                path=str(path),
+                line=1,
+            )
+        )
+        return report
+    return lint_source(source, str(path), select=select)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    seen.add(candidate)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, select: Sequence[str] | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths``; the CLI's workhorse."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.extend(lint_file(path, select=select))
+    report.sort()
+    return report

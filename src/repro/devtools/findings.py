@@ -1,0 +1,102 @@
+"""Structured lint results: findings, suppressed findings, reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Finding", "LintReport", "META_RULE_ID"]
+
+#: Rule id used for diagnostics about the lint run itself (unparseable
+#: files, malformed suppression comments).  Meta findings cannot be
+#: suppressed.
+META_RULE_ID = "REP000"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based line and 0-based column, matching
+    :mod:`ast` node coordinates.  ``suppression_reason`` is only set on
+    findings that were waived by a reasoned suppression comment (those
+    live in :attr:`LintReport.suppressed`, not :attr:`LintReport.findings`).
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    snippet: str = ""
+    suppression_reason: str = ""
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line:col: RULE message``."""
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+        if self.suppression_reason:
+            text += f" [suppressed: {self.suppression_reason}]"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable dict, stable key order."""
+        payload: dict[str, Any] = {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.snippet:
+            payload["snippet"] = self.snippet
+        if self.suppression_reason:
+            payload["suppression_reason"] = self.suppression_reason
+        return payload
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything one lint run produced.
+
+    ``findings`` are the live violations (non-empty means the gate
+    fails); ``suppressed`` are violations waived by reasoned
+    suppression comments, kept for auditability.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no live findings)."""
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """Live findings per rule id, sorted by rule id."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def sort(self) -> None:
+        """Order findings by (path, line, col, rule) for stable output."""
+        key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=key)
+
+    def extend(self, other: LintReport) -> None:
+        """Fold another report (e.g. one file's) into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON document for ``repro-lint --format json``."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+        }

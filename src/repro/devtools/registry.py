@@ -1,0 +1,56 @@
+"""The lint-rule registry.
+
+A rule is a class with a ``rule_id``, a one-line ``summary``, a
+``convention`` note (what repo invariant it guards, and where that
+convention came from), and a ``check(ctx)`` generator yielding
+:class:`~repro.devtools.findings.Finding` objects.  Registration is a
+decorator so adding a rule is one module with one class; the CLI and
+the engine discover everything through :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.devtools.context import FileContext
+    from repro.devtools.findings import Finding
+
+__all__ = ["LintRule", "register_rule", "all_rules"]
+
+
+class LintRule(Protocol):
+    """Structural interface every registered rule satisfies."""
+
+    rule_id: str
+    summary: str
+    convention: str
+
+    def check(self, ctx: "FileContext") -> Iterator["Finding"]: ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding a rule to the global registry.
+
+    Duplicate rule ids are a programming error and fail loudly — two
+    rules silently sharing an id would make suppressions ambiguous.
+    """
+    rule_id = getattr(cls, "rule_id", "")
+    if not rule_id:
+        raise ValueError(f"lint rule {cls.__name__} has no rule_id")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule_id}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type]:
+    """Registered rule classes by rule id (imports the rule modules)."""
+    # Importing the package registers every rule as a side effect.
+    import repro.devtools.rules  # noqa: F401
+
+    return dict(sorted(_REGISTRY.items()))

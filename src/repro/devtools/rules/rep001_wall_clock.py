@@ -1,0 +1,74 @@
+"""REP001 — no wall-clock reads outside the resilience clock.
+
+Bit-reproducible runs (the basis of every serial≡parallel and
+chaos-determinism test, PR 2/3) require that simulation behaviour never
+depends on the host's clock.  All timing flows through the resilience
+layer's injectable clocks (:mod:`repro.resilience.budget` /
+:mod:`repro.resilience.ladder`), which chaos tests replace with virtual
+time.  Any other ``time.*`` / ``datetime.now``-family access is either
+a determinism bug or pure telemetry — telemetry sites carry a reasoned
+suppression so the next reader knows the value never feeds a decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["NoWallClockRule"]
+
+#: Canonical dotted names that read or depend on the host clock.
+_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.sleep",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: The resilience clock: the only modules allowed to touch the host
+#: clock directly (they are where virtual clocks get injected).
+_WHITELIST = ("repro/resilience/budget.py", "repro/resilience/ladder.py")
+
+
+@register_rule
+class NoWallClockRule:
+    rule_id = "REP001"
+    summary = "wall-clock access outside the resilience clock modules"
+    convention = (
+        "Determinism (PR 2/3): all timing goes through the injectable clocks in "
+        "repro.resilience; telemetry-only reads need a reasoned suppression."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        posix = Path(ctx.path).as_posix()
+        if posix.endswith(_WHITELIST):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # Attribute chains are reported at their outermost node only
+            # (the full dotted path); inner Name/Attribute parts resolve
+            # to prefixes like "time" that are not in the banned set.
+            dotted = ctx.dotted_name(node)
+            if dotted in _BANNED:
+                yield ctx.finding(
+                    self.rule_id,
+                    f"`{dotted}` reads the host clock; use the resilience layer's "
+                    "injectable clock (repro.resilience.budget/ladder) so runs stay "
+                    "bit-reproducible",
+                    node,
+                )

@@ -1,0 +1,73 @@
+"""REP002 — seeded generator objects only, no module-level RNG state.
+
+Every random draw in the reproduction must come from a seeded generator
+object threaded from configuration (``random.Random(seed)`` or
+``numpy.random.default_rng(seed)`` / ``Generator``).  The module-level
+legacy APIs (``random.random()``, ``np.random.seed`` + ``np.random.*``)
+share hidden global state: any import-order change, parallel worker, or
+third-party call reorders the stream and silently breaks
+bit-reproducibility — and with it the stability guarantees, which
+assume exact, order-stable preference evaluation (Gale–Shapley /
+Roth; see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["SeededRngOnlyRule"]
+
+#: ``random`` module members that construct isolated generator objects.
+_ALLOWED_STDLIB = {"Random"}
+
+#: ``numpy.random`` members that construct or type isolated generators.
+_ALLOWED_NUMPY = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register_rule
+class SeededRngOnlyRule:
+    rule_id = "REP002"
+    summary = "module-level RNG API instead of a seeded generator object"
+    convention = (
+        "Determinism (seed state, PR 2/3): randomness comes from Random(seed) / "
+        "default_rng(seed) objects threaded from config, never global module state."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            dotted = ctx.dotted_name(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            member: str | None = None
+            if parts[0] == "random" and len(parts) == 2:
+                if parts[1] not in _ALLOWED_STDLIB:
+                    member = dotted
+            elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+                if parts[2] not in _ALLOWED_NUMPY:
+                    member = dotted
+            if member is not None:
+                yield ctx.finding(
+                    self.rule_id,
+                    f"`{member}` uses shared module-level RNG state; construct a "
+                    "seeded generator (random.Random(seed) / numpy.random."
+                    "default_rng(seed)) and thread it from config",
+                    node,
+                )

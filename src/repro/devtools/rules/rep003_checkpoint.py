@@ -1,0 +1,82 @@
+"""REP003 — dispatch loops must checkpoint cooperatively.
+
+The resilience layer's frame deadlines (PR 3) are *cooperative*: a
+:class:`~repro.resilience.budget.FrameBudget` only fires when the
+dispatcher calls ``self.checkpoint()``.  A ``dispatch`` override that
+loops over taxis/requests/candidates without checkpointing can blow
+straight through a frame deadline and stall the degradation ladder, so
+every loop-bearing ``dispatch`` method on a Dispatcher class must call
+``self.checkpoint(...)`` at least once (the call is a no-op when no
+budget is installed, so instrumenting costs nothing outside the
+resilience path).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["CheckpointCooperativeRule"]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_dispatcher_class(node: ast.ClassDef) -> bool:
+    return node.name.endswith("Dispatcher") or any(
+        name.endswith("Dispatcher") for name in _base_names(node)
+    )
+
+
+def _calls_self_checkpoint(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "checkpoint"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            return True
+    return False
+
+
+@register_rule
+class CheckpointCooperativeRule:
+    rule_id = "REP003"
+    summary = "loop-bearing Dispatcher.dispatch without a self.checkpoint() call"
+    convention = (
+        "Cooperative frame deadlines (PR 3): FrameBudget only fires at checkpoints, "
+        "so every dispatch loop must call self.checkpoint()."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dispatcher_class(node):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "dispatch"
+                    and any(isinstance(sub, _LOOPS) for sub in ast.walk(item))
+                    and not _calls_self_checkpoint(item)
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        f"{node.name}.dispatch loops without calling self.checkpoint(); "
+                        "the frame deadline (FrameBudget) can only fire at checkpoints",
+                        item,
+                    )

@@ -1,0 +1,100 @@
+"""REP004 — broad exception handlers must not swallow budget errors.
+
+The anytime machinery (PR 3) communicates through two typed errors:
+:class:`FrameBudgetExceededError` (a frame deadline fired at a
+checkpoint) and :class:`EnumerationBudgetError` (an exponential
+enumeration hit its work budget, carrying the partial result).  Both
+must reach the resilience ladder / the caller that owns the budget.  A
+bare ``except:``, ``except Exception``, or a catch of one of their
+ancestors (``ReproError``; ``MatchingError`` for the enumeration
+error) silently converts "out of time" into "no result", deadlocking
+the degradation ladder's accounting.  Such a handler is compliant only
+if an *earlier* handler in the same ``try`` names every budget error
+the broad clause could swallow, or if the handler body re-raises
+(a bare ``raise``).  Anything else needs a reasoned suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["NoSwallowedBudgetErrorsRule"]
+
+_BUDGET_ERRORS = ("FrameBudgetExceededError", "EnumerationBudgetError")
+
+#: Broad classes mapped to the budget errors they are able to swallow
+#: (``None`` type means a bare ``except:``).
+_BROAD = {
+    "BaseException": _BUDGET_ERRORS,
+    "Exception": _BUDGET_ERRORS,
+    "ReproError": _BUDGET_ERRORS,
+    "MatchingError": ("EnumerationBudgetError",),
+}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str | None]:
+    """Class names a handler catches; ``[None]`` for a bare ``except:``."""
+    node = handler.type
+    if node is None:
+        return [None]
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: list[str | None] = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.append(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+    return names
+
+
+def _swallowable(names: list[str | None]) -> set[str]:
+    """Budget errors the handler's classes could absorb."""
+    swallowed: set[str] = set()
+    for name in names:
+        if name is None:
+            swallowed.update(_BUDGET_ERRORS)
+        elif name in _BROAD:
+            swallowed.update(_BROAD[name])
+    return swallowed
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None for node in ast.walk(handler)
+    )
+
+
+@register_rule
+class NoSwallowedBudgetErrorsRule:
+    rule_id = "REP004"
+    summary = "broad except clause may swallow a typed budget error"
+    convention = (
+        "Typed budget errors (PR 3): FrameBudgetExceededError / EnumerationBudgetError "
+        "must reach the resilience ladder; broad handlers must exclude or re-raise them."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            handled_earlier: set[str] = set()
+            for handler in node.handlers:
+                names = _caught_names(handler)
+                at_risk = _swallowable(names) - handled_earlier
+                if at_risk and not _reraises(handler):
+                    broad = next(n for n in names if n is None or n in _BROAD)
+                    label = "bare except" if broad is None else f"`except {broad}`"
+                    yield ctx.finding(
+                        self.rule_id,
+                        f"{label} can swallow {', '.join(sorted(at_risk))}; catch the "
+                        "budget error in an earlier handler (or re-raise it) so the "
+                        "resilience ladder sees it",
+                        handler,
+                    )
+                handled_earlier.update(n for n in names if isinstance(n, str))

@@ -1,0 +1,73 @@
+"""REP005 — batched kernels take explicit ``sources=`` / ``targets=``.
+
+On an asymmetric oracle (one-way road edges) ``D(taxi, pickup)`` and
+``D(pickup, taxi)`` differ, and the road network's snap-offset
+association makes the order matter even bit-wise.  PR 1's review fixed
+exactly this bug: batched call sites had silently passed pickups as the
+matrix *rows* where the scalar reference used taxis as *sources*.  The
+batch API therefore names its operands — ``pairwise(sources=...,
+targets=...)`` — and every call site of the ``pairwise``/``paired``
+family must pass them as keywords, so a swapped taxi/pickup pair is a
+visible diff, not a latent wrong-score bug.
+
+Only the generic fallback helpers in :mod:`repro.geometry.batch` may
+delegate positionally (third-party oracles may name their parameters
+differently); those two sites carry reasoned suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["BatchedSourceConventionRule"]
+
+#: Module-level helpers: first positional argument is the oracle.
+_HELPERS = {"oracle_pairwise", "oracle_paired"}
+
+#: Batch-oracle methods: no positional operands at all.
+_METHODS = {"pairwise", "paired"}
+
+_REQUIRED = ("sources", "targets")
+
+
+@register_rule
+class BatchedSourceConventionRule:
+    rule_id = "REP005"
+    summary = "pairwise/paired call without explicit sources=/targets= keywords"
+    convention = (
+        "Source-row convention (PR 1 review): taxis are the sources of D(taxi, pickup); "
+        "batched call sites spell the operand roles out as keywords."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _HELPERS:
+                name = func.id
+                allowed_positional = 1  # the oracle
+            elif isinstance(func, ast.Attribute) and func.attr in _METHODS:
+                dotted = ctx.dotted_name(func)
+                if dotted == "itertools.pairwise":  # unrelated stdlib helper
+                    continue
+                name = f".{func.attr}"
+                allowed_positional = 0
+            else:
+                continue
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **kwargs forwarding: operands unverifiable here
+            keywords = {kw.arg for kw in node.keywords}
+            if len(node.args) > allowed_positional or not keywords.issuperset(_REQUIRED):
+                yield ctx.finding(
+                    self.rule_id,
+                    f"`{name}` must name its operands — sources= (taxi side of "
+                    "D(taxi, pickup)) and targets= — so the source-row order is "
+                    "explicit at the call site",
+                    node,
+                )

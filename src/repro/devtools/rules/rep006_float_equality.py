@@ -1,0 +1,102 @@
+"""REP006 — no ``==`` / ``!=`` on distance or score expressions.
+
+Distances and the scores derived from them are floats produced by
+kernels whose evaluation order is only *contractually* bit-identical
+where the exactness contract holds (``batch_exact``); elsewhere —
+Haversine trig, accumulated detours, scaled oracles — values agree to
+a few ulp at best.  An exact equality on such a quantity encodes a
+tie-break or feasibility decision that flips under a kernel swap,
+breaking order-stable preference evaluation (the assumption behind the
+paper's stability theorems).  Compare with ``<=`` against a threshold,
+``math.isclose``, or an integer rank instead.  Deliberate bit-exact
+assertions (equivalence tests live outside ``src/``) are not affected;
+a rare in-library bit-exactness check needs a reasoned suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["NoFloatEqualityRule"]
+
+#: Identifier tokens (underscore-separated, lowercased) that mark an
+#: expression as a distance/score quantity.
+_FLOAT_TOKENS = {
+    "distance",
+    "distances",
+    "dist",
+    "km",
+    "kms",
+    "score",
+    "scores",
+    "cost",
+    "costs",
+    "fare",
+    "detour",
+    "gap",
+    "revenue",
+    "dissatisfaction",
+}
+
+
+def _identifier_tokens(name: str) -> set[str]:
+    return {token for token in name.lower().split("_") if token}
+
+
+def _is_float_signal(node: ast.expr) -> bool:
+    """Whether an expression looks like a distance/score float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return bool(_identifier_tokens(node.id) & _FLOAT_TOKENS)
+    if isinstance(node, ast.Attribute):
+        # Only the final attribute names the quantity: `trip.distance_km`
+        # is a distance, but `distances.size` / `gap.shape` are ints.
+        return bool(_identifier_tokens(node.attr) & _FLOAT_TOKENS)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return bool(_identifier_tokens(func.id) & _FLOAT_TOKENS)
+        if isinstance(func, ast.Attribute):
+            return bool(_identifier_tokens(func.attr) & _FLOAT_TOKENS)
+        return False
+    if isinstance(node, ast.Subscript):
+        return _is_float_signal(node.value)
+    if isinstance(node, ast.BinOp):
+        return _is_float_signal(node.left) or _is_float_signal(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_signal(node.operand)
+    return False
+
+
+@register_rule
+class NoFloatEqualityRule:
+    rule_id = "REP006"
+    summary = "exact ==/!= comparison on a distance/score expression"
+    convention = (
+        "Order-stable preferences (paper Thms 1-3): distances/scores are compared by "
+        "threshold or rank, never exact float equality, so kernel swaps cannot flip ties."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_signal(left) or _is_float_signal(right):
+                    yield ctx.finding(
+                        self.rule_id,
+                        "exact float equality on a distance/score expression is not "
+                        "kernel-stable; compare against a threshold, use math.isclose, "
+                        "or compare integer ranks",
+                        node,
+                    )
+                    break

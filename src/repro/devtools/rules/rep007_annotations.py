@@ -1,0 +1,79 @@
+"""REP007 — the public API is fully type-annotated.
+
+The strict-typing gate runs :program:`mypy --strict` in CI, but mypy is
+an optional dev dependency; this rule is the always-available floor
+beneath it, enforced by ``repro-lint`` itself: every public function
+and method in the library (and ``__init__``) annotates all of its
+parameters, and every public function other than ``__init__`` has a
+return annotation.  That keeps the ``py.typed`` promise honest even in
+environments where the full gate cannot run, and guarantees mypy has
+signatures to check rather than defaulting to ``Any`` at the API
+boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import register_rule
+
+__all__ = ["PublicApiAnnotatedRule"]
+
+
+def _is_public(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return not fn.name.startswith("_") or fn.name == "__init__"
+
+
+def _missing_parameters(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    missing = [
+        arg.arg
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if arg.annotation is None and arg.arg not in ("self", "cls")
+    ]
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    return missing
+
+
+@register_rule
+class PublicApiAnnotatedRule:
+    rule_id = "REP007"
+    summary = "public function or method missing type annotations"
+    convention = (
+        "Strict typing gate (this PR): py.typed promises full signatures; this rule "
+        "is the stdlib floor beneath the optional mypy --strict run."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_body(ctx, ctx.tree.body)
+
+    def _check_body(self, ctx: FileContext, body: list[ast.stmt]) -> Iterator[Finding]:
+        # Only module- and class-level functions: locals nested inside
+        # function bodies are implementation detail, not API surface.
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_body(ctx, node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(node):
+                    continue
+                missing = _missing_parameters(node)
+                needs_return = node.returns is None and node.name != "__init__"
+                if not missing and not needs_return:
+                    continue
+                gaps = []
+                if missing:
+                    gaps.append(f"parameters {', '.join(missing)}")
+                if needs_return:
+                    gaps.append("the return type")
+                yield ctx.finding(
+                    self.rule_id,
+                    f"public `{node.name}` must annotate {' and '.join(gaps)} "
+                    "(py.typed strict-typing gate)",
+                    node,
+                )

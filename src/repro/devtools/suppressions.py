@@ -1,0 +1,105 @@
+"""Reasoned per-line suppression comments.
+
+A finding is waived by a comment of the form::
+
+    expr()  # repro-lint: disable=REP001 virtual clock drives this path
+    # repro-lint: disable=REP004,REP006 scalar fallback documented in §6
+    next_line_statement()
+
+The comment applies to findings reported on its own physical line and —
+when it is a standalone comment line — to the next line as well (the
+usual place for statements too long to share a line with a comment).
+Multiple rule ids are comma-separated.  The free text after the rule
+list is the *reason* and is mandatory: a bare ``disable=`` waives
+nothing and is itself reported as a :data:`~repro.devtools.findings.META_RULE_ID`
+finding, so every waiver in the tree says why the invariant does not
+apply at that site.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+
+from repro.devtools.findings import META_RULE_ID, Finding
+
+__all__ = ["Suppression", "SuppressionIndex"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]*?)(?:\s+(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``disable=`` directive."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+    standalone: bool  # comment-only line: also covers the next line
+
+
+class SuppressionIndex:
+    """All directives of one file, queryable by (rule, line)."""
+
+    def __init__(self, source: str, path: str):
+        self.path = path
+        self.suppressions: list[Suppression] = []
+        self.malformed: list[Finding] = []
+        self._by_line: dict[int, list[Suppression]] = {}
+        self._parse(source)
+
+    def _parse(self, source: str) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # The AST pass reports the syntax error; nothing to index.
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            rules = frozenset(
+                rule.strip().upper() for rule in match.group("rules").split(",") if rule.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            standalone = token.line.lstrip().startswith("#")
+            if not rules or not reason:
+                self.malformed.append(
+                    Finding(
+                        rule=META_RULE_ID,
+                        message=(
+                            "suppression comment needs both rule ids and a reason: "
+                            "`# repro-lint: disable=REPnnn <why this site is exempt>`"
+                        ),
+                        path=self.path,
+                        line=line,
+                        col=token.start[1],
+                        snippet=token.string.strip(),
+                    )
+                )
+                continue
+            suppression = Suppression(line=line, rules=rules, reason=reason, standalone=standalone)
+            self.suppressions.append(suppression)
+            self._by_line.setdefault(line, []).append(suppression)
+            if standalone:
+                self._by_line.setdefault(line + 1, []).append(suppression)
+
+    def lookup(self, rule: str, line: int) -> Suppression | None:
+        """The suppression covering ``rule`` at ``line``, if any.
+
+        Meta findings (:data:`META_RULE_ID`) are never suppressible —
+        a malformed directive must be fixed, not waived.
+        """
+        if rule == META_RULE_ID:
+            return None
+        for suppression in self._by_line.get(line, ()):
+            if rule in suppression.rules:
+                return suppression
+        return None

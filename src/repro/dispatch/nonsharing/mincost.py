@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, single_assignment
 from repro.geometry.batch import oracle_pairwise
+from repro.geometry.distance import DistanceOracle
 from repro.matching.bipartite import min_cost_matching
 
 __all__ = ["MinCostDispatcher", "build_cost_matrix"]
@@ -23,7 +24,7 @@ __all__ = ["MinCostDispatcher", "build_cost_matrix"]
 def build_cost_matrix(
     taxis: Sequence[Taxi],
     requests: Sequence[PassengerRequest],
-    oracle,
+    oracle: DistanceOracle,
     threshold_km: float = math.inf,
     *,
     pickup_matrix: np.ndarray | None = None,
@@ -54,7 +55,10 @@ def build_cost_matrix(
             )
     else:
         pick = oracle_pairwise(
-            oracle, [t.location for t in taxis], [r.pickup for r in requests], exact=True
+            oracle,
+            sources=[t.location for t in taxis],
+            targets=[r.pickup for r in requests],
+            exact=True,
         )
     seats = np.array([t.seats for t in taxis], dtype=np.int64)
     party = np.array([r.passengers for r in requests], dtype=np.int64)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.core.config import DispatchConfig
 from repro.core.types import Assignment, PassengerRequest, RouteStop, Taxi
 from repro.geometry.distance import DistanceOracle
+from repro.geometry.point import Point
 from repro.routing.insertion import route_length
 
 __all__ = ["TaxiPlan", "InsertionQuote"]
@@ -127,7 +128,7 @@ class TaxiPlan:
             stops=self.stops,
         )
 
-    def end_point(self):
+    def end_point(self) -> Point:
         """Where the plan currently terminates (for spatial indexing)."""
         return self.stops[-1].point if self.stops else self.taxi.location
 

@@ -90,7 +90,10 @@ def build_sharing_table(
         # sources are taxi locations (D(taxi, route_start) — asymmetric
         # oracles distinguish the direction).
         approach = oracle_pairwise(
-            oracle, [t.location for t in taxis], [g.route_start for g in units], exact=True
+            oracle,
+            sources=[t.location for t in taxis],
+            targets=[g.route_start for g in units],
+            exact=True,
         )
 
     for gi, group in enumerate(units):

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.core.config import DispatchConfig
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher
 from repro.dispatch.sharing.plan import TaxiPlan
 from repro.dispatch.sharing.std import clip_batch
+from repro.geometry.distance import DistanceOracle
 
 __all__ = ["SARPDispatcher"]
 
@@ -25,7 +27,13 @@ class SARPDispatcher(Dispatcher):
 
     name = "SARP"
 
-    def __init__(self, oracle, config=None, *, max_batch: int | None = None):
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        config: DispatchConfig | None = None,
+        *,
+        max_batch: int | None = None,
+    ):
         super().__init__(oracle, config)
         self.max_batch = max_batch
 

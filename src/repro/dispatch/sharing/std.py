@@ -18,6 +18,9 @@ Two stages, exactly as in the paper:
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
 
 from repro.core.config import DispatchConfig
 from repro.core.errors import DispatchError
@@ -77,7 +80,7 @@ def pack_requests(
     packer: str = "local",
     max_passengers: int | None = 4,
     pairing_radius_km: float | None = None,
-    pickup_gap=None,
+    pickup_gap: np.ndarray | None = None,
     cache: dict | None = None,
     budget: WorkBudget | None = None,
 ) -> list[RideGroup]:
@@ -199,11 +202,15 @@ class STDDispatcher(Dispatcher):
         return self._validated(schedule, taxis, requests)
 
 
-def std_p(oracle: DistanceOracle, config: DispatchConfig | None = None, **kwargs) -> STDDispatcher:
+def std_p(
+    oracle: DistanceOracle, config: DispatchConfig | None = None, **kwargs: Any
+) -> STDDispatcher:
     """The packed passenger-optimal stable dispatcher."""
     return STDDispatcher(oracle, config, optimize_for="passenger", **kwargs)
 
 
-def std_t(oracle: DistanceOracle, config: DispatchConfig | None = None, **kwargs) -> STDDispatcher:
+def std_t(
+    oracle: DistanceOracle, config: DispatchConfig | None = None, **kwargs: Any
+) -> STDDispatcher:
     """The packed taxi-optimal stable dispatcher."""
     return STDDispatcher(oracle, config, optimize_for="taxi", **kwargs)

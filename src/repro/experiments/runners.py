@@ -50,7 +50,7 @@ _SECONDS_PER_HOUR = 3600.0
 #: First retry delay for transient-fault cell retries; doubles per attempt.
 #: Module-level so tests can monkeypatch the sleep away.
 _BACKOFF_BASE_S = 0.05
-_sleep: Callable[[float], None] = time.sleep
+_sleep: Callable[[float], None] = time.sleep  # repro-lint: disable=REP001 backoff pacing between cell retries; tests and chaos runs monkeypatch it away
 
 #: Cell-level retries on :class:`TransientFaultError` when no resilience
 #: policy supplies ``transient_retries``.

@@ -5,14 +5,23 @@ path is dominated by pairwise distance evaluation.  This module defines
 the *batch* side of the oracle API:
 
 * :class:`BatchDistanceOracle` — the optional protocol an oracle may
-  implement next to ``distance(a, b)``: ``pairwise(A, B)`` (full cross
-  product), ``distances(origin, B)`` (one-to-many) and ``paired(A, B)``
-  (elementwise, ``len(A) == len(B)``), all returning float64 arrays of
-  kilometres;
+  implement next to ``distance(a, b)``: ``pairwise(sources, targets)``
+  (full cross product), ``distances(origin, targets)`` (one-to-many)
+  and ``paired(sources, targets)`` (elementwise, equal lengths), all
+  returning float64 arrays of kilometres;
 * generic helpers (:func:`oracle_pairwise`, :func:`oracle_distances`,
   :func:`oracle_paired`) that use the batch API when present and fall
   back to a scalar ``distance`` loop otherwise, so third-party oracles
   that only implement the scalar protocol keep working everywhere.
+
+**Source-row convention.**  Batch operands are named, not positional:
+``sources`` are the rows / first argument of the scalar reference
+``D(source, target)`` and ``targets`` the columns.  In dispatch code
+the sources are the *taxis* of ``D(taxi, pickup)``.  On an asymmetric
+oracle (one-way road edges) swapping the two silently produces wrong
+scores — the exact bug PR 1's review fixed — so the helpers take both
+as keyword-only arguments and lint rule REP005 requires the keywords
+at every ``pairwise``/``paired`` call site.
 
 **Exactness contract.**  A batch kernel may be declared *exact* by
 setting ``batch_exact = True`` on the oracle: every entry of a batch
@@ -30,11 +39,14 @@ scalar fallback.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.geometry.point import Point
+
+if TYPE_CHECKING:  # batch is imported by distance; annotation-only cycle
+    from repro.geometry.distance import DistanceOracle
 
 __all__ = [
     "BatchDistanceOracle",
@@ -53,16 +65,16 @@ class BatchDistanceOracle(Protocol):
 
     def distance(self, a: Point, b: Point) -> float: ...
 
-    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
-        """The full ``(len(A), len(B))`` matrix of travel distances in km."""
+    def pairwise(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+        """The ``(len(sources), len(targets))`` matrix ``D(source, target)`` in km."""
         ...
 
-    def distances(self, origin: Point, points: Sequence[Point]) -> np.ndarray:
-        """One-to-many distances as a ``(len(points),)`` vector in km."""
+    def distances(self, origin: Point, targets: Sequence[Point]) -> np.ndarray:
+        """One-to-many distances as a ``(len(targets),)`` vector in km."""
         ...
 
-    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
-        """Elementwise distances ``D(A[i], B[i])``; lengths must match."""
+    def paired(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+        """Elementwise ``D(sources[i], targets[i])``; lengths must match."""
         ...
 
 
@@ -98,39 +110,44 @@ def batch_kernels_exact(oracle: object) -> bool:
     return bool(getattr(oracle, "batch_exact", False)) and supports_batch(oracle)
 
 
-def _scalar_pairwise(oracle, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
-    out = np.empty((len(points_a), len(points_b)), dtype=np.float64)
+def _scalar_pairwise(
+    oracle: "DistanceOracle", sources: Sequence[Point], targets: Sequence[Point]
+) -> np.ndarray:
+    out = np.empty((len(sources), len(targets)), dtype=np.float64)
     distance = oracle.distance
-    for i, a in enumerate(points_a):
+    for i, a in enumerate(sources):
         row = out[i]
-        for j, b in enumerate(points_b):
+        for j, b in enumerate(targets):
             row[j] = distance(a, b)
     return out
 
 
 def oracle_pairwise(
-    oracle,
-    points_a: Sequence[Point],
-    points_b: Sequence[Point],
+    oracle: "DistanceOracle",
     *,
+    sources: Sequence[Point],
+    targets: Sequence[Point],
     exact: bool = False,
 ) -> np.ndarray:
-    """``(len(A), len(B))`` distance matrix through the best available path.
+    """``(len(sources), len(targets))`` matrix through the best available path.
 
+    ``sources`` are the rows — the first argument of the scalar
+    reference ``D(source, target)`` (taxis, in dispatch code).
     ``exact=True`` restricts the kernel path to oracles honouring the
     exactness contract; others fall back to the scalar loop (whose
     entries are scalar ``distance`` calls by construction).
     """
     if supports_batch(oracle) and (not exact or batch_kernels_exact(oracle)):
-        return np.asarray(oracle.pairwise(points_a, points_b), dtype=np.float64)
-    return _scalar_pairwise(oracle, points_a, points_b)
+        # repro-lint: disable=REP005 generic delegation: third-party oracles may name their parameters differently
+        return np.asarray(oracle.pairwise(sources, targets), dtype=np.float64)
+    return _scalar_pairwise(oracle, sources, targets)
 
 
 def oracle_distances(
-    oracle,
+    oracle: "DistanceOracle",
     origin: Point,
-    points: Sequence[Point],
     *,
+    targets: Sequence[Point],
     exact: bool = False,
 ) -> np.ndarray:
     """One-to-many distances with the same dispatch rule as
@@ -138,23 +155,24 @@ def oracle_distances(
     if callable(getattr(oracle, "distances", None)) and (
         not exact or batch_kernels_exact(oracle)
     ):
-        return np.asarray(oracle.distances(origin, points), dtype=np.float64)
+        return np.asarray(oracle.distances(origin, targets), dtype=np.float64)
     distance = oracle.distance
-    return np.array([distance(origin, b) for b in points], dtype=np.float64)
+    return np.array([distance(origin, b) for b in targets], dtype=np.float64)
 
 
 def oracle_paired(
-    oracle,
-    points_a: Sequence[Point],
-    points_b: Sequence[Point],
+    oracle: "DistanceOracle",
     *,
+    sources: Sequence[Point],
+    targets: Sequence[Point],
     exact: bool = False,
 ) -> np.ndarray:
     """Elementwise distances with the same dispatch rule as
-    :func:`oracle_pairwise`; ``len(A)`` must equal ``len(B)``."""
-    if len(points_a) != len(points_b):
-        raise ValueError(f"paired inputs differ in length: {len(points_a)} vs {len(points_b)}")
+    :func:`oracle_pairwise`; ``len(sources)`` must equal ``len(targets)``."""
+    if len(sources) != len(targets):
+        raise ValueError(f"paired inputs differ in length: {len(sources)} vs {len(targets)}")
     if callable(getattr(oracle, "paired", None)) and (not exact or batch_kernels_exact(oracle)):
-        return np.asarray(oracle.paired(points_a, points_b), dtype=np.float64)
+        # repro-lint: disable=REP005 generic delegation: third-party oracles may name their parameters differently
+        return np.asarray(oracle.paired(sources, targets), dtype=np.float64)
     distance = oracle.distance
-    return np.array([distance(a, b) for a, b in zip(points_a, points_b)], dtype=np.float64)
+    return np.array([distance(a, b) for a, b in zip(sources, targets)], dtype=np.float64)

@@ -27,7 +27,7 @@ CPython's libm by a few ulp, so it does not.
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -57,21 +57,28 @@ class DistanceOracle(Protocol):
 
 
 class _BroadcastKernelMixin:
-    """Batch API via a broadcastable ``_kernel(ax, ay, bx, by)``."""
+    """Batch API via a broadcastable ``_kernel(ax, ay, bx, by)``.
 
-    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
-        a = as_point_array(points_a)
-        b = as_point_array(points_b)
+    ``sources`` are the matrix rows — the first argument of the scalar
+    ``D(source, target)`` reference (see the source-row convention in
+    :mod:`repro.geometry.batch`).
+    """
+
+    _kernel: Callable[..., np.ndarray]
+
+    def pairwise(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+        a = as_point_array(sources)
+        b = as_point_array(targets)
         return self._kernel(a[:, 0:1], a[:, 1:2], b[None, :, 0], b[None, :, 1])
 
-    def distances(self, origin: Point, points: Sequence[Point]) -> np.ndarray:
-        b = as_point_array(points)
+    def distances(self, origin: Point, targets: Sequence[Point]) -> np.ndarray:
+        b = as_point_array(targets)
         origin_arr = as_point_array([origin])
         return self._kernel(origin_arr[0, 0], origin_arr[0, 1], b[:, 0], b[:, 1])
 
-    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
-        a = as_point_array(points_a)
-        b = as_point_array(points_b)
+    def paired(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+        a = as_point_array(sources)
+        b = as_point_array(targets)
         if a.shape[0] != b.shape[0]:
             raise ValueError(f"paired inputs differ in length: {a.shape[0]} vs {b.shape[0]}")
         return self._kernel(a[:, 0], a[:, 1], b[:, 0], b[:, 1])
@@ -95,7 +102,12 @@ class EuclideanDistance(_BroadcastKernelMixin):
         return math.sqrt(dx * dx + dy * dy)
 
     @staticmethod
-    def _kernel(ax, ay, bx, by) -> np.ndarray:
+    def _kernel(
+        ax: np.ndarray | np.float64,
+        ay: np.ndarray | np.float64,
+        bx: np.ndarray | np.float64,
+        by: np.ndarray | np.float64,
+    ) -> np.ndarray:
         # In-place updates recycle the two difference buffers — the same
         # *, +, sqrt operations (so still bit-identical to the scalar
         # path), minus three full-size temporaries on the frame hot path.
@@ -119,7 +131,12 @@ class ManhattanDistance(_BroadcastKernelMixin):
         return abs(a.x - b.x) + abs(a.y - b.y)
 
     @staticmethod
-    def _kernel(ax, ay, bx, by) -> np.ndarray:
+    def _kernel(
+        ax: np.ndarray | np.float64,
+        ay: np.ndarray | np.float64,
+        bx: np.ndarray | np.float64,
+        by: np.ndarray | np.float64,
+    ) -> np.ndarray:
         dx = ax - bx
         dy = ay - by
         np.abs(dx, out=dx)
@@ -147,7 +164,12 @@ class HaversineDistance(_BroadcastKernelMixin):
         return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
 
     @staticmethod
-    def _kernel(ax, ay, bx, by) -> np.ndarray:
+    def _kernel(
+        ax: np.ndarray | np.float64,
+        ay: np.ndarray | np.float64,
+        bx: np.ndarray | np.float64,
+        by: np.ndarray | np.float64,
+    ) -> np.ndarray:
         lon1, lat1 = np.radians(ax), np.radians(ay)
         lon2, lat2 = np.radians(bx), np.radians(by)
         dlat = lat2 - lat1
@@ -188,20 +210,20 @@ class ScaledDistance:
     def distance(self, a: Point, b: Point) -> float:
         return self._factor * self._base.distance(a, b)
 
-    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
+    def pairwise(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
         from repro.geometry.batch import oracle_pairwise
 
-        return self._factor * oracle_pairwise(self._base, points_a, points_b)
+        return self._factor * oracle_pairwise(self._base, sources=sources, targets=targets)
 
-    def distances(self, origin: Point, points: Sequence[Point]) -> np.ndarray:
+    def distances(self, origin: Point, targets: Sequence[Point]) -> np.ndarray:
         from repro.geometry.batch import oracle_distances
 
-        return self._factor * oracle_distances(self._base, origin, points)
+        return self._factor * oracle_distances(self._base, origin, targets=targets)
 
-    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
+    def paired(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
         from repro.geometry.batch import oracle_paired
 
-        return self._factor * oracle_paired(self._base, points_a, points_b)
+        return self._factor * oracle_paired(self._base, sources=sources, targets=targets)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ScaledDistance({self._base!r}, factor={self._factor})"

@@ -13,7 +13,10 @@ from collections.abc import Sequence
 
 __all__ = ["hopcroft_karp", "maximum_matching_size"]
 
-_INF = float("inf")
+#: BFS layer label for vertices the current phase has not reached.
+#: Layers are integer level counts, not float distances, so the code
+#: compares them exactly without touching float equality (REP006).
+_UNREACHED = -1
 
 
 def hopcroft_karp(n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]) -> dict[int, int]:
@@ -31,16 +34,16 @@ def hopcroft_karp(n_left: int, n_right: int, adjacency: Sequence[Sequence[int]])
 
     match_left: list[int] = [-1] * n_left
     match_right: list[int] = [-1] * n_right
-    dist: list[float] = [0.0] * n_left
+    layer: list[int] = [0] * n_left
 
     def bfs() -> bool:
         queue: deque[int] = deque()
         for u in range(n_left):
             if match_left[u] == -1:
-                dist[u] = 0.0
+                layer[u] = 0
                 queue.append(u)
             else:
-                dist[u] = _INF
+                layer[u] = _UNREACHED
         reachable_free = False
         while queue:
             u = queue.popleft()
@@ -48,19 +51,19 @@ def hopcroft_karp(n_left: int, n_right: int, adjacency: Sequence[Sequence[int]])
                 w = match_right[v]
                 if w == -1:
                     reachable_free = True
-                elif dist[w] == _INF:
-                    dist[w] = dist[u] + 1.0
+                elif layer[w] == _UNREACHED:
+                    layer[w] = layer[u] + 1
                     queue.append(w)
         return reachable_free
 
     def dfs(u: int) -> bool:
         for v in adjacency[u]:
             w = match_right[v]
-            if w == -1 or (dist[w] == dist[u] + 1.0 and dfs(w)):
+            if w == -1 or (layer[w] == layer[u] + 1 and dfs(w)):
                 match_left[u] = v
                 match_right[v] = u
                 return True
-        dist[u] = _INF
+        layer[u] = _UNREACHED
         return False
 
     while bfs():

@@ -32,6 +32,7 @@ from repro.matching.deferred_acceptance import deferred_acceptance
 from repro.matching.enumeration import all_stable_matchings
 from repro.matching.preferences import PreferenceTable
 from repro.matching.result import Matching
+from repro.resilience.budget import FrameBudget
 
 __all__ = [
     "passenger_optimal",
@@ -69,7 +70,7 @@ def taxi_optimal_exact(
     *,
     limit: int | None = None,
     max_nodes: int | None = None,
-    deadline=None,
+    deadline: FrameBudget | None = None,
 ) -> Matching:
     """NSTD-T via the paper's route: enumerate with Algorithm 2, then pick
     the matching every taxi weakly prefers (the taxi-best lattice point).

@@ -47,6 +47,7 @@ from __future__ import annotations
 import math
 from dataclasses import InitVar, dataclass, field
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -66,6 +67,9 @@ from repro.geometry.batch import (
     oracle_pairwise,
 )
 from repro.geometry.spatial_index import GridSpatialIndex, suggest_cell_size
+
+if TYPE_CHECKING:  # annotation-only: repro.matching.arrays imports this module
+    from repro.matching.arrays import PreferenceArrays
 
 __all__ = [
     "PreferenceTable",
@@ -300,7 +304,7 @@ def build_nonsharing_arrays(
     engine: str = "auto",
     pickup_matrix: np.ndarray | None = None,
     trip_km: np.ndarray | None = None,
-):
+) -> "PreferenceArrays":
     """The same market as :func:`build_nonsharing_table`, emitted directly
     as :class:`~repro.matching.arrays.PreferenceArrays`.
 
@@ -559,12 +563,15 @@ def _vectorized_pairs(
     elif exact_kernels:
         trip = np.asarray(
             oracle.paired(
-                as_point_array(pickups), as_point_array([r.dropoff for r in requests])
+                sources=as_point_array(pickups),
+                targets=as_point_array([r.dropoff for r in requests]),
             ),
             dtype=np.float64,
         )
     else:
-        trip = oracle_paired(oracle, pickups, [r.dropoff for r in requests], exact=True)
+        trip = oracle_paired(
+            oracle, sources=pickups, targets=[r.dropoff for r in requests], exact=True
+        )
     if exact_kernels and (prune or pickup_matrix is None):
         pickup_xy = as_point_array(pickups)
         taxi_xy = as_point_array(taxi_points)
@@ -589,7 +596,9 @@ def _vectorized_pairs(
         # for asymmetric oracles (oneway road edges) and for the exact
         # float association of the road network's snap offsets.
         if exact_kernels:
-            pick = np.asarray(oracle.paired(taxi_xy[ti], pickup_xy[rj]), dtype=np.float64)
+            pick = np.asarray(
+                oracle.paired(sources=taxi_xy[ti], targets=pickup_xy[rj]), dtype=np.float64
+            )
         else:  # candidate distances stay scalar `distance` calls
             distance = oracle.distance
             pick = np.array(
@@ -609,9 +618,13 @@ def _vectorized_pairs(
                     f"expected ({n_taxis}, {n_requests})"
                 )
         elif exact_kernels:
-            pick_matrix = np.asarray(oracle.pairwise(taxi_xy, pickup_xy), dtype=np.float64)
+            pick_matrix = np.asarray(
+                oracle.pairwise(sources=taxi_xy, targets=pickup_xy), dtype=np.float64
+            )
         else:
-            pick_matrix = oracle_pairwise(oracle, taxi_points, pickups, exact=True)
+            pick_matrix = oracle_pairwise(
+                oracle, sources=taxi_points, targets=pickups, exact=True
+            )
         # Staged masking: the cheap threshold compare first (it rejects
         # NaN too), then every remaining acceptability condition only on
         # the surviving pairs.

@@ -158,36 +158,39 @@ class RoadNetwork:
             snaps.append(snap)
         return pts, snaps
 
-    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
-        """The ``(len(A), len(B))`` matrix of snapped shortest-path km."""
-        pts_a, snaps_a = self._snap_points(points_a)
-        pts_b, snaps_b = self._snap_points(points_b)
+    def pairwise(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
+        """The ``(len(sources), len(targets))`` matrix of snapped
+        shortest-path km, rows following the source-row convention."""
+        pts_a, snaps_a = self._snap_points(sources)
+        pts_b, snaps_b = self._snap_points(targets)
         if not pts_a or not pts_b:
             return np.empty((len(pts_a), len(pts_b)), dtype=np.float64)
         self._ensure_ready()
         assert self._cache is not None
-        sources = [u for u, _ in snaps_a]
-        targets = [v for v, _ in snaps_b]
-        node_km = np.asarray(self._cache.many_to_many(sources, targets), dtype=np.float64)
+        source_nodes = [u for u, _ in snaps_a]
+        target_nodes = [v for v, _ in snaps_b]
+        node_km = np.asarray(
+            self._cache.many_to_many(source_nodes, target_nodes), dtype=np.float64
+        )
         offsets_a = np.array([off for _, off in snaps_a], dtype=np.float64)
         offsets_b = np.array([off for _, off in snaps_b], dtype=np.float64)
         # Same association order as the scalar path:
         # (offset_a + node_distance) + offset_b.
         out = (offsets_a[:, None] + node_km) + offsets_b[None, :]
-        same_node = np.asarray(sources)[:, None] == np.asarray(targets)[None, :]
+        same_node = np.asarray(source_nodes)[:, None] == np.asarray(target_nodes)[None, :]
         if same_node.any():
             for i, j in zip(*np.nonzero(same_node)):
                 out[i, j] = pts_a[i].distance_to(pts_b[j])
         return out
 
-    def distances(self, origin: Point, points: Sequence[Point]) -> np.ndarray:
+    def distances(self, origin: Point, targets: Sequence[Point]) -> np.ndarray:
         """One-to-many snapped shortest-path distances in km."""
-        return self.pairwise([origin], points)[0]
+        return self.pairwise(sources=[origin], targets=targets)[0]
 
-    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]) -> np.ndarray:
+    def paired(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
         """Elementwise snapped shortest-path distances in km."""
-        pts_a, snaps_a = self._snap_points(points_a)
-        pts_b, snaps_b = self._snap_points(points_b)
+        pts_a, snaps_a = self._snap_points(sources)
+        pts_b, snaps_b = self._snap_points(targets)
         if len(pts_a) != len(pts_b):
             raise ValueError(f"paired inputs differ in length: {len(pts_a)} vs {len(pts_b)}")
         out = np.empty(len(pts_a), dtype=np.float64)

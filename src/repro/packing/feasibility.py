@@ -158,7 +158,7 @@ def enumerate_feasible_groups(
                 )
         else:
             pickups = [r.pickup for r in ordered]
-            gap = oracle_pairwise(oracle, pickups, pickups, exact=True)
+            gap = oracle_pairwise(oracle, sources=pickups, targets=pickups, exact=True)
 
     if config.max_group_size >= 2:
         for (ia, a), (ib, b) in itertools.combinations(enumerate(ordered), 2):

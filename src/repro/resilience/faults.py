@@ -37,6 +37,8 @@ import zlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.errors import TransientFaultError
 from repro.geometry.distance import DistanceOracle
 from repro.geometry.point import Point
@@ -169,25 +171,25 @@ class FaultyOracle:
         self._injector.before_call()
         return self._base.distance(a, b)
 
-    def pairwise(self, points_a: Sequence[Point], points_b: Sequence[Point]):
+    def pairwise(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
         from repro.geometry.batch import oracle_pairwise
 
         self._injector.before_call()
-        return oracle_pairwise(self._base, points_a, points_b)
+        return oracle_pairwise(self._base, sources=sources, targets=targets)
 
-    def distances(self, origin: Point, points: Sequence[Point]):
+    def distances(self, origin: Point, targets: Sequence[Point]) -> np.ndarray:
         from repro.geometry.batch import oracle_distances
 
         self._injector.before_call()
-        return oracle_distances(self._base, origin, points)
+        return oracle_distances(self._base, origin, targets=targets)
 
-    def paired(self, points_a: Sequence[Point], points_b: Sequence[Point]):
+    def paired(self, sources: Sequence[Point], targets: Sequence[Point]) -> np.ndarray:
         from repro.geometry.batch import oracle_paired
 
         self._injector.before_call()
-        return oracle_paired(self._base, points_a, points_b)
+        return oracle_paired(self._base, sources=sources, targets=targets)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> object:
         # Oracles expose extras (e.g. RoadNetwork.snap); pass them through.
         return getattr(self._base, name)
 

@@ -27,8 +27,9 @@ class FrameResilienceRecord:
 
     ``trigger`` names what pushed the frame off the previous rung(s):
     ``None`` for a frame served by the primary dispatcher on the first
-    attempt, ``"deadline"`` for a frame-budget overrun, ``"fault"`` for
-    an injected/observed transient fault, ``"error"`` for any other
+    attempt, ``"deadline"`` for a frame-budget overrun, ``"enum-budget"``
+    for an enumeration work budget that escaped its rung, ``"fault"``
+    for an injected/observed transient fault, ``"error"`` for any other
     dispatcher error absorbed by the ladder.
     """
 

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.errors import (
+    EnumerationBudgetError,
     FrameBudgetExceededError,
     ReproError,
     SimulationError,
@@ -271,6 +272,7 @@ class Simulator:
             cache.begin_frame()  # taxi positions changed: drop stale matrices
             if queue and idle:
                 batch = [entry.request for entry in queue.values()]
+                # repro-lint: disable=REP001 telemetry only: dispatch_ms never feeds a decision
                 dispatch_start = time.perf_counter()
                 if policy is None:
                     schedule = self.dispatcher.dispatch(idle, batch)
@@ -279,6 +281,7 @@ class Simulator:
                         policy, rungs, idle, batch, time_s
                     )
                     report.record(record)
+                # repro-lint: disable=REP001 telemetry only: dispatch_ms never feeds a decision
                 dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
                 schedule.validate(idle, batch)
                 requests_by_id = {r.request_id: r for r in batch}
@@ -418,6 +421,12 @@ class Simulator:
                 except FrameBudgetExceededError:
                     trigger = trigger or "deadline"
                     break  # this rung is out of time: next rung
+                except EnumerationBudgetError:
+                    # A work budget the rung should have consumed escaped
+                    # it; named before ReproError so it is never swallowed
+                    # as a generic error (REP004) and gets its own trigger.
+                    trigger = trigger or "enum-budget"
+                    break  # the rung could not finish its enumeration
                 except TransientFaultError:
                     faults += 1
                     trigger = trigger or "fault"

@@ -84,8 +84,8 @@ class FrameDistanceCache:
         self.misses += 1
         matrix = oracle_pairwise(
             self.oracle,
-            [t.location for t in taxis],
-            [r.pickup for r in requests],
+            sources=[t.location for t in taxis],
+            targets=[r.pickup for r in requests],
             exact=True,
         )
         matrix.setflags(write=False)
@@ -105,7 +105,7 @@ class FrameDistanceCache:
             return cached
         self.misses += 1
         pickups = [r.pickup for r in requests]
-        matrix = oracle_pairwise(self.oracle, pickups, pickups, exact=True)
+        matrix = oracle_pairwise(self.oracle, sources=pickups, targets=pickups, exact=True)
         matrix.setflags(write=False)
         # Gap matrices for *different* queue snapshots mostly overlap but
         # are not views of each other; keep only the latest per length to
@@ -128,8 +128,8 @@ class FrameDistanceCache:
             self.misses += 1
             distances = oracle_paired(
                 self.oracle,
-                [r.pickup for r in missing],
-                [r.dropoff for r in missing],
+                sources=[r.pickup for r in missing],
+                targets=[r.dropoff for r in missing],
                 exact=True,
             )
             for request, km in zip(missing, distances.tolist()):
@@ -144,7 +144,10 @@ class FrameDistanceCache:
         if km is None:
             km = float(
                 oracle_paired(
-                    self.oracle, [request.pickup], [request.dropoff], exact=True
+                    self.oracle,
+                    sources=[request.pickup],
+                    targets=[request.dropoff],
+                    exact=True,
                 )[0]
             )
             self._trip_km[request.request_id] = km

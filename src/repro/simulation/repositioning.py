@@ -44,7 +44,7 @@ class RepositioningPolicy(abc.ABC):
     def step_toward(location: Point, target: Point, max_distance_km: float) -> Point:
         """The position after driving ``max_distance_km`` toward ``target``."""
         gap = location.distance_to(target)
-        if gap <= max_distance_km or gap == 0.0:
+        if gap <= max_distance_km:  # includes gap == 0: already there
             return target
         fraction = max_distance_km / gap
         return Point(

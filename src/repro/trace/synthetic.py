@@ -153,9 +153,10 @@ class SyntheticTraceGenerator:
         direction_x, direction_y = math.cos(angle), math.sin(angle)
         hour = time_s / _SECONDS_PER_HOUR
         bias = self._commute_bias_at(hour)
-        if bias != 0.0 and (pickup.x, pickup.y) != (0.0, 0.0):
-            norm = math.hypot(pickup.x, pickup.y)
-            toward_center_x, toward_center_y = -pickup.x / norm, -pickup.y / norm
+        center_gap = math.hypot(pickup.x, pickup.y)
+        if abs(bias) > 0.0 and center_gap > 0.0:
+            toward_center_x = -pickup.x / center_gap
+            toward_center_y = -pickup.y / center_gap
             sign = 1.0 if bias > 0.0 else -1.0
             strength = abs(bias)
             direction_x = (1.0 - strength) * direction_x + strength * sign * toward_center_x

@@ -1,0 +1,12 @@
+"""Known-bad: wall-clock reads in algorithm code (REP001)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def frame_elapsed(start: float) -> float:
+    now = time.time()
+    tick = perf_counter()
+    stamp = datetime.now()
+    return (now - start) + tick + stamp.timestamp()

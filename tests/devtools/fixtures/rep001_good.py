@@ -1,0 +1,5 @@
+"""Known-good: timing flows through the injectable resilience clock (REP001)."""
+
+
+def frame_elapsed(clock_now: float, start: float) -> float:
+    return clock_now - start

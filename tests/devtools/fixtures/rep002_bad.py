@@ -1,0 +1,12 @@
+"""Known-bad: unseeded global RNG streams (REP002)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(scale: float) -> float:
+    a = random.random()
+    b = float(np.random.rand())
+    random.seed(13)
+    return scale * (a + b)

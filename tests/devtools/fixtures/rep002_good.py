@@ -1,0 +1,11 @@
+"""Known-good: every RNG stream is an explicitly seeded instance (REP002)."""
+
+import random
+
+import numpy as np
+
+
+def draws(seed: int) -> float:
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random() + float(gen.random())

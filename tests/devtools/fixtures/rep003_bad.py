@@ -1,0 +1,13 @@
+"""Known-bad: a dispatch loop that never checkpoints (REP003)."""
+
+from collections.abc import Sequence
+
+
+class GreedyDispatcher:
+    """Assigns taxis greedily with no cooperative checkpoints."""
+
+    def dispatch(self, taxis: Sequence[int], requests: Sequence[int]) -> list[int]:
+        schedule = []
+        for taxi in taxis:
+            schedule.append(taxi)
+        return schedule

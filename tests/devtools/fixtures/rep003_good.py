@@ -1,0 +1,17 @@
+"""Known-good: the dispatch loop checkpoints every iteration (REP003)."""
+
+from collections.abc import Sequence
+
+
+class GreedyDispatcher:
+    """Greedy assignment under a cooperative frame deadline."""
+
+    def dispatch(self, taxis: Sequence[int], requests: Sequence[int]) -> list[int]:
+        schedule = []
+        for taxi in taxis:
+            self.checkpoint("greedy:taxi")
+            schedule.append(taxi)
+        return schedule
+
+    def checkpoint(self, label: str) -> None:
+        pass

@@ -1,0 +1,15 @@
+"""Known-bad: broad handlers swallowing typed budget errors (REP004)."""
+
+from collections.abc import Callable
+
+
+def run_frame(step: Callable[[], None]) -> str:
+    try:
+        step()
+    except Exception:
+        return "swallowed"
+    try:
+        step()
+    except:  # noqa: E722
+        return "swallowed"
+    return "ok"

@@ -1,0 +1,19 @@
+"""Known-good: budget errors escape every broad handler (REP004)."""
+
+from collections.abc import Callable
+
+from repro.core.errors import EnumerationBudgetError, FrameBudgetExceededError
+
+
+def run_frame(step: Callable[[], None]) -> str:
+    try:
+        step()
+    except (FrameBudgetExceededError, EnumerationBudgetError):
+        raise
+    except Exception:
+        return "degraded"
+    try:
+        step()
+    except Exception:
+        raise
+    return "ok"

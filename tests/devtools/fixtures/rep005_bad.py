@@ -1,0 +1,13 @@
+"""Known-bad: the PR-1 source-row bug — positional pairwise operands (REP005)."""
+
+from repro.geometry.batch import oracle_pairwise
+
+
+def pickup_matrix(oracle: object, taxis: list, requests: list) -> tuple:
+    pickups = [r.pickup for r in requests]
+    locations = [t.location for t in taxis]
+    # Swapped roles compile fine positionally: pickups land as the matrix
+    # rows where the scalar reference D(taxi, pickup) wants taxis.
+    matrix = oracle_pairwise(oracle, pickups, locations, exact=True)
+    rows = oracle.pairwise(locations, pickups)
+    return matrix, rows

@@ -1,0 +1,13 @@
+"""Known-good: operand roles named at every batched call site (REP005)."""
+
+import itertools
+
+from repro.geometry.batch import oracle_pairwise
+
+
+def pickup_matrix(oracle: object, taxis: list, requests: list) -> object:
+    pickups = [r.pickup for r in requests]
+    locations = [t.location for t in taxis]
+    for a, b in itertools.pairwise(pickups):
+        _ = (a, b)
+    return oracle_pairwise(oracle, sources=locations, targets=pickups, exact=True)

@@ -1,0 +1,9 @@
+"""Known-bad: exact float equality on distances and fares (REP006)."""
+
+
+def same_spot(dist: float, fare: float, rank: int) -> bool:
+    if dist == 0.0:
+        return True
+    if fare != 1.5:
+        return False
+    return rank == 0

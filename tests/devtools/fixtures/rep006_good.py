@@ -1,0 +1,11 @@
+"""Known-good: thresholds and ranks instead of float equality (REP006)."""
+
+import math
+
+
+def same_spot(dist: float, fare: float, rank: int) -> bool:
+    if dist <= 1e-9:
+        return True
+    if not math.isclose(fare, 1.5):
+        return False
+    return rank == 0

@@ -1,0 +1,16 @@
+"""Known-bad: public API without annotations (REP007)."""
+
+
+def build_table(taxis, requests):
+    return list(taxis) + list(requests)
+
+
+class Table:
+    def __init__(self, oracle):
+        self.oracle = oracle
+
+    def lookup(self, key: int):
+        return self.oracle
+
+    def _internal(self, key):
+        return key

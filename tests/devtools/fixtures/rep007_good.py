@@ -1,0 +1,16 @@
+"""Known-good: fully annotated public API (REP007)."""
+
+
+def build_table(taxis: list[int], requests: list[int]) -> list[int]:
+    return taxis + requests
+
+
+class Table:
+    def __init__(self, oracle: object):
+        self.oracle = oracle
+
+    def lookup(self, key: int) -> object:
+        return self.oracle
+
+    def _internal(self, key):
+        return key

@@ -1,0 +1,7 @@
+"""Fixture: a suppression without a reason waives nothing (REP000)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=REP001

@@ -1,0 +1,12 @@
+"""Fixture: reasoned suppressions waive findings and stay auditable."""
+
+import time
+
+
+def telemetry_stamp() -> float:
+    return time.time()  # repro-lint: disable=REP001 telemetry only; never feeds a decision
+
+
+def frame_start() -> float:
+    # repro-lint: disable=REP001 standalone comment covers the next line
+    return time.time()

@@ -1,0 +1,79 @@
+"""The ``repro-lint`` command line: formats, selection, exit codes, and
+the self-check that the shipped tree lints clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "rep001_good.py")]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings (clean)" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "rep006_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "rep006_bad.py:5:8: REP006" in out
+        assert "REP006: 2" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "REP999", str(FIXTURES)]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+
+class TestTextOutput:
+    def test_select_limits_rules(self, capsys):
+        assert main(["--select", "rep001", str(FIXTURES / "rep002_bad.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_show_suppressed_prints_waivers(self, capsys):
+        assert main(["--show-suppressed", str(FIXTURES / "suppressions_ok.py")]) == 0
+        out = capsys.readouterr().out
+        assert "[suppressed: telemetry only; never feeds a decision]" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_json_document_shape(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "rep006_bad.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"REP006": 2}
+        assert [f["line"] for f in payload["findings"]] == [5, 7]
+        assert all(f["rule"] == "REP006" for f in payload["findings"])
+
+    def test_json_records_suppressions(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "suppressions_ok.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert [s["suppression_reason"] for s in payload["suppressed"]] == [
+            "telemetry only; never feeds a decision",
+            "standalone comment covers the next line",
+        ]
+
+
+class TestSelfCheck:
+    def test_library_tree_lints_clean(self, capsys):
+        # The gate the CI runs: the shipped library must carry zero
+        # unsuppressed findings under the full rule set.
+        assert main([str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings (clean)" in out

@@ -1,0 +1,68 @@
+"""Engine plumbing: file discovery, report aggregation, selection errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import all_rules, lint_paths, lint_source
+from repro.devtools.engine import iter_python_files
+
+
+class TestFileDiscovery:
+    def test_caches_and_non_python_skipped(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("x = 1\n")
+        git = tmp_path / ".git"
+        git.mkdir()
+        (git / "hook.py").write_text("x = 1\n")
+        assert iter_python_files([tmp_path]) == [tmp_path / "keep.py"]
+
+    def test_files_and_dirs_deduplicated(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert iter_python_files([tmp_path, target, target]) == [target]
+
+    def test_unreadable_file_is_a_meta_finding(self, tmp_path):
+        report = lint_paths([tmp_path / "missing.py"])
+        assert [f.rule for f in report.findings] == ["REP000"]
+        assert "unreadable" in report.findings[0].message
+
+
+class TestReportAggregation:
+    def test_files_checked_accumulates(self, tmp_path):
+        for name in ("a.py", "b.py"):
+            (tmp_path / name).write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert report.ok
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nx = time.time()\n")
+        (tmp_path / "a.py").write_text("import time\ny = time.time()\n")
+        report = lint_paths([tmp_path])
+        assert [f.path for f in report.findings] == [
+            str(tmp_path / "a.py"),
+            str(tmp_path / "b.py"),
+        ]
+
+
+class TestRuleSelection:
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="REP999"):
+            lint_source("x = 1\n", "x.py", select=["REP999"])
+
+    def test_registry_is_complete(self):
+        assert sorted(all_rules()) == [
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+        ]
+        for cls in all_rules().values():
+            assert cls.summary and cls.convention

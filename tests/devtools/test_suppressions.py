@@ -1,0 +1,82 @@
+"""Suppression-comment semantics: reasoned waivers, mandatory reasons,
+standalone coverage, and the unsuppressable meta rule."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import lint_paths, lint_source
+from repro.devtools.suppressions import SuppressionIndex
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestReasonedSuppressions:
+    def test_inline_and_standalone_directives_waive(self):
+        report = lint_paths([FIXTURES / "suppressions_ok.py"])
+        assert report.ok
+        assert [(f.rule, f.line) for f in report.suppressed] == [
+            ("REP001", 7),
+            ("REP001", 12),
+        ]
+
+    def test_reasons_recorded_for_audit(self):
+        report = lint_paths([FIXTURES / "suppressions_ok.py"])
+        reasons = [f.suppression_reason for f in report.suppressed]
+        assert reasons == [
+            "telemetry only; never feeds a decision",
+            "standalone comment covers the next line",
+        ]
+        assert all("[suppressed:" in f.render() for f in report.suppressed)
+
+    def test_missing_reason_waives_nothing(self):
+        report = lint_paths([FIXTURES / "suppressions_bad.py"])
+        assert sorted((f.rule, f.line) for f in report.findings) == [
+            ("REP000", 7),
+            ("REP001", 7),
+        ]
+        assert not report.suppressed
+
+    def test_multiple_rules_one_directive(self):
+        source = (
+            "import time\n"
+            "import random\n"
+            "# repro-lint: disable=REP001,REP002 chaos harness owns both streams\n"
+            "x = time.time() + random.random()\n"
+        )
+        report = lint_source(source, "x.py")
+        assert report.ok
+        assert sorted(f.rule for f in report.suppressed) == ["REP001", "REP002"]
+
+    def test_directive_does_not_leak_past_next_line(self):
+        source = (
+            "import time\n"
+            "# repro-lint: disable=REP001 covers only the next line\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        report = lint_source(source, "x.py")
+        assert [(f.rule, f.line) for f in report.findings] == [("REP001", 4)]
+        assert [(f.rule, f.line) for f in report.suppressed] == [("REP001", 3)]
+
+    def test_unrelated_rule_not_waived(self):
+        source = "import time\nx = time.time()  # repro-lint: disable=REP006 wrong rule id\n"
+        report = lint_source(source, "x.py")
+        assert [(f.rule, f.line) for f in report.findings] == [("REP001", 2)]
+
+
+class TestMetaRule:
+    def test_rep000_never_suppressible(self):
+        index = SuppressionIndex(
+            "x = 1  # repro-lint: disable=REP000 trying to waive the meta rule\n",
+            "x.py",
+        )
+        assert index.lookup("REP000", 1) is None
+
+    def test_syntax_error_reported_as_rep000(self):
+        report = lint_source("def oops(:\n", "broken.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "REP000"
+        assert finding.line == 1
+        assert "does not parse" in finding.message

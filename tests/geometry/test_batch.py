@@ -98,7 +98,7 @@ class TestDistancesAndPaired:
         with pytest.raises(ValueError, match="length"):
             EuclideanDistance().paired(A, B)
         with pytest.raises(ValueError, match="length"):
-            oracle_paired(ScalarOnlyOracle(), A, B)
+            oracle_paired(ScalarOnlyOracle(), sources=A, targets=B)
 
 
 class TestRoadNetworkBatch:
@@ -154,13 +154,13 @@ class TestFallbackContract:
         assert not supports_batch(oracle)
         assert not batch_kernels_exact(oracle)
         assert np.array_equal(
-            oracle_pairwise(oracle, A, B, exact=True), scalar_matrix(oracle, A, B)
+            oracle_pairwise(oracle, sources=A, targets=B, exact=True), scalar_matrix(oracle, A, B)
         )
         origin = Point(0.0, 1.0)
-        assert oracle_distances(oracle, origin, B).tolist() == [
+        assert oracle_distances(oracle, origin, targets=B).tolist() == [
             oracle.distance(origin, b) for b in B
         ]
-        assert oracle_paired(oracle, A, A).tolist() == [0.0] * len(A)
+        assert oracle_paired(oracle, sources=A, targets=A).tolist() == [0.0] * len(A)
 
     def test_exact_flag_gates_inexact_kernels(self):
         # Haversine has kernels but no exactness contract: exact=True must
@@ -169,9 +169,9 @@ class TestFallbackContract:
         assert supports_batch(oracle) and not batch_kernels_exact(oracle)
         points_a = [Point(-73.98, 40.75), Point(-73.95, 40.78)]
         points_b = [Point(-71.06, 42.36)]
-        exact = oracle_pairwise(oracle, points_a, points_b, exact=True)
+        exact = oracle_pairwise(oracle, sources=points_a, targets=points_b, exact=True)
         assert exact.tolist() == scalar_matrix(oracle, points_a, points_b).tolist()
-        fast = oracle_pairwise(oracle, points_a, points_b)
+        fast = oracle_pairwise(oracle, sources=points_a, targets=points_b)
         np.testing.assert_allclose(fast, exact, rtol=1e-12)
 
     def test_scaled_exactness_follows_base(self):

@@ -107,7 +107,7 @@ class TestFaultyOracle:
         assert injector.calls == 1
         assert matrix.shape == (2, 2)
         # And the wrapper is itself usable through the batch helpers.
-        assert oracle_pairwise(wrapped, points, points).shape == (2, 2)
+        assert oracle_pairwise(wrapped, sources=points, targets=points).shape == (2, 2)
 
     def test_base_and_injector_accessors(self):
         base = EuclideanDistance()
