@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Guard against kernel and matching-core performance regressions.
+"""Guard against kernel, matching-core, and city-day perf regressions.
 
 Compares the freshly generated benchmark artifacts at the repo root
 against their committed baselines and fails when any guarded fast-path
@@ -12,7 +12,11 @@ row got more than ``--tolerance`` slower (default 25%):
 * ``BENCH_matching.json`` (written by ``pytest
   benchmarks/test_matching_core.py``) vs
   ``benchmarks/BENCH_matching_baseline.json`` — the array
-  deferred-acceptance engine and the array frame totals.
+  deferred-acceptance engine and the array frame totals;
+* ``BENCH_cityday.json`` (written by ``pytest
+  benchmarks/test_cityday.py``) vs
+  ``benchmarks/BENCH_cityday_baseline.json`` — the paper-scale
+  city-day, cold vs warm-start end-to-end.
 
 Absolute wall-clock comparisons across different machines are noisy, so
 CI should regenerate both sides on the same host when possible; the 25%
@@ -23,8 +27,9 @@ an intentional change.
 
 Usage::
 
-    scripts/run_benchmarks.sh            # regenerate both + check
-    python scripts/check_bench_regression.py [--suite kernels|matching]
+    scripts/run_benchmarks.sh            # regenerate all + check
+    python scripts/check_bench_regression.py [--suite kernels|matching|cityday]
+    python scripts/check_bench_regression.py --list   # deltas, no verdicts
 """
 
 from __future__ import annotations
@@ -75,18 +80,42 @@ SUITES = (
             "frame_total_array_",
         ),
     ),
+    Suite(
+        name="cityday",
+        current=REPO_ROOT / "BENCH_cityday.json",
+        baseline=REPO_ROOT / "benchmarks" / "BENCH_cityday_baseline.json",
+        # Whole paper-scale simulations (schema bench-cityday/1): noisy,
+        # but a regression here is exactly what the warm-start layer
+        # exists to prevent, so the rows are guarded at the shared
+        # tolerance.
+        guarded_prefixes=("cityday_",),
+    ),
 )
 
 
 def load(path: Path) -> dict:
     if not path.exists():
         sys.exit(f"error: {path} not found; run the benchmarks first (scripts/run_benchmarks.sh)")
-    return json.loads(path.read_text())
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON ({exc})")
+    if not isinstance(payload, dict) or "kernels" not in payload:
+        schema = payload.get("schema", "<missing>") if isinstance(payload, dict) else "<not an object>"
+        sys.exit(
+            f"error: {path} has no 'kernels' table (schema {schema}); "
+            "was it written by a benchmark run of this repo?"
+        )
+    kernels = payload["kernels"]
+    for name, row in kernels.items():
+        if not isinstance(row, dict) or "ms" not in row:
+            sys.exit(f"error: {path}: row {name!r} has no 'ms' field; artifact corrupt?")
+    return kernels
 
 
 def check_suite(suite: Suite, tolerance: float) -> list[str]:
-    current = load(suite.current)["kernels"]
-    baseline = load(suite.baseline)["kernels"]
+    current = load(suite.current)
+    baseline = load(suite.baseline)
 
     failures = []
     checked = 0
@@ -110,11 +139,45 @@ def check_suite(suite: Suite, tolerance: float) -> list[str]:
                 f"by more than {tolerance:.0%}"
             )
 
+    # A guarded row in the current run with no baseline entry means the
+    # baseline predates the benchmark: an unguarded surface masquerading
+    # as a guarded one.  Fail loudly instead of silently skipping it.
+    for name in sorted(current):
+        if name.startswith(suite.guarded_prefixes) and name not in baseline:
+            failures.append(
+                f"{name}: measured by the current run but absent from "
+                f"{suite.baseline.name}; refresh the baseline to cover it"
+            )
+
     if not checked:
         failures.append(f"no guarded rows found in {suite.baseline}; baseline file corrupt?")
     else:
         print(f"[{suite.name}] {checked} guarded rows checked")
     return failures
+
+
+def list_suite(suite: Suite) -> None:
+    """Print per-row current/baseline deltas without pass/fail verdicts."""
+    if not suite.current.exists() and not suite.baseline.exists():
+        print(f"[{suite.name}] no artifact and no baseline; skipped")
+        return
+    current = load(suite.current) if suite.current.exists() else {}
+    baseline = load(suite.baseline) if suite.baseline.exists() else {}
+    names = sorted(set(current) | set(baseline))
+    for name in names:
+        guarded = "*" if name.startswith(suite.guarded_prefixes) else " "
+        now = current.get(name)
+        base = baseline.get(name)
+        if now is not None and base is not None and base["ms"] > 0:
+            delta = (now["ms"] - base["ms"]) / base["ms"]
+            print(
+                f"[{suite.name}]{guarded} {name}: {now['ms']:.2f} ms "
+                f"(baseline {base['ms']:.2f} ms, {delta:+.1%})"
+            )
+        elif now is not None:
+            print(f"[{suite.name}]{guarded} {name}: {now['ms']:.2f} ms (no baseline)")
+        else:
+            print(f"[{suite.name}]{guarded} {name}: no current run (baseline {base['ms']:.2f} ms)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -131,9 +194,19 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional slowdown vs baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print current-vs-baseline deltas for every row (guarded rows "
+        "marked with *) and exit 0 without any regression verdict",
+    )
     args = parser.parse_args(argv)
 
     suites = [s for s in SUITES if args.suite is None or s.name == args.suite]
+    if args.list:
+        for suite in suites:
+            list_suite(suite)
+        return 0
     failures: list[str] = []
     for suite in suites:
         failures.extend(check_suite(suite, args.tolerance))

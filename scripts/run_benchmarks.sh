@@ -1,14 +1,31 @@
 #!/usr/bin/env bash
-# Regenerate both benchmark artifacts and run the regression guard.
+# Regenerate the benchmark artifacts and run the regression guard.
 #
-#   scripts/run_benchmarks.sh                 # full: kernels + matching + guard
+#   scripts/run_benchmarks.sh                 # full: kernels + matching + cityday + guard
 #   scripts/run_benchmarks.sh --tolerance 0.5 # extra args go to the guard
+#   scripts/run_benchmarks.sh --smoke         # CI probe: tiny city-day, no baselines
 #
 # Artifacts land at the repo root (BENCH_kernels.json,
-# BENCH_matching.json); committed baselines live in benchmarks/.
+# BENCH_matching.json, BENCH_cityday.json); committed baselines live in
+# benchmarks/.
+#
+# --smoke exists so CI can prove the benchmark harness still *runs*
+# without paying for (or trusting) full-scale wall-clock numbers on a
+# shared runner: the city-day bench runs a two-hour 2% slice (its
+# bit-identity asserts still fire), the artifact is diverted to
+# benchmarks/output/, and the guard runs in --list mode only, which
+# exercises its loaders without issuing verdicts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [[ "${1:-}" == "--smoke" ]]; then
+    shift
+    BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_cityday.py -q
+    python scripts/check_bench_regression.py --list "$@"
+    exit 0
+fi
+
 PYTHONPATH=src python -m pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups -q
 PYTHONPATH=src python -m pytest benchmarks/test_matching_core.py -q
+PYTHONPATH=src python -m pytest benchmarks/test_cityday.py -q
 python scripts/check_bench_regression.py "$@"

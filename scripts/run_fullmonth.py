@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Opt-in full-month wall clock: cold vs warm-start NSTD, day by day.
+
+``BENCH_cityday.json`` times one paper-scale day; this script extends
+the comparison to a month of them, which is the operating regime the
+warm-start layer actually targets (a dispatcher that never restarts).
+Each day ``d`` draws its own trace with seed ``base_seed + d``, so
+traffic varies across days while the whole month stays reproducible;
+request ids are unique within each day's run, which is the scope the
+engine requires.  Every day is simulated twice — cold and warm — and
+asserted bit-identical (summary, outcomes, assignments) before its
+wall clock counts, so a month-long divergence cannot hide in totals.
+
+This is deliberately a script, not a benchmark test: a month at scale
+1.0 is minutes of CPU, far beyond what the regression guard should
+gate on.  Run it when touching the warm-start layer::
+
+    PYTHONPATH=src python scripts/run_fullmonth.py                    # 31 days, scale 1.0
+    PYTHONPATH=src python scripts/run_fullmonth.py --days 3 --scale 0.1   # quick probe
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.dispatch.nonsharing import NSTDDispatcher
+from repro.experiments import (
+    ExperimentScale,
+    build_workload,
+    city_simulation_config,
+    environment_metadata,
+    profile_by_name,
+)
+from repro.geometry import EuclideanDistance
+from repro.simulation import SimulationResult, Simulator
+
+
+def simulate_day(
+    profile_name: str, scale: ExperimentScale, *, optimize_for: str, warm: bool
+) -> tuple[SimulationResult, float]:
+    """One full simulated day; returns (result, e2e wall seconds)."""
+    profile = profile_by_name(profile_name)
+    sim_config = city_simulation_config(profile.scaled(scale.factor))
+    fleet, requests = build_workload(profile, scale)
+    oracle = EuclideanDistance()
+    dispatcher = NSTDDispatcher(
+        oracle, sim_config.dispatch, optimize_for=optimize_for, warm_start=warm
+    )
+    simulator = Simulator(dispatcher, oracle, sim_config)
+    start = time.perf_counter()
+    result = simulator.run(fleet, requests)
+    return result, time.perf_counter() - start
+
+
+def identical(cold: SimulationResult, warm: SimulationResult) -> bool:
+    return (
+        cold.summary() == warm.summary()
+        and [(o.request_id, o.taxi_id, o.dispatch_time_s) for o in cold.outcomes]
+        == [(o.request_id, o.taxi_id, o.dispatch_time_s) for o in warm.outcomes]
+        and [(a.taxi_id, a.request_ids) for a in cold.assignments]
+        == [(a.taxi_id, a.request_ids) for a in warm.assignments]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=31, help="days to simulate (default 31)")
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
+    parser.add_argument("--seed", type=int, default=7, help="base seed; day d uses seed+d")
+    parser.add_argument("--profile", default="new-york", help="city profile name")
+    parser.add_argument(
+        "--optimize-for",
+        choices=["passenger", "taxi"],
+        default="passenger",
+        help="which stable matching to dispatch (default passenger)",
+    )
+    parser.add_argument("--json", default=None, help="also write totals to this JSON file")
+    args = parser.parse_args(argv)
+
+    totals = {"cold_s": 0.0, "warm_s": 0.0}
+    telemetry: dict[str, float] = {}
+    mismatched_days: list[int] = []
+    for day in range(args.days):
+        scale = ExperimentScale(factor=args.scale, seed=args.seed + day)
+        cold, cold_s = simulate_day(
+            args.profile, scale, optimize_for=args.optimize_for, warm=False
+        )
+        warm, warm_s = simulate_day(
+            args.profile, scale, optimize_for=args.optimize_for, warm=True
+        )
+        if not identical(cold, warm):
+            mismatched_days.append(day)
+        totals["cold_s"] += cold_s
+        totals["warm_s"] += warm_s
+        perf = warm.perf_stats()
+        for key in ("warm_frames", "cold_frames", "warm_fallbacks"):
+            telemetry[key] = telemetry.get(key, 0.0) + perf.get(key, 0.0)
+        print(
+            f"day {day:2d}: cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
+            f"speedup {cold_s / warm_s:4.2f}x  "
+            f"warm/cold/fallback frames "
+            f"{int(perf.get('warm_frames', 0))}/{int(perf.get('cold_frames', 0))}"
+            f"/{int(perf.get('warm_fallbacks', 0))}"
+            + ("  IDENTICAL" if day not in mismatched_days else "  MISMATCH"),
+            flush=True,
+        )
+
+    speedup = totals["cold_s"] / totals["warm_s"] if totals["warm_s"] else float("inf")
+    report = {
+        "days": args.days,
+        "scale_factor": args.scale,
+        "base_seed": args.seed,
+        "profile": args.profile,
+        "optimize_for": args.optimize_for,
+        "cold_s": round(totals["cold_s"], 3),
+        "warm_s": round(totals["warm_s"], 3),
+        "speedup": round(speedup, 3),
+        "telemetry": {k: int(v) for k, v in sorted(telemetry.items())},
+        "mismatched_days": mismatched_days,
+        "environment": environment_metadata(),
+    }
+    print()
+    print(json.dumps(report, indent=2))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if mismatched_days:
+        print(f"error: warm diverged from cold on days {mismatched_days}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

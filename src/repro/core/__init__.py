@@ -13,6 +13,7 @@ from repro.core.errors import (
     SimulationError,
     TraceFormatError,
     UnstableMatchingError,
+    WarmStartError,
 )
 from repro.core.types import (
     Assignment,
@@ -38,6 +39,7 @@ __all__ = [
     "PreferenceError",
     "MatchingError",
     "UnstableMatchingError",
+    "WarmStartError",
     "PackingError",
     "RoutingError",
     "DispatchError",

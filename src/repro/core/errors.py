@@ -74,6 +74,21 @@ class EnumerationBudgetError(MatchingError):
         self.nodes = nodes
 
 
+class WarmStartError(MatchingError):
+    """A warm-start seed cannot be safely resumed on the new instance.
+
+    Raised by :mod:`repro.matching.incremental` when the frame delta
+    violates a resume precondition (e.g. a held proposer was removed
+    while its reviewer stayed, or a preference prefix changed under a
+    proposer's cursor).  Callers fall back to a cold solve; the error
+    carries the reason for warm-hit-rate telemetry.
+    """
+
+    def __init__(self, message: str, *, reason: str = "invalid-seed"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class PackingError(ReproError):
     """Set-packing input is invalid (e.g. an empty candidate subset)."""
 

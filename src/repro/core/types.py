@@ -13,6 +13,7 @@ dispatchers and the simulator index entities by id throughout.
 
 from __future__ import annotations
 
+from collections.abc import Container
 from dataclasses import dataclass, field
 
 from repro.geometry.distance import DistanceOracle
@@ -249,8 +250,13 @@ class DispatchSchedule:
         """Check structural sanity: no taxi or request appears twice and
         every id refers to a known entity.  Raises ``ValueError``.
         """
-        taxi_ids = {t.taxi_id for t in taxis}
-        request_ids = {r.request_id for r in requests}
+        self.validate_ids({t.taxi_id for t in taxis}, {r.request_id for r in requests})
+
+    def validate_ids(self, taxi_ids: Container[int], request_ids: Container[int]) -> None:
+        """:meth:`validate` against membership views instead of entity
+        lists — the engine passes its live queue mapping so the check
+        costs one lookup per assigned id rather than one id-set build
+        per frame."""
         seen_taxis: set[int] = set()
         seen_requests: set[int] = set()
         for assignment in self.assignments:

@@ -3,8 +3,13 @@
 A dispatcher sees one frame's idle taxis and pending requests and
 returns a :class:`DispatchSchedule`; the simulation engine owns taxi
 motion and request queueing across frames.  Dispatchers are constructed
-once with their distance oracle and :class:`DispatchConfig` and must be
-stateless across frames (the engine may re-run a frame during tests).
+once with their distance oracle and :class:`DispatchConfig` and are
+stateless across frames by default (the engine may re-run a frame
+during tests).  A dispatcher that opts into warm-start acceleration
+carries frame-to-frame solver state; the engine owns its lifecycle
+through :meth:`Dispatcher.reset_warm_state` (called at run start and
+whenever a degradation-ladder fallback answered a frame, which breaks
+the consecutive-frame invariant the state relies on).
 """
 
 from __future__ import annotations
@@ -62,6 +67,25 @@ class Dispatcher(abc.ABC):
         budget = self.frame_budget
         if budget is not None:
             budget.checkpoint(label)
+
+    def reset_warm_state(self, *, counters: bool = False) -> None:
+        """Discard any frame-to-frame solver state (no-op by default).
+
+        The engine calls this at the start of every run (with
+        ``counters=True``, which also zeroes :meth:`run_telemetry`) and
+        after any frame a degradation-ladder fallback answered: warm
+        state is only valid between *consecutive* frames solved by this
+        dispatcher.
+        """
+
+    def run_telemetry(self) -> dict[str, float | int]:
+        """Counters accumulated over a run, for ``perf_stats()`` reporting.
+
+        Stateless dispatchers have none; warm-start dispatchers report
+        warm/cold frame counts and rebuild fractions.  Keys should be
+        flat and JSON-friendly.
+        """
+        return {}
 
     @abc.abstractmethod
     def dispatch(

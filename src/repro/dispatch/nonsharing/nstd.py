@@ -15,19 +15,45 @@ use it, since lattice enumeration walks dict tables).  When the
 simulation engine installs a :class:`~repro.simulation.frame_cache.
 FrameDistanceCache`, the pickup matrix and trip distances are read from
 it instead of recomputed.
+
+``warm_start=True`` (array fast paths only) additionally carries solver
+state across frames through the warm frame solver
+(:mod:`repro.matching.warm_frame`): only churn-proportional distance
+strips are scored (never the full taxi × request pickup kernel), the
+retained queue's coordinates/party/trip facts ride along as persistent
+arrays, and the stable matching is recomputed by the same Gale–Shapley
+rounds on a lean CSR that is bit-identical to the cold pack.  Any frame
+whose state fails a warm precondition falls back to a cold solve
+transparently; :meth:`NSTDDispatcher.run_telemetry` reports warm/cold
+frame counts, fallbacks, and rebuild fractions.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.config import DispatchConfig
+from repro.core.errors import WarmStartError
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, single_assignment
 from repro.geometry.distance import DistanceOracle
+from repro.matching.arrays import PreferenceArrays
 from repro.matching.lattice import median_stable_matching
 from repro.matching.optimality import passenger_optimal, taxi_optimal, taxi_optimal_exact
-from repro.matching.preferences import build_nonsharing_arrays, build_nonsharing_table
+from repro.matching.preferences import (
+    PreferenceTable,
+    build_nonsharing_arrays,
+    build_nonsharing_table,
+)
+from repro.matching.result import Matching
+from repro.matching.warm_frame import (
+    FrameSolveState,
+    frame_state_from_cold,
+    request_trips,
+    warm_frame_solve,
+)
 
 __all__ = ["NSTDDispatcher", "nstd_p", "nstd_t", "nstd_m"]
 
@@ -46,34 +72,108 @@ class NSTDDispatcher(Dispatcher):
         exact: bool = False,
         alpha_by_taxi: Mapping[int, float] | None = None,
         use_arrays: bool = True,
+        warm_start: bool = False,
     ):
         super().__init__(oracle, config)
         if optimize_for not in self._NAMES:
             raise ValueError(
                 f"optimize_for must be one of {sorted(self._NAMES)}, got {optimize_for!r}"
             )
+        if warm_start and not (
+            use_arrays and optimize_for in ("passenger", "taxi") and not exact
+        ):
+            raise ValueError(
+                "warm_start requires the array fast path: use_arrays=True, "
+                "optimize_for in ('passenger', 'taxi'), exact=False"
+            )
         self.optimize_for = optimize_for
         self.exact = exact
         self.alpha_by_taxi = dict(alpha_by_taxi) if alpha_by_taxi else None
         self.use_arrays = use_arrays
+        self.warm_start = warm_start
         self.name = self._NAMES[optimize_for]
+        self._warm_state: FrameSolveState | None = None
+        self._telemetry: dict[str, float | int] = {}
+
+    # -- warm-start lifecycle ---------------------------------------------
+
+    def reset_warm_state(self, *, counters: bool = False) -> None:
+        """Drop the carried frame state (and optionally run counters).
+
+        Called by the simulation engine at run start (``counters=True``)
+        and after any frame answered by a degradation-ladder fallback,
+        which breaks the consecutive-frame invariant the state encodes.
+        """
+        self._warm_state = None
+        if counters:
+            self._telemetry = {}
+
+    def run_telemetry(self) -> dict[str, float | int]:
+        """Warm-start counters since the last full reset.
+
+        ``warm_frames`` / ``cold_frames`` partition the dispatched
+        frames; ``warm_fallbacks`` counts warm frames that had to redo a
+        cold solve after a failed resume precondition.  The pair/strip
+        totals give the aggregate rebuild fraction — the share of the
+        full taxi × request work the warm builder actually performed.
+        """
+        return dict(self._telemetry)
+
+    def _bump(self, key: str, amount: float | int = 1) -> None:
+        self._telemetry[key] = self._telemetry.get(key, 0) + amount
 
     def dispatch(
         self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
     ) -> DispatchSchedule:
         schedule = DispatchSchedule()
         if not taxis or not requests:
+            # The carried warm state stays put: nothing was solved, and
+            # only arrivals can happen before the next non-empty frame,
+            # so churn classification against it remains sound.
             return schedule
         self.checkpoint("nstd:start")
-        pickup_matrix = trip_km = None
-        if self.frame_cache is not None:
-            pickup_matrix = self.frame_cache.pickup_matrix(taxis, requests)
-            trip_km = self.frame_cache.trip_km(requests)
         array_path = (
             self.use_arrays
             and self.optimize_for in ("passenger", "taxi")
             and not self.exact
         )
+        matched_rows: tuple[np.ndarray, np.ndarray] | None = None
+        if self.warm_start and array_path:
+            matching, matched_rows = self._dispatch_warm(taxis, requests)
+        else:
+            matching = self._dispatch_cold(taxis, requests, array_path)
+        self.checkpoint("nstd:matched")
+        if matched_rows is not None:
+            # Warm frames: the solver hands back matched (taxi, request)
+            # row pairs already sorted by request id, indexing straight
+            # into this frame's sequences — the schedule is assembled
+            # without re-keying either side by id.  The rows come from
+            # deferred-acceptance partner arrays (one partner per side
+            # by construction), so the structural re-validation the id
+            # path pays is redundant here; the engine still validates
+            # every schedule it executes.
+            t_rows, r_rows = matched_rows
+            for t_row, r_row in zip(t_rows.tolist(), r_rows.tolist()):
+                schedule.add(single_assignment(taxis[t_row], requests[r_row]))
+            return schedule
+        taxis_by_id = {t.taxi_id: t for t in taxis}
+        requests_by_id = {r.request_id: r for r in requests}
+        for request_id, taxi_id in sorted(matching.pairs):
+            schedule.add(single_assignment(taxis_by_id[taxi_id], requests_by_id[request_id]))
+        return self._validated(schedule, taxis, requests)
+
+    def _dispatch_cold(
+        self,
+        taxis: Sequence[Taxi],
+        requests: Sequence[PassengerRequest],
+        array_path: bool,
+    ) -> Matching:
+        """The stateless frame solve (the pre-warm-start behaviour)."""
+        pickup_matrix = trip_km = None
+        if self.frame_cache is not None:
+            pickup_matrix = self.frame_cache.pickup_matrix(taxis, requests)
+            trip_km = self.frame_cache.trip_km(requests)
+        prefs: PreferenceArrays | PreferenceTable
         if array_path:
             prefs = build_nonsharing_arrays(
                 taxis,
@@ -95,6 +195,23 @@ class NSTDDispatcher(Dispatcher):
                 trip_km=trip_km,
             )
         self.checkpoint("nstd:prefs-built")
+        if self.warm_start and isinstance(prefs, PreferenceArrays):
+            # Cold frame of a warm-started run (first frame, or a warm
+            # precondition failed): solve exactly as the stateless path
+            # does, then seed the next frame's warm state from the
+            # frame's own facts (the trip vector was computed above
+            # either way).
+            if self.optimize_for == "taxi":
+                matching = taxi_optimal(prefs)
+            else:
+                matching = passenger_optimal(prefs)
+            trips = (
+                np.asarray(trip_km, dtype=np.float64)
+                if trip_km is not None
+                else request_trips(requests, self.oracle)
+            )
+            self._warm_state = frame_state_from_cold(taxis, requests, matching, trip=trips)
+            return matching
         if self.optimize_for == "passenger":
             matching = passenger_optimal(prefs)
         elif self.optimize_for == "median":
@@ -108,12 +225,54 @@ class NSTDDispatcher(Dispatcher):
             matching = taxi_optimal_exact(prefs, deadline=self.frame_budget)
         else:
             matching = taxi_optimal(prefs)
-        self.checkpoint("nstd:matched")
-        taxis_by_id = {t.taxi_id: t for t in taxis}
-        requests_by_id = {r.request_id: r for r in requests}
-        for request_id, taxi_id in sorted(matching.pairs):
-            schedule.add(single_assignment(taxis_by_id[taxi_id], requests_by_id[request_id]))
-        return self._validated(schedule, taxis, requests)
+        return matching
+
+    def _dispatch_warm(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> tuple[Matching, tuple[np.ndarray, np.ndarray] | None]:
+        """One frame through the warm frame solver.
+
+        Crucially this path never touches the full taxi × request pickup
+        kernel — only the churn strips are scored — and never rebuilds
+        the queue's per-request facts: coordinates, party sizes and trip
+        distances of retained requests ride along inside the carried
+        :class:`~repro.matching.warm_frame.FrameSolveState`.
+
+        Returns the matching plus the solver's matched row pairs; the
+        rows are ``None`` when the frame fell back to a cold solve (the
+        id-keyed schedule path handles those).
+        """
+        state = self._warm_state
+        if state is None:
+            self._bump("cold_frames")
+            return self._dispatch_cold(taxis, requests, array_path=True), None
+        cache = self.frame_cache
+        try:
+            matching, matched_rows, build_stats, new_state = warm_frame_solve(
+                state,
+                taxis,
+                requests,
+                self.oracle,
+                self.config,
+                optimize_for=self.optimize_for,
+                alpha_by_taxi=self.alpha_by_taxi,
+                # Keep the engine's request-keyed trip memo primed so
+                # per-assignment scoring hits it on warm frames too.
+                on_new_trips=None if cache is None else cache.prime_trip_km,
+            )
+        except WarmStartError as exc:
+            # The frame failed a warm precondition; redo it cold.
+            self._bump("warm_fallbacks")
+            self._bump(f"warm_fallback_{exc.reason}")
+            self._warm_state = None
+            self._bump("cold_frames")
+            return self._dispatch_cold(taxis, requests, array_path=True), None
+        self.checkpoint("nstd:prefs-built")
+        self._warm_state = new_state
+        self._bump("warm_frames")
+        self._bump("pairs_scored_warm", build_stats.pairs_scored)
+        self._bump("full_pairs_warm", build_stats.full_pairs)
+        return matching, matched_rows
 
 
 def nstd_p(oracle: DistanceOracle, config: DispatchConfig | None = None) -> NSTDDispatcher:

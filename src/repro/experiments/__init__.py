@@ -1,6 +1,6 @@
 """Experiment harnesses reproducing the paper's evaluation figures."""
 
-from repro.experiments.environment import environment_metadata
+from repro.experiments.environment import effective_cpu_count, environment_metadata
 from repro.experiments.figures import FIGURES, FigureResult, run_figure
 from repro.experiments.runners import (
     build_workload,
@@ -18,6 +18,7 @@ from repro.experiments.settings import (
 )
 
 __all__ = [
+    "effective_cpu_count",
     "environment_metadata",
     "FIGURES",
     "FigureResult",

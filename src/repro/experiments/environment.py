@@ -8,23 +8,76 @@ different machine".
 
 from __future__ import annotations
 
+import math
 import os
 import platform
 import sys
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["environment_metadata"]
+__all__ = ["environment_metadata", "effective_cpu_count"]
+
+
+def _cgroup_cpu_quota() -> float | None:
+    """The container CPU quota as a fractional core count, if limited.
+
+    Reads cgroup v2 ``cpu.max`` first, then the v1 CFS quota files.
+    Returns ``None`` when unlimited, absent, or unreadable (non-Linux
+    hosts, masked cgroupfs): the caller then trusts the scheduler view.
+    """
+    try:
+        fields = Path("/sys/fs/cgroup/cpu.max").read_text().split()
+        if fields and fields[0] != "max":
+            return int(fields[0]) / int(fields[1])
+    except (OSError, IndexError, ValueError, ZeroDivisionError):
+        pass
+    try:
+        quota = int(Path("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").read_text())
+        period = int(Path("/sys/fs/cgroup/cpu/cpu.cfs_period_us").read_text())
+        if quota > 0 and period > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process can actually use, not what the host has.
+
+    ``os.cpu_count()`` reports the machine; under CI runners and
+    containers the process is typically confined well below that by a
+    scheduler affinity mask and/or a cgroup CPU quota, and a benchmark
+    baseline stamped with the host count would look comparable across
+    environments that are not.  Takes the minimum of the host count,
+    the affinity mask size, and the cgroup quota (rounded up: a 1.5-CPU
+    quota can still run two-way parallel sections, just throttled).
+    """
+    count = os.cpu_count() or 1
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            count = min(count, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic kernels only
+            pass
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        count = min(count, math.ceil(quota))
+    return max(1, count)
 
 
 def environment_metadata() -> dict[str, str | int]:
-    """Versions and hardware facts that shape wall-clock timings."""
+    """Versions and hardware facts that shape wall-clock timings.
+
+    ``cpu_count`` is the *effective* count (affinity- and cgroup-aware);
+    ``cpu_count_host`` keeps the raw machine figure for context.
+    """
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": effective_cpu_count(),
+        "cpu_count_host": os.cpu_count() or 1,
         "executable": sys.executable,
     }

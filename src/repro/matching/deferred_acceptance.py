@@ -53,6 +53,7 @@ __all__ = [
     "deferred_acceptance",
     "deferred_acceptance_dict",
     "deferred_acceptance_arrays",
+    "gale_shapley_rounds",
     "DeferredAcceptanceStats",
 ]
 
@@ -169,17 +170,56 @@ def deferred_acceptance_arrays(
     matching and counters as the sequential dict engine (see the module
     docstring).
     """
-    n_prop = arrays.n_proposers
-    n_rev = arrays.n_reviewers
-    indptr = arrays.proposer_indptr
-    pref = arrays.proposer_list
-    pref_rank = arrays.proposer_list_rank
+    current_partner, proposals, refusals = gale_shapley_rounds(
+        arrays.proposer_indptr,
+        arrays.proposer_list,
+        arrays.proposer_list_rank,
+        arrays.n_reviewers,
+    )
 
+    proposer_ids = arrays.proposer_ids
+    reviewer_ids = arrays.reviewer_ids
+    matched_reviewers = np.flatnonzero(current_partner != NO_PARTNER)
+    matched_proposers = current_partner[matched_reviewers]
+    matching = Matching(
+        {
+            int(proposer_ids[p]): int(reviewer_ids[r])
+            for p, r in zip(matched_proposers.tolist(), matched_reviewers.tolist())
+        }
+    )
+    if with_stats:
+        stats = DeferredAcceptanceStats(
+            proposals=proposals, refusals=refusals, matched_pairs=matching.size
+        )
+        return matching, stats
+    return matching
+
+
+def gale_shapley_rounds(
+    indptr: np.ndarray,
+    pref: np.ndarray,
+    pref_rank: np.ndarray,
+    n_reviewers: int,
+) -> tuple[np.ndarray, int, int]:
+    """The batched-round Gale–Shapley core over a raw proposer CSR.
+
+    ``indptr``/``pref`` is the proposer-side CSR (each segment in the
+    proposer's preference order); ``pref_rank[e]`` is the rank of the
+    edge's proposer inside the listed reviewer's own order.  Returns
+    ``(current_partner, proposals, refusals)`` where
+    ``current_partner[r]`` is the proposer *position* reviewer ``r``
+    holds (:data:`NO_PARTNER` for the dummy).  This is the entire array
+    engine minus id translation — shared between
+    :func:`deferred_acceptance_arrays` and the warm frame solver in
+    :mod:`repro.matching.warm_frame`, which is what makes the two
+    bit-identical in matching and counters on equal CSR input.
+    """
+    n_prop = len(indptr) - 1
     next_choice = indptr[:-1].copy()  # each cursor starts at its CSR segment
     ends = indptr[1:]
-    current_partner = np.full(n_rev, NO_PARTNER, dtype=np.int64)
+    current_partner = np.full(n_reviewers, NO_PARTNER, dtype=np.int64)
     # The dummy's rank: any listed entry beats it.
-    current_rank = np.full(n_rev, np.int64(UNRANKED), dtype=np.int64)
+    current_rank = np.full(n_reviewers, np.int64(UNRANKED), dtype=np.int64)
 
     proposals = 0
     refusals = 0
@@ -210,19 +250,4 @@ def deferred_acceptance_arrays(
         refusals += int(active.size - winners.size) + int(displaced.size)
         free = np.concatenate((active[~won], displaced))
 
-    proposer_ids = arrays.proposer_ids
-    reviewer_ids = arrays.reviewer_ids
-    matched_reviewers = np.flatnonzero(current_partner != NO_PARTNER)
-    matched_proposers = current_partner[matched_reviewers]
-    matching = Matching(
-        {
-            int(proposer_ids[p]): int(reviewer_ids[r])
-            for p, r in zip(matched_proposers.tolist(), matched_reviewers.tolist())
-        }
-    )
-    if with_stats:
-        stats = DeferredAcceptanceStats(
-            proposals=proposals, refusals=refusals, matched_pairs=matching.size
-        )
-        return matching, stats
-    return matching
+    return current_partner, proposals, refusals

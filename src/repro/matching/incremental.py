@@ -1,0 +1,637 @@
+"""Warm-start incremental matching across dispatch frames.
+
+Consecutive frames of the city simulation share most of their market:
+idle taxis that stayed idle have not moved, and queued requests are
+frozen facts.  This module turns that overlap into work savings at two
+layers, both proven bit-identical to the cold path.
+
+**1. Incremental preference construction.**  The key structural fact is
+a corollary of stability (the same blocking-pair argument behind the
+paper's Theorem 2): in any stable matching, an unmatched request and an
+unmatched taxi are never mutually acceptable — otherwise both prefer
+each other to their dummies and the pair blocks.  Between frames the
+matched pairs leave *together* (the taxi drives off with its
+passenger), so the entities that survive into the next frame are
+exactly the previously-unmatched ones — and among those, **no
+acceptable pair exists**.  The whole next frame's edge set therefore
+touches at least one *changed* entity:
+
+* edges from **newly idle taxis** (arrived at fresh positions) to every
+  current request, and
+* edges from **retained taxis** to **new requests**.
+
+:func:`incremental_nonsharing_arrays` computes only those two distance
+strips — O(churn · market) instead of O(market²) — and packs them
+through the same CSR tail (:func:`repro.matching.preferences.
+arrays_from_pairs`) as the cold builder, so the resulting
+:class:`~repro.matching.arrays.PreferenceArrays` is *structurally
+identical* to a cold rebuild, not merely equivalent.  Entities that
+violate the invariant's preconditions are simply reclassified as "new"
+and their strips recomputed: a taxi that moved (repositioning), a taxi
+or request whose id reappears after being matched, a request whose
+frozen fields changed.  Correctness never depends on trusting the
+caller's churn description — only on the previous matching having been
+stable for the previous frame, which the caller asserts by constructing
+:class:`WarmFrameState` from a stable matching.
+
+**2. Resumable deferred acceptance.**  :func:`resume_deferred_acceptance`
+re-runs Algorithm 1 from the previous frame's final state instead of
+from scratch.  A seeded state is safe to resume when it is *reachable*
+by some execution of Gale–Shapley on the new instance; by McVitie–Wilson
+order-independence, running any reachable state to quiescence yields the
+proposer-optimal matching.  The checked preconditions are:
+
+* a proposer removed while its holding reviewer stays would revert that
+  reviewer to its dummy and invalidate past refusals — rejected
+  (:class:`~repro.core.errors.WarmStartError`);
+* every retained proposer's *proposed prefix* must survive verbatim
+  (same surviving reviewers, same order, no new entries spliced in
+  before the cursor) — new reviewers behind the cursor are fine, the
+  proposer just resumes;
+* every retained reviewer's preference order restricted to retained
+  proposers must be unchanged, so past refusal justifications
+  (``rank(suitor) < rank(holder)``) survive the re-ranking caused by
+  entries appearing or disappearing elsewhere in its list.
+
+Counters of a resumed run cover only post-resume work — they are the
+one place warm and cold runs legitimately differ (the matching itself
+never does), which the property suite asserts.
+
+In the frame-sequence use the two layers compose degenerately: matched
+pairs depart, so the seed never carries a held pair and every surviving
+proposer's prefix survivor set is empty — the "resume" is a cold solve
+over a churn-sized market, which is exactly where the wall-clock goes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import PreferenceError, WarmStartError
+from repro.core.types import PassengerRequest, Taxi
+from repro.geometry.batch import oracle_paired, oracle_pairwise
+from repro.geometry.distance import DistanceOracle
+from repro.matching.arrays import NO_PARTNER, UNRANKED, PreferenceArrays
+from repro.matching.deferred_acceptance import DeferredAcceptanceStats
+from repro.matching.preferences import _checked_alphas, arrays_from_pairs
+from repro.matching.result import Matching
+
+__all__ = [
+    "FrameChurn",
+    "IncrementalBuildStats",
+    "WarmFrameState",
+    "WarmDAState",
+    "classify_frame_churn",
+    "incremental_nonsharing_arrays",
+    "deferred_acceptance_resumable",
+    "resume_deferred_acceptance",
+]
+
+#: Frozen identity of a taxi for churn classification: position, seats
+#: and the driver's fare coefficient — everything its preference rows
+#: depend on.  Any difference reclassifies the taxi as "new".
+_TaxiKey = tuple[float, float, int, float]
+
+#: Frozen identity of a request: pickup, dropoff and party size.
+_RequestKey = tuple[float, float, float, float, int]
+
+
+def _taxi_key(taxi: Taxi, alpha: float) -> _TaxiKey:
+    return (taxi.location.x, taxi.location.y, taxi.seats, alpha)
+
+
+def _request_key(request: PassengerRequest) -> _RequestKey:
+    return (
+        request.pickup.x,
+        request.pickup.y,
+        request.dropoff.x,
+        request.dropoff.y,
+        request.passengers,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FrameChurn:
+    """One frame's entity delta, as positions into the new sequences."""
+
+    retained_taxis: np.ndarray
+    new_taxis: np.ndarray
+    retained_requests: np.ndarray
+    new_requests: np.ndarray
+
+
+@dataclass(frozen=True, slots=True)
+class IncrementalBuildStats:
+    """Accounting for one incremental preference build.
+
+    ``pairs_scored`` counts the candidate pairs whose distances were
+    actually computed this frame; ``full_pairs`` is what a cold build
+    would have scored.  Their ratio is the frame's *rebuild fraction* —
+    1.0 means the warm build saved nothing, 0.0 means a fully static
+    frame.
+    """
+
+    n_taxis: int
+    n_requests: int
+    retained_taxis: int
+    retained_requests: int
+    pairs_scored: int
+    full_pairs: int
+
+    @property
+    def rebuild_fraction(self) -> float:
+        if self.full_pairs == 0:
+            return 0.0
+        return self.pairs_scored / self.full_pairs
+
+
+@dataclass(slots=True)
+class WarmDAState:
+    """Final deferred-acceptance state of one solved market.
+
+    ``proposed[p]`` is the number of proposals proposer ``p`` made
+    (its cursor, relative to its CSR segment); ``partner[r]`` the
+    proposer index reviewer ``r`` holds (:data:`~repro.matching.arrays.
+    NO_PARTNER` for the dummy).  Together with the arrays themselves
+    this is everything :func:`resume_deferred_acceptance` needs.
+    """
+
+    arrays: PreferenceArrays
+    proposed: np.ndarray
+    partner: np.ndarray
+
+
+@dataclass(slots=True)
+class WarmFrameState:
+    """What a warm-started dispatcher carries from one frame to the next.
+
+    Constructed from a frame's market and its **stable** matching; the
+    stability of that matching is the sole trust assumption of the
+    incremental builder (see the module docstring).  ``da_state`` is
+    optional — the builder only needs the keys and matched-id sets.
+    """
+
+    taxi_keys: dict[int, _TaxiKey]
+    request_keys: dict[int, _RequestKey]
+    matched_taxi_ids: frozenset[int]
+    matched_request_ids: frozenset[int]
+    da_state: WarmDAState | None = None
+
+    @classmethod
+    def from_frame(
+        cls,
+        taxis: Sequence[Taxi],
+        requests: Sequence[PassengerRequest],
+        matching: Matching,
+        *,
+        alphas: Mapping[int, float],
+        da_state: WarmDAState | None = None,
+    ) -> "WarmFrameState":
+        """Snapshot a solved frame.  ``matching`` maps request → taxi ids
+        and must be stable for the frame's market."""
+        return cls(
+            taxi_keys={t.taxi_id: _taxi_key(t, alphas[t.taxi_id]) for t in taxis},
+            request_keys={r.request_id: _request_key(r) for r in requests},
+            matched_taxi_ids=frozenset(t for _, t in matching.pairs),
+            matched_request_ids=frozenset(p for p, _ in matching.pairs),
+            da_state=da_state,
+        )
+
+
+def classify_frame_churn(
+    state: WarmFrameState,
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    *,
+    alphas: Mapping[int, float],
+) -> FrameChurn:
+    """Split the new frame's entities into retained and new.
+
+    *Retained* means: present in the previous frame, **unmatched** by
+    its stable matching, and bit-identical in every field the
+    preference model reads.  Everything else — new arrivals, moved
+    taxis, entities whose ids reappear after being matched — is "new"
+    and gets its distances recomputed, which keeps the no-retained-edges
+    invariant sound without trusting the caller's bookkeeping.
+    """
+    retained_t: list[int] = []
+    new_t: list[int] = []
+    for i, taxi in enumerate(taxis):
+        stored = state.taxi_keys.get(taxi.taxi_id)
+        if (
+            stored is not None
+            and taxi.taxi_id not in state.matched_taxi_ids
+            and stored == _taxi_key(taxi, alphas[taxi.taxi_id])
+        ):
+            retained_t.append(i)
+        else:
+            new_t.append(i)
+    retained_r: list[int] = []
+    new_r: list[int] = []
+    for j, request in enumerate(requests):
+        stored_r = state.request_keys.get(request.request_id)
+        if (
+            stored_r is not None
+            and request.request_id not in state.matched_request_ids
+            and stored_r == _request_key(request)
+        ):
+            retained_r.append(j)
+        else:
+            new_r.append(j)
+    return FrameChurn(
+        retained_taxis=np.array(retained_t, dtype=np.intp),
+        new_taxis=np.array(new_t, dtype=np.intp),
+        retained_requests=np.array(retained_r, dtype=np.intp),
+        new_requests=np.array(new_r, dtype=np.intp),
+    )
+
+
+def incremental_nonsharing_arrays(
+    state: WarmFrameState,
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig | None = None,
+    *,
+    alpha_by_taxi: Mapping[int, float] | None = None,
+    trip_km: np.ndarray | None = None,
+    churn: FrameChurn | None = None,
+) -> tuple[PreferenceArrays, IncrementalBuildStats]:
+    """The same market as :func:`~repro.matching.preferences.
+    build_nonsharing_arrays`, built from churn-sized distance strips.
+
+    Requires ``state`` to come from a **stable** matching of the
+    previous frame under the *same* oracle and config; under that
+    precondition the retained × retained block is provably empty (see
+    the module docstring) and the result is bit-identical to a cold
+    build.  ``trip_km`` optionally injects cached per-request trip
+    distances in request order, exactly as the cold builder accepts;
+    ``churn`` injects a classification the caller already computed
+    (it must be :func:`classify_frame_churn` of the same inputs).
+    """
+    config = config if config is not None else DispatchConfig()
+    alphas = _checked_alphas(taxis, requests, config, alpha_by_taxi)
+    if churn is None:
+        churn = classify_frame_churn(state, taxis, requests, alphas=alphas)
+
+    n_taxis, n_requests = len(taxis), len(requests)
+    if trip_km is not None:
+        trip = np.asarray(trip_km, dtype=np.float64)
+        if trip.shape != (n_requests,):
+            raise PreferenceError(f"trip_km has shape {trip.shape}, expected ({n_requests},)")
+    elif n_requests:
+        trip = oracle_paired(
+            oracle,
+            sources=[r.pickup for r in requests],
+            targets=[r.dropoff for r in requests],
+            exact=True,
+        )
+    else:
+        trip = np.empty(0, dtype=np.float64)
+
+    seats = np.array([t.seats for t in taxis], dtype=np.int64)
+    party = np.array([r.passengers for r in requests], dtype=np.int64)
+    alpha_arr = np.array([alphas[t.taxi_id] for t in taxis], dtype=np.float64)
+    pickups = [r.pickup for r in requests]
+
+    strips: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    # Strip A: newly idle taxis see every current request.
+    if len(churn.new_taxis) and n_requests:
+        matrix = oracle_pairwise(
+            oracle,
+            sources=[taxis[i].location for i in churn.new_taxis.tolist()],
+            targets=pickups,
+            exact=True,
+        )
+        ti_a = np.repeat(churn.new_taxis, n_requests)
+        rj_a = np.tile(np.arange(n_requests, dtype=np.intp), len(churn.new_taxis))
+        strips.append((ti_a, rj_a, matrix.ravel()))
+    # Strip B: retained taxis see only the new requests.
+    if len(churn.retained_taxis) and len(churn.new_requests):
+        matrix = oracle_pairwise(
+            oracle,
+            sources=[taxis[i].location for i in churn.retained_taxis.tolist()],
+            targets=[requests[j].pickup for j in churn.new_requests.tolist()],
+            exact=True,
+        )
+        ti_b = np.repeat(churn.retained_taxis, len(churn.new_requests))
+        rj_b = np.tile(churn.new_requests, len(churn.retained_taxis))
+        strips.append((ti_b, rj_b, matrix.ravel()))
+
+    if strips:
+        ti = np.concatenate([s[0] for s in strips])
+        rj = np.concatenate([s[1] for s in strips])
+        pick = np.concatenate([s[2] for s in strips]).astype(np.float64, copy=False)
+    else:
+        ti = np.empty(0, dtype=np.intp)
+        rj = np.empty(0, dtype=np.intp)
+        pick = np.empty(0, dtype=np.float64)
+
+    # Identical acceptability predicate to the cold pipeline: threshold
+    # first (rejects NaN too), then seats and the driver-side cut.
+    keep = np.flatnonzero(pick <= config.passenger_threshold_km)
+    ti, rj, pick = ti[keep], rj[keep], pick[keep]
+    driver = pick - alpha_arr[ti] * trip[rj]
+    ok = (
+        (party[rj] <= seats[ti])
+        & np.isfinite(pick)
+        & np.isfinite(driver)
+        & (driver <= config.taxi_threshold_km)
+    )
+    arrays = arrays_from_pairs(
+        taxis, requests, rj=rj[ok], ti=ti[ok], pick=pick[ok], driver=driver[ok]
+    )
+    pairs_scored = len(churn.new_taxis) * n_requests + len(churn.retained_taxis) * len(
+        churn.new_requests
+    )
+    stats = IncrementalBuildStats(
+        n_taxis=n_taxis,
+        n_requests=n_requests,
+        retained_taxis=len(churn.retained_taxis),
+        retained_requests=len(churn.retained_requests),
+        pairs_scored=pairs_scored,
+        full_pairs=n_taxis * n_requests,
+    )
+    return arrays, stats
+
+
+# -- resumable deferred acceptance ----------------------------------------
+
+
+def _run_rounds(
+    arrays: PreferenceArrays,
+    next_choice: np.ndarray,
+    current_partner: np.ndarray,
+    current_rank: np.ndarray,
+    free: np.ndarray,
+) -> tuple[int, int]:
+    """The batched proposal rounds of Algorithm 1, from any valid state.
+
+    Mutates the state arrays in place and returns the proposal/refusal
+    counters for the work performed *by this call* (a resumed run counts
+    only post-resume work).  The loop body is the same reduction as
+    :func:`~repro.matching.deferred_acceptance.deferred_acceptance_arrays`.
+    """
+    pref = arrays.proposer_list
+    pref_rank = arrays.proposer_list_rank
+    ends = arrays.proposer_indptr[1:]
+
+    proposals = 0
+    refusals = 0
+    while free.size:
+        active = free[next_choice[free] < ends[free]]
+        if active.size == 0:
+            break
+        edges = next_choice[active]
+        reviewers = pref[edges].astype(np.int64)
+        ranks = pref_rank[edges].astype(np.int64)
+        next_choice[active] += 1
+        proposals += int(active.size)
+        np.minimum.at(current_rank, reviewers, ranks)
+        won = ranks == current_rank[reviewers]
+        winners = active[won]
+        win_reviewers = reviewers[won]
+        holders = current_partner[win_reviewers]
+        displaced = holders[holders != NO_PARTNER]
+        current_partner[win_reviewers] = winners
+        refusals += int(active.size - winners.size) + int(displaced.size)
+        free = np.concatenate((active[~won], displaced))
+    return proposals, refusals
+
+
+def _matching_from_partner(arrays: PreferenceArrays, current_partner: np.ndarray) -> Matching:
+    matched_reviewers = np.flatnonzero(current_partner != NO_PARTNER)
+    matched_proposers = current_partner[matched_reviewers]
+    return Matching(
+        {
+            int(arrays.proposer_ids[p]): int(arrays.reviewer_ids[r])
+            for p, r in zip(matched_proposers.tolist(), matched_reviewers.tolist())
+        }
+    )
+
+
+def deferred_acceptance_resumable(
+    arrays: PreferenceArrays,
+) -> tuple[Matching, DeferredAcceptanceStats, WarmDAState]:
+    """A cold Algorithm-1 solve that also returns its final state.
+
+    The matching and counters are bit-identical to
+    :func:`~repro.matching.deferred_acceptance.deferred_acceptance_arrays`;
+    the extra :class:`WarmDAState` seeds a later
+    :func:`resume_deferred_acceptance` on a changed instance.
+    """
+    indptr = arrays.proposer_indptr
+    next_choice = indptr[:-1].copy()
+    current_partner = np.full(arrays.n_reviewers, NO_PARTNER, dtype=np.int64)
+    current_rank = np.full(arrays.n_reviewers, np.int64(UNRANKED), dtype=np.int64)
+    free = np.arange(arrays.n_proposers, dtype=np.int64)
+    proposals, refusals = _run_rounds(arrays, next_choice, current_partner, current_rank, free)
+    matching = _matching_from_partner(arrays, current_partner)
+    stats = DeferredAcceptanceStats(
+        proposals=proposals, refusals=refusals, matched_pairs=matching.size
+    )
+    state = WarmDAState(
+        arrays=arrays,
+        proposed=next_choice - indptr[:-1],
+        partner=current_partner,
+    )
+    return matching, stats, state
+
+
+def _segment_within(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` concatenated — offsets within segments."""
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(counts.sum())
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def resume_deferred_acceptance(
+    state: WarmDAState,
+    arrays: PreferenceArrays,
+    *,
+    retained_proposer_ids: "frozenset[int] | set[int] | None" = None,
+    retained_reviewer_ids: "frozenset[int] | set[int] | None" = None,
+) -> tuple[Matching, DeferredAcceptanceStats, WarmDAState]:
+    """Resume Algorithm 1 on a changed instance from a previous solution.
+
+    Validates that the carried state is *reachable* on ``arrays`` (see
+    the module docstring for the precondition list) and then runs the
+    proposal rounds to quiescence.  The returned matching is the
+    proposer-optimal stable matching of ``arrays`` — bit-identical to a
+    cold solve — while the counters cover only the resumed work.
+
+    By default an entity in both instances with the same id is treated
+    as the *same* entity.  ``retained_proposer_ids`` /
+    ``retained_reviewer_ids`` restrict that identity: an id outside the
+    set is treated as a departed entity whose new appearance is a brand
+    new participant (the frame pipeline passes the churn
+    classification's retained sets here, so a taxi that finished a trip
+    within one frame and re-idles under its old id is correctly a new
+    reviewer, not a stale holder).  Soundness never depends on these
+    sets being right — a misclassified entity trips the prefix or
+    reviewer-order precondition instead of corrupting the result.
+
+    Raises
+    ------
+    WarmStartError
+        When a precondition fails; the caller should fall back to a
+        cold solve.  ``reason`` tags the failing rule for telemetry.
+    """
+    old = state.arrays
+
+    old_pid = old.proposer_ids
+    old_rid = old.reviewer_ids
+    new_p_index = {int(pid): p for p, pid in enumerate(arrays.proposer_ids)}
+    new_r_index = {int(rid): r for r, rid in enumerate(arrays.reviewer_ids)}
+
+    # Old-index → new-index maps (-1 for departed entities).
+    p_map = np.array(
+        [
+            new_p_index.get(int(pid), -1)
+            if retained_proposer_ids is None or int(pid) in retained_proposer_ids
+            else -1
+            for pid in old_pid
+        ],
+        dtype=np.int64,
+    )
+    r_map = np.array(
+        [
+            new_r_index.get(int(rid), -1)
+            if retained_reviewer_ids is None or int(rid) in retained_reviewer_ids
+            else -1
+            for rid in old_rid
+        ],
+        dtype=np.int64,
+    )
+
+    # Rule 1: a held proposer may not vanish while its reviewer stays —
+    # the reviewer would revert to its dummy and past refusals at it
+    # would lose their justification.
+    held = state.partner  # (R_old,) proposer old-index or NO_PARTNER
+    for r_old in np.flatnonzero(held != NO_PARTNER).tolist():
+        if r_map[r_old] >= 0 and p_map[held[r_old]] < 0:
+            raise WarmStartError(
+                f"held proposer {int(old_pid[held[r_old]])} removed while reviewer "
+                f"{int(old_rid[r_old])} remains",
+                reason="holder-removed",
+            )
+
+    # Rule 2: every retained proposer's proposed prefix must survive
+    # verbatim — surviving reviewers in the same order, nothing spliced
+    # in before the cursor.
+    retained_p = np.flatnonzero(p_map >= 0)
+    n_old_edges = len(old.proposer_list)
+    if n_old_edges:
+        old_owner = np.repeat(
+            np.arange(old.n_proposers, dtype=np.int64), np.diff(old.proposer_indptr)
+        )
+        edge_within = np.arange(n_old_edges, dtype=np.int64) - old.proposer_indptr[old_owner]
+        in_prefix = edge_within < state.proposed[old_owner]
+    else:
+        old_owner = np.empty(0, dtype=np.int64)
+        in_prefix = np.empty(0, dtype=bool)
+    retained_mask = p_map[old_owner] >= 0 if n_old_edges else np.empty(0, dtype=bool)
+    survives = (r_map[old.proposer_list] >= 0) if n_old_edges else np.empty(0, dtype=bool)
+    prefix_mask = in_prefix & retained_mask & survives
+    # Survivor prefix entries, CSR-ordered, mapped to new reviewer indices.
+    expected = r_map[old.proposer_list[prefix_mask]]
+    counts_old = np.bincount(old_owner[prefix_mask], minlength=old.n_proposers)
+    counts_sel = counts_old[retained_p]
+    p_new = p_map[retained_p]
+    new_seg_len = (arrays.proposer_indptr[1:] - arrays.proposer_indptr[:-1])[p_new]
+    if np.any(counts_sel > new_seg_len):
+        raise WarmStartError(
+            "a retained proposer's proposed prefix shrank below its survivor count",
+            reason="prefix-changed",
+        )
+    take = np.repeat(arrays.proposer_indptr[:-1][p_new], counts_sel) + _segment_within(
+        counts_sel
+    )
+    actual = arrays.proposer_list[take.astype(np.int64)].astype(np.int64)
+    if not np.array_equal(expected, actual):
+        raise WarmStartError(
+            "a retained proposer's proposed prefix changed (new or reordered "
+            "entries under the cursor)",
+            reason="prefix-changed",
+        )
+
+    # Rule 3: each retained reviewer's order over retained proposers is
+    # unchanged, so past refusal justifications survive re-ranking.
+    retained_r = np.flatnonzero(r_map >= 0)
+    if n_old_edges:
+        old_r_owner = np.repeat(
+            np.arange(old.n_reviewers, dtype=np.int64), np.diff(old.reviewer_indptr)
+        )
+        mask_old = (r_map[old_r_owner] >= 0) & (p_map[old.reviewer_list] >= 0)
+        old_filtered = p_map[old.reviewer_list[mask_old]]
+        old_groups = r_map[old_r_owner[mask_old]]
+    else:
+        old_filtered = np.empty(0, dtype=np.int64)
+        old_groups = np.empty(0, dtype=np.int64)
+    n_new_edges = len(arrays.reviewer_list)
+    if n_new_edges:
+        new_r_owner = np.repeat(
+            np.arange(arrays.n_reviewers, dtype=np.int64), np.diff(arrays.reviewer_indptr)
+        )
+        # Membership flags in *new* coordinates, derived from the same
+        # maps as the old side so both sides agree on who is retained.
+        new_p_retained = np.zeros(arrays.n_proposers, dtype=bool)
+        new_p_retained[p_map[retained_p]] = True
+        new_r_retained = np.zeros(arrays.n_reviewers, dtype=bool)
+        new_r_retained[r_map[retained_r]] = True
+        mask_new = new_p_retained[arrays.reviewer_list] & new_r_retained[new_r_owner]
+        new_filtered = arrays.reviewer_list[mask_new].astype(np.int64)
+        new_groups = new_r_owner[mask_new]
+    else:
+        new_filtered = np.empty(0, dtype=np.int64)
+        new_groups = np.empty(0, dtype=np.int64)
+    if not (
+        np.array_equal(old_filtered, new_filtered) and np.array_equal(old_groups, new_groups)
+    ):
+        raise WarmStartError(
+            "a retained reviewer's order over retained proposers changed",
+            reason="reviewer-order-changed",
+        )
+
+    # Seed the state in new coordinates.
+    next_choice = arrays.proposer_indptr[:-1].copy()
+    next_choice[p_new] += counts_sel
+    current_partner = np.full(arrays.n_reviewers, NO_PARTNER, dtype=np.int64)
+    current_rank = np.full(arrays.n_reviewers, np.int64(UNRANKED), dtype=np.int64)
+    for r_old in np.flatnonzero(held != NO_PARTNER).tolist():
+        r_new = int(r_map[r_old])
+        if r_new < 0:
+            continue  # reviewer departed: its holder resumes from its cursor
+        p_held = int(p_map[held[r_old]])
+        rank = int(arrays.reviewer_rank[r_new, p_held])
+        if rank == UNRANKED:
+            raise WarmStartError(
+                f"held edge ({int(old_pid[held[r_old]])}, {int(old_rid[r_old])}) "
+                "is no longer acceptable",
+                reason="held-edge-removed",
+            )
+        current_partner[r_new] = p_held
+        current_rank[r_new] = rank
+
+    held_proposers = set(current_partner[current_partner != NO_PARTNER].tolist())
+    free = np.array(
+        [p for p in range(arrays.n_proposers) if p not in held_proposers],
+        dtype=np.int64,
+    )
+    proposals, refusals = _run_rounds(arrays, next_choice, current_partner, current_rank, free)
+    matching = _matching_from_partner(arrays, current_partner)
+    stats = DeferredAcceptanceStats(
+        proposals=proposals, refusals=refusals, matched_pairs=matching.size
+    )
+    new_state = WarmDAState(
+        arrays=arrays,
+        proposed=next_choice - arrays.proposer_indptr[:-1],
+        partner=current_partner,
+    )
+    return matching, stats, new_state

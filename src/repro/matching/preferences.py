@@ -76,6 +76,7 @@ __all__ = [
     "build_nonsharing_table",
     "build_nonsharing_table_reference",
     "build_nonsharing_arrays",
+    "arrays_from_pairs",
     "passenger_score",
     "taxi_score",
 ]
@@ -321,7 +322,7 @@ def build_nonsharing_arrays(
     :func:`build_nonsharing_table`; ``engine="scalar"`` routes through
     the dict reference and packs it (the oracle path for tests).
     """
-    from repro.matching.arrays import PreferenceArrays, UNRANKED  # deferred: avoids cycle
+    from repro.matching.arrays import PreferenceArrays  # deferred: avoids cycle
 
     config = config if config is not None else DispatchConfig()
     alphas = _checked_alphas(taxis, requests, config, alpha_by_taxi)
@@ -332,6 +333,30 @@ def build_nonsharing_arrays(
     rj, ti, pick, driver = _vectorized_pairs_dispatch(
         taxis, requests, oracle, config, alphas, engine, pickup_matrix, trip_km
     )
+    return arrays_from_pairs(taxis, requests, rj=rj, ti=ti, pick=pick, driver=driver)
+
+
+def arrays_from_pairs(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    *,
+    rj: np.ndarray,
+    ti: np.ndarray,
+    pick: np.ndarray,
+    driver: np.ndarray,
+) -> "PreferenceArrays":
+    """Pack flat acceptable-pair arrays into :class:`PreferenceArrays`.
+
+    ``rj`` / ``ti`` are request/taxi *positions* into the given
+    sequences, ``pick`` / ``driver`` the two scores, in any order.  This
+    is the shared CSR tail of :func:`build_nonsharing_arrays` and the
+    incremental frame builder in :mod:`repro.matching.incremental`: both
+    produce their edge lists differently but rank and pack them through
+    this one function, which is what makes the incremental path
+    bit-identical to the cold one (same lexsort keys, same tie-breaks,
+    same dense-matrix scatters).
+    """
+    from repro.matching.arrays import PreferenceArrays, UNRANKED  # deferred: avoids cycle
 
     n_requests, n_taxis = len(requests), len(taxis)
     request_ids = np.array([r.request_id for r in requests], dtype=np.int64)

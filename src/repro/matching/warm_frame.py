@@ -1,0 +1,569 @@
+"""The engine's warm frame solver: churn strips, lean CSR, shared GS rounds.
+
+This is the degenerate-resume specialization of the incremental
+machinery in :mod:`repro.matching.incremental`, fused into one
+allocation-lean path for the simulation engine's frame cadence.  Two
+facts about the engine make the specialization exact:
+
+**Stability theorem (edge turnover).**  In a stable matching with
+dummies, an unmatched proposer and an unmatched reviewer cannot be
+mutually acceptable — they would form a blocking pair (both prefer any
+listed partner to the dummy).  The engine departs every matched pair
+together (the taxi drives off with its passenger), so the entities two
+consecutive frames share are exactly the *unmatched* ones, and none of
+them moved.  Hence the retained × retained block of the new frame
+contains **no acceptable pair**, and the new frame's entire edge set
+lives on two churn strips: ``new taxis × all requests`` and
+``retained taxis × new requests``.
+
+**Degeneracy lemma (resume ≡ cold).**  At termination of deferred
+acceptance, an unmatched proposer has exhausted its acceptable list and
+every reviewer on it holds someone (a reviewer refuses only while
+holding a suitor it prefers) — so all of them matched and departed.  An
+unmatched reviewer never received a proposal.  Resuming the previous
+frame's solver state on the new instance therefore starts with every
+cursor at the top of an entirely fresh preference row, no held pairs,
+and every proposer free: the resume *is* a cold Gale–Shapley run on the
+new arrays.  (:func:`repro.matching.incremental.resume_deferred_acceptance`
+proves the general case and validates these preconditions one by one;
+here they hold by construction, so the solve skips straight to
+:func:`~repro.matching.deferred_acceptance.gale_shapley_rounds`.)
+
+What the warm path then actually saves per frame:
+
+* the full ``taxis × requests`` pickup kernel and acceptability masks —
+  only the churn strips are scored;
+* the dense rank matrices and reviewer-side CSR of
+  :class:`~repro.matching.arrays.PreferenceArrays` — stability *audit*
+  structure the frame solve never reads.  The lean pack keeps only what
+  :func:`~repro.matching.deferred_acceptance.gale_shapley_rounds`
+  consumes (proposer CSR + per-edge cross ranks), built with the **same
+  lexsort keys** as :func:`~repro.matching.preferences.arrays_from_pairs`
+  (keys are unique, so the order is total and input-order independent —
+  the CSR content is bit-identical to the cold pack's);
+* every per-frame Python attribute walk over the queue: pickup
+  coordinates, party sizes and trip distances of *retained* requests are
+  carried across frames as aligned NumPy arrays in
+  :class:`FrameSolveState`, so per-frame Python-object work is
+  proportional to the churn, not the queue.
+
+Entity identity is what makes misclassification impossible rather than
+merely unlikely: an entity is *retained* only if the **same live
+object** (CPython address, kept alive by the state holding a reference)
+is presented again.  The engine re-presents queued request objects
+verbatim, and its taxi agents memoize their snapshot on the location
+object, so an unmoved idle taxi presents the same frozen ``Taxi`` each
+frame.  Both entity types are frozen dataclasses, so a held address
+proves every field is unchanged.  The check only ever errs toward
+*new*, which is always sound: a caller that rebuilds equal objects each
+frame merely reclassifies them as new and rebuilds their strip rows,
+while the acceptability masks discard the retained × retained entries
+the theorem proves empty.
+
+Any violated precondition raises
+:class:`~repro.core.errors.WarmStartError`; the dispatcher redoes the
+frame cold (and re-seeds), so a warm run can never produce a frame the
+cold path would not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import WarmStartError
+from repro.core.types import PassengerRequest, Taxi
+from repro.geometry.batch import (
+    as_point_array,
+    batch_kernels_exact,
+    oracle_paired,
+    oracle_pairwise,
+)
+from repro.geometry.distance import DistanceOracle
+from repro.geometry.point import Point
+from repro.matching.arrays import NO_PARTNER
+from repro.matching.deferred_acceptance import gale_shapley_rounds
+from repro.matching.incremental import IncrementalBuildStats
+from repro.matching.result import Matching
+
+__all__ = [
+    "FrameSolveState",
+    "frame_state_from_cold",
+    "request_trips",
+    "warm_frame_solve",
+]
+
+
+@dataclass(slots=True)
+class FrameSolveState:
+    """Frame-to-frame solver state carried by a warm-started dispatcher.
+
+    All request-side arrays are aligned with the previous frame's queue
+    order and all taxi-side arrays with the previous frame's fleet
+    order.  ``req_objs`` / ``taxi_objs`` pin the frame's objects alive
+    so the CPython addresses in the sorted address arrays stay
+    unambiguous: a *new* object in the next frame can never alias a
+    held address.  The matched-address arrays record which entities
+    departed with the previous matching — the other half of the
+    retained test.
+    """
+
+    req_ids: np.ndarray
+    """``(R,)`` int64 request ids, in the previous frame's queue order."""
+    req_addr_sorted: np.ndarray
+    """``(R,)`` uint64 object addresses, sorted for membership tests."""
+    req_addr_rows: np.ndarray
+    """``(R,)`` intp rows of ``req_addr_sorted`` back into queue order."""
+    req_objs: list[PassengerRequest]
+    """The previous queue, pinned so addresses stay live and unique."""
+    pick_xy: np.ndarray
+    """``(R, 2)`` float64 pickup coordinates."""
+    party: np.ndarray
+    """``(R,)`` int64 passenger counts."""
+    trip: np.ndarray
+    """``(R,)`` float64 pickup→dropoff distances."""
+    matched_req_addr: np.ndarray
+    """Sorted uint64 addresses of the request objects matched last frame."""
+    taxi_ids: np.ndarray
+    """``(T,)`` int64 taxi ids, in the previous frame's fleet order."""
+    taxi_addr_sorted: np.ndarray
+    """``(T,)`` uint64 snapshot addresses, sorted for membership tests."""
+    taxi_addr_rows: np.ndarray
+    """``(T,)`` intp rows of ``taxi_addr_sorted`` back into fleet order."""
+    taxi_objs: list[Taxi]
+    """The previous idle fleet, pinned so addresses stay live and unique."""
+    taxi_xy: np.ndarray
+    """``(T, 2)`` float64 taxi locations, in fleet order."""
+    taxi_seats: np.ndarray
+    """``(T,)`` int64 seat counts, in fleet order."""
+    matched_taxi_addr: np.ndarray
+    """Sorted uint64 addresses of the taxi objects matched last frame."""
+
+
+def request_trips(
+    requests: Sequence[PassengerRequest], oracle: DistanceOracle
+) -> np.ndarray:
+    """Per-request pickup→dropoff distances, bit-identical to the scalar
+    oracle (the same exactness contract the frame cache relies on)."""
+    if not requests:
+        return np.empty(0, dtype=np.float64)
+    if batch_kernels_exact(oracle):
+        return np.asarray(
+            oracle.paired(
+                sources=as_point_array([r.pickup for r in requests]),
+                targets=as_point_array([r.dropoff for r in requests]),
+            ),
+            dtype=np.float64,
+        )
+    return oracle_paired(
+        oracle,
+        sources=[r.pickup for r in requests],
+        targets=[r.dropoff for r in requests],
+        exact=True,
+    )
+
+
+def _pickup_strip(
+    oracle: DistanceOracle,
+    taxi_xy: np.ndarray,
+    taxi_points: Callable[[], list[Point]],
+    pick_xy: np.ndarray,
+    pick_points: Callable[[], list[Point]],
+) -> np.ndarray:
+    """``D(taxi, pickup)`` over one churn strip, exact-kernel fast path.
+
+    The point lists are thunks: on the exact-kernel path (every built-in
+    oracle the engine runs) the packed coordinate arrays feed the kernel
+    directly and no per-entity Python loop runs at all.
+    """
+    if batch_kernels_exact(oracle):
+        return np.asarray(oracle.pairwise(sources=taxi_xy, targets=pick_xy), dtype=np.float64)
+    return oracle_pairwise(oracle, sources=taxi_points(), targets=pick_points(), exact=True)
+
+
+def _sorted_member_rows(sorted_keys: np.ndarray, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(found_mask, positions)`` of each key inside a sorted key array."""
+    if sorted_keys.size == 0:
+        return np.zeros(len(keys), dtype=bool), np.zeros(len(keys), dtype=np.intp)
+    pos = np.searchsorted(sorted_keys, keys)
+    pos = np.minimum(pos, sorted_keys.size - 1)
+    return sorted_keys[pos] == keys, pos
+
+
+def _taxi_alpha(
+    taxi_ids: np.ndarray,
+    config: DispatchConfig,
+    alpha_by_taxi: Mapping[int, float] | None,
+) -> np.ndarray:
+    if alpha_by_taxi is None:
+        alpha = np.full(len(taxi_ids), float(config.alpha), dtype=np.float64)
+    else:
+        alpha = np.array(
+            [float(alpha_by_taxi.get(int(t), config.alpha)) for t in taxi_ids.tolist()],
+            dtype=np.float64,
+        )
+    if bool(np.any(alpha < 0.0)):
+        # Surface the canonical PreferenceError via the cold fallback.
+        raise WarmStartError("negative alpha in frame", reason="bad-alpha")
+    return alpha
+
+
+def _addrs_of(objs: Sequence[object]) -> np.ndarray:
+    """CPython addresses of ``objs`` (``map`` keeps the loop in C)."""
+    return np.fromiter(map(id, objs), dtype=np.uint64, count=len(objs))
+
+
+def _matched_addrs(addrs: np.ndarray, ids: np.ndarray, matched_ids: Iterable[int]) -> np.ndarray:
+    """Sorted addresses of the entities whose ids were matched.
+
+    ``ids`` is the frame-order id array (unique — the solve validated
+    it); the matched ids are resolved to rows through one sorted index.
+    """
+    matched = np.fromiter(map(int, matched_ids), dtype=np.int64)
+    if matched.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    order = np.argsort(ids, kind="stable")
+    rows = order[np.searchsorted(ids[order], matched)]
+    return np.sort(addrs[rows])
+
+
+def frame_state_from_cold(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    matching: Matching,
+    *,
+    trip: np.ndarray,
+) -> FrameSolveState:
+    """Seed warm state from a cold frame's inputs and solved matching.
+
+    ``matching`` maps request id → taxi id (both NSTD orientations after
+    the dispatcher's flip); ``trip`` is the frame's per-request trip
+    vector in queue order (the cold path computes it anyway).
+    """
+    req_ids = np.fromiter(
+        (r.request_id for r in requests), dtype=np.int64, count=len(requests)
+    )
+    req_addrs = _addrs_of(requests)
+    req_addr_rows = np.argsort(req_addrs).astype(np.intp, copy=False)
+    taxi_ids = np.fromiter((t.taxi_id for t in taxis), dtype=np.int64, count=len(taxis))
+    taxi_addrs = _addrs_of(taxis)
+    taxi_addr_rows = np.argsort(taxi_addrs).astype(np.intp, copy=False)
+    return FrameSolveState(
+        req_ids=req_ids,
+        req_addr_sorted=req_addrs[req_addr_rows],
+        req_addr_rows=req_addr_rows,
+        req_objs=list(requests),
+        pick_xy=as_point_array([r.pickup for r in requests]),
+        party=np.fromiter((r.passengers for r in requests), dtype=np.int64, count=len(requests)),
+        trip=np.asarray(trip, dtype=np.float64),
+        matched_req_addr=_matched_addrs(req_addrs, req_ids, (p for p, _ in matching.pairs)),
+        taxi_ids=taxi_ids,
+        taxi_addr_sorted=taxi_addrs[taxi_addr_rows],
+        taxi_addr_rows=taxi_addr_rows,
+        taxi_objs=list(taxis),
+        taxi_xy=as_point_array([t.location for t in taxis]),
+        taxi_seats=np.fromiter((t.seats for t in taxis), dtype=np.int64, count=len(taxis)),
+        matched_taxi_addr=_matched_addrs(
+            taxi_addrs, taxi_ids, (t for _, t in matching.pairs)
+        ),
+    )
+
+
+def warm_frame_solve(
+    state: FrameSolveState,
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig,
+    *,
+    optimize_for: str = "passenger",
+    alpha_by_taxi: Mapping[int, float] | None = None,
+    on_new_trips: Callable[[np.ndarray, np.ndarray], None] | None = None,
+) -> tuple[Matching, tuple[np.ndarray, np.ndarray], IncrementalBuildStats, FrameSolveState]:
+    """Solve one frame warm: strip scoring, lean pack, shared GS rounds.
+
+    Returns the frame's stable matching (request id → taxi id, already
+    in NSTD orientation for both ``optimize_for`` modes), the matched
+    ``(taxi_rows, request_rows)`` pairs as positions into the given
+    sequences sorted by request id (so a caller can build a schedule
+    without re-keying either side by id), build stats for telemetry,
+    and the state seeding the next frame.  Bit-identical to the cold
+    array path on the same inputs — see the module docstring for the
+    two lemmas this rests on.
+
+    ``on_new_trips`` is called once per frame with the ids and trip
+    distances of the *new* requests (the only trips computed this
+    frame); the dispatcher uses it to keep the engine's request-keyed
+    trip memo primed exactly as the cold path's bulk computation does.
+    """
+    n_requests = len(requests)
+    n_taxis = len(taxis)
+
+    # -- classify churn (vectorized; errs only toward "new") ---------------
+    # One Python pass per side: object addresses only.  Every other
+    # per-entity fact (id, coordinates, party, seats, trip) is either
+    # carried in the state for retained rows or extracted just for the
+    # new ones.  A matched entity departed with its partner; if its
+    # (pinned, frozen) object were ever re-presented, treat it as new.
+    addrs = _addrs_of(requests)
+    ret_r, addr_pos = _sorted_member_rows(state.req_addr_sorted, addrs)
+    prev_rows = state.req_addr_rows[addr_pos]
+    if state.matched_req_addr.size and bool(np.any(ret_r)):
+        held_over, _ = _sorted_member_rows(state.matched_req_addr, addrs)
+        ret_r &= ~held_over
+
+    taxi_addrs = _addrs_of(taxis)
+    ret_t, taxi_pos = _sorted_member_rows(state.taxi_addr_sorted, taxi_addrs)
+    prev_t_rows = state.taxi_addr_rows[taxi_pos]
+    if state.matched_taxi_addr.size and bool(np.any(ret_t)):
+        departed, _ = _sorted_member_rows(state.matched_taxi_addr, taxi_addrs)
+        ret_t &= ~departed
+
+    new_r_rows = np.flatnonzero(~ret_r)
+    ret_r_rows = np.flatnonzero(ret_r)
+    new_t_rows = np.flatnonzero(~ret_t)
+    ret_t_rows = np.flatnonzero(ret_t)
+
+    # -- entity stores: gather retained rows, extract only the new ones ----
+    taxi_ids = np.empty(n_taxis, dtype=np.int64)
+    taxi_xy = np.empty((n_taxis, 2), dtype=np.float64)
+    seats = np.empty(n_taxis, dtype=np.int64)
+    if ret_t_rows.size:
+        src_t = prev_t_rows[ret_t_rows]
+        taxi_ids[ret_t_rows] = state.taxi_ids[src_t]
+        taxi_xy[ret_t_rows] = state.taxi_xy[src_t]
+        seats[ret_t_rows] = state.taxi_seats[src_t]
+    new_taxis = [taxis[i] for i in new_t_rows.tolist()]
+    if new_taxis:
+        taxi_ids[new_t_rows] = np.fromiter(
+            (t.taxi_id for t in new_taxis), dtype=np.int64, count=len(new_taxis)
+        )
+        taxi_xy[new_t_rows] = as_point_array([t.location for t in new_taxis])
+        seats[new_t_rows] = np.fromiter(
+            (t.seats for t in new_taxis), dtype=np.int64, count=len(new_taxis)
+        )
+    # The engine presents both sides in ascending id order, making the
+    # uniqueness checks one vectorized comparison each; the general path
+    # (unsorted but unique is fine) only runs on hand-built frames.
+    taxi_ids_ascending = n_taxis < 2 or bool(np.all(taxi_ids[1:] > taxi_ids[:-1]))
+    if not taxi_ids_ascending and np.unique(taxi_ids).size != n_taxis:
+        raise WarmStartError("duplicate taxi ids in frame", reason="duplicate-ids")
+    alpha = _taxi_alpha(taxi_ids, config, alpha_by_taxi)
+
+    req_ids = np.empty(n_requests, dtype=np.int64)
+    pick_xy = np.empty((n_requests, 2), dtype=np.float64)
+    party = np.empty(n_requests, dtype=np.int64)
+    trip = np.empty(n_requests, dtype=np.float64)
+    if ret_r_rows.size:
+        src = prev_rows[ret_r_rows]
+        req_ids[ret_r_rows] = state.req_ids[src]
+        pick_xy[ret_r_rows] = state.pick_xy[src]
+        party[ret_r_rows] = state.party[src]
+        trip[ret_r_rows] = state.trip[src]
+    new_requests = [requests[j] for j in new_r_rows.tolist()]
+    if new_requests:
+        req_ids[new_r_rows] = np.fromiter(
+            (r.request_id for r in new_requests), dtype=np.int64, count=len(new_requests)
+        )
+        pick_xy[new_r_rows] = as_point_array([r.pickup for r in new_requests])
+        party[new_r_rows] = np.fromiter(
+            (r.passengers for r in new_requests), dtype=np.int64, count=len(new_requests)
+        )
+        new_trips = request_trips(new_requests, oracle)
+        trip[new_r_rows] = new_trips
+        if on_new_trips is not None:
+            on_new_trips(req_ids[new_r_rows], new_trips)
+    req_ids_ascending = n_requests < 2 or bool(np.all(req_ids[1:] > req_ids[:-1]))
+    if not req_ids_ascending and np.unique(req_ids).size != n_requests:
+        raise WarmStartError("duplicate request ids in frame", reason="duplicate-ids")
+
+    # -- churn strips: the frame's entire edge set --------------------------
+    # Strip A: new taxis × all requests.  Strip B: retained taxis × new
+    # requests.  Retained × retained is empty by the stability theorem.
+    # Every acceptability condition is applied while the scores are
+    # still dense matrices: the driver-side threshold rejects the large
+    # majority of in-range pairs, so fusing the masks here means the
+    # edge lists below are only ever materialized at their final size.
+    # The surviving edge *set* and its row-major order are exactly what
+    # the cold pipeline's staged filtering produces, and the driver
+    # scores are computed by the same elementwise IEEE operations.
+    strip_ti: list[np.ndarray] = []
+    strip_rj: list[np.ndarray] = []
+    strip_pick: list[np.ndarray] = []
+    strip_driver: list[np.ndarray] = []
+    theta = config.passenger_threshold_km
+    tau = config.taxi_threshold_km
+    if new_t_rows.size and n_requests:
+        pick_a = _pickup_strip(
+            oracle,
+            taxi_xy[new_t_rows],
+            lambda: [taxis[i].location for i in new_t_rows.tolist()],
+            pick_xy,
+            lambda: [r.pickup for r in requests],
+        )
+        driver_a = pick_a - alpha[new_t_rows, None] * trip[None, :]
+        ok = pick_a <= theta
+        ok &= party[None, :] <= seats[new_t_rows, None]
+        ok &= np.isfinite(pick_a)
+        ok &= np.isfinite(driver_a)
+        ok &= driver_a <= tau
+        flat = np.flatnonzero(ok)
+        local_ti, rj_a = np.divmod(flat, n_requests)
+        strip_ti.append(new_t_rows[local_ti])
+        strip_rj.append(rj_a)
+        strip_pick.append(pick_a.ravel()[flat])
+        strip_driver.append(driver_a.ravel()[flat])
+    if ret_t_rows.size and new_r_rows.size:
+        pick_b = _pickup_strip(
+            oracle,
+            taxi_xy[ret_t_rows],
+            lambda: [taxis[i].location for i in ret_t_rows.tolist()],
+            pick_xy[new_r_rows],
+            lambda: [r.pickup for r in new_requests],
+        )
+        driver_b = pick_b - alpha[ret_t_rows, None] * trip[new_r_rows][None, :]
+        ok = pick_b <= theta
+        ok &= party[new_r_rows][None, :] <= seats[ret_t_rows, None]
+        ok &= np.isfinite(pick_b)
+        ok &= np.isfinite(driver_b)
+        ok &= driver_b <= tau
+        flat = np.flatnonzero(ok)
+        local_ti, local_rj = np.divmod(flat, new_r_rows.size)
+        strip_ti.append(ret_t_rows[local_ti])
+        strip_rj.append(new_r_rows[local_rj])
+        strip_pick.append(pick_b.ravel()[flat])
+        strip_driver.append(driver_b.ravel()[flat])
+
+    if strip_ti:
+        ti = np.concatenate(strip_ti)
+        rj = np.concatenate(strip_rj)
+        pick = np.concatenate(strip_pick)
+        driver = np.concatenate(strip_driver)
+    else:
+        ti = np.empty(0, dtype=np.intp)
+        rj = np.empty(0, dtype=np.intp)
+        pick = np.empty(0, dtype=np.float64)
+        driver = np.empty(0, dtype=np.float64)
+    n_edges = len(rj)
+
+    # -- lean pack: cold-identical lexsort keys, CSR only -------------------
+    # The cold pack orders edges with ``np.lexsort`` on keys that are
+    # *total* (a (taxi, request) pair appears once, so the tertiary id
+    # key always resolves): proposer lists by ``(rj_id, pick, ti_id)``,
+    # reviewer lists by ``(ti_id, driver, rj_id)``.  Any sort realizing
+    # the same total order yields the *equal* permutation, which frees
+    # the warm pack to pick the cheapest construction.  When both id
+    # arrays are strictly ascending in row order (the engine's fleets
+    # and queues always are), row indices are order-isomorphic to ids
+    # and the strips' row-major layout makes one stable radix sort by
+    # ``ti`` produce the shared ``(ti, rj)``-sorted base; each side then
+    # needs only its float key plus one more radix pass.  The general
+    # path (hand-built frames) falls back to the full stable-sort chains
+    # on the raw 64-bit ids.
+    if req_ids_ascending and taxi_ids_ascending:
+        # Timsort's run detection makes the base sort near-free: the
+        # concatenated strips are two already-sorted runs.  The row
+        # indices are then narrowed to 16 bits where the frame allows
+        # (NumPy radix-sorts ≤16-bit integers, an order of magnitude
+        # faster than the comparison sort 64-bit keys pay).
+        idx_dtype = np.int16 if max(n_taxis, n_requests) <= 32767 else np.int32
+        base = np.argsort(ti, kind="stable")
+        ti_base = ti[base].astype(idx_dtype)
+        rj_base = rj[base].astype(idx_dtype)
+        by_pick = np.argsort(pick[base], kind="stable")
+        order_p = base[by_pick[np.argsort(rj_base[by_pick], kind="stable")]]
+        by_driver = np.argsort(driver[base], kind="stable")
+        order_r = base[by_driver[np.argsort(ti_base[by_driver], kind="stable")]]
+    else:
+        # The CSR offsets below (``bincount`` cumsums) enumerate
+        # segments in *row* order, so the primary sort key must be the
+        # row index, not the id — with non-ascending frames they
+        # disagree, and an id-primary order would pair each segment
+        # with another segment's offsets.  The id keys still serve as
+        # the within-segment tie-breaks, which is where cold-identical
+        # preference order actually lives: each entity's list is
+        # ordered by its float score with ties broken by the *id* of
+        # the listed partner, exactly the cold lexsort's tertiary key.
+        ti_key = taxi_ids[ti]
+        rj_key = req_ids[rj]
+        order_p = np.argsort(ti_key, kind="stable")
+        order_p = order_p[np.argsort(pick[order_p], kind="stable")]
+        order_p = order_p[np.argsort(rj[order_p], kind="stable")]
+        order_r = np.argsort(rj_key, kind="stable")
+        order_r = order_r[np.argsort(driver[order_r], kind="stable")]
+        order_r = order_r[np.argsort(ti[order_r], kind="stable")]
+    p_indptr = np.zeros(n_requests + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rj, minlength=n_requests), out=p_indptr[1:])
+    p_within = np.arange(n_edges, dtype=np.int64) - p_indptr[rj[order_p]]
+    r_indptr = np.zeros(n_taxis + 1, dtype=np.int64)
+    np.cumsum(np.bincount(ti, minlength=n_taxis), out=r_indptr[1:])
+    r_within = np.arange(n_edges, dtype=np.int64) - r_indptr[ti[order_r]]
+
+    # -- the degenerate resume: plain GS rounds on the fresh instance -------
+    if optimize_for == "taxi":
+        rank_in_proposer = np.empty(n_edges, dtype=np.int64)
+        rank_in_proposer[order_p] = p_within
+        partner, _, _ = gale_shapley_rounds(
+            r_indptr, rj[order_r], rank_in_proposer[order_r], n_requests
+        )
+        matched_rev = np.flatnonzero(partner != NO_PARTNER)
+        matched_prop = partner[matched_rev]
+        pairs = {
+            int(req_ids[r]): int(taxi_ids[p])
+            for p, r in zip(matched_prop.tolist(), matched_rev.tolist())
+        }
+        t_rows, r_rows = matched_prop, matched_rev
+    else:
+        rank_in_reviewer = np.empty(n_edges, dtype=np.int64)
+        rank_in_reviewer[order_r] = r_within
+        partner, _, _ = gale_shapley_rounds(
+            p_indptr, ti[order_p], rank_in_reviewer[order_p], n_taxis
+        )
+        matched_rev = np.flatnonzero(partner != NO_PARTNER)
+        matched_prop = partner[matched_rev]
+        pairs = {
+            int(req_ids[p]): int(taxi_ids[r])
+            for p, r in zip(matched_prop.tolist(), matched_rev.tolist())
+        }
+        t_rows, r_rows = matched_rev, matched_prop
+    matching = Matching(pairs)
+    # Present matched rows sorted by request id — the order NSTD's
+    # schedule builder iterates pairs in.
+    row_order = np.argsort(req_ids[r_rows], kind="stable")
+    matched_rows = (t_rows[row_order], r_rows[row_order])
+
+    stats = IncrementalBuildStats(
+        n_taxis=n_taxis,
+        n_requests=n_requests,
+        retained_taxis=int(ret_t_rows.size),
+        retained_requests=int(ret_r_rows.size),
+        pairs_scored=int(new_t_rows.size) * n_requests
+        + int(ret_t_rows.size) * int(new_r_rows.size),
+        full_pairs=n_taxis * n_requests,
+    )
+
+    # Addresses are unique among live objects, so the unstable default
+    # sort yields the same permutation as a stable one, faster.
+    addr_rows = np.argsort(addrs).astype(np.intp, copy=False)
+    taxi_addr_rows = np.argsort(taxi_addrs).astype(np.intp, copy=False)
+    new_state = FrameSolveState(
+        req_ids=req_ids,
+        req_addr_sorted=addrs[addr_rows],
+        req_addr_rows=addr_rows,
+        req_objs=list(requests),
+        pick_xy=pick_xy,
+        party=party,
+        trip=trip,
+        matched_req_addr=np.sort(addrs[matched_rows[1]]),
+        taxi_ids=taxi_ids,
+        taxi_addr_sorted=taxi_addrs[taxi_addr_rows],
+        taxi_addr_rows=taxi_addr_rows,
+        taxi_objs=list(taxis),
+        taxi_xy=taxi_xy,
+        taxi_seats=seats,
+        matched_taxi_addr=np.sort(taxi_addrs[matched_rows[0]]),
+    )
+    return matching, matched_rows, stats, new_state

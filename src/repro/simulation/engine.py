@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.config import SimulationConfig
 from repro.core.errors import (
     EnumerationBudgetError,
@@ -56,6 +58,11 @@ class SimulationResult:
     #: Per-frame degradation-ladder accounting; ``None`` unless the run
     #: had a :class:`~repro.resilience.ladder.ResiliencePolicy` installed.
     resilience: ResilienceReport | None = None
+    #: Run-level counters gathered from the dispatcher
+    #: (:meth:`~repro.dispatch.base.Dispatcher.run_telemetry` — e.g.
+    #: warm-start frame counts) and the frame distance cache; merged
+    #: into :meth:`perf_stats`.
+    dispatch_telemetry: dict[str, float | int] = field(default_factory=dict)
 
     # -- request-side views ------------------------------------------------
 
@@ -113,7 +120,7 @@ class SimulationResult:
         active = sorted(f.dispatch_ms for f in self.frame_stats if f.dispatch_ms > 0.0)
         total = sum(samples)
         budget_ms = self.frame_length_s * 1e3
-        return {
+        stats = {
             "frames": float(len(samples)),
             "active_frames": float(len(active)),
             "total_dispatch_ms": total,
@@ -124,6 +131,17 @@ class SimulationResult:
             "max_dispatch_ms": max(samples, default=0.0),
             "frames_over_budget": float(sum(1 for ms in samples if ms > budget_ms)),
         }
+        for key, value in self.dispatch_telemetry.items():
+            stats[key] = float(value)
+        warm = self.dispatch_telemetry.get("warm_frames", 0)
+        cold = self.dispatch_telemetry.get("cold_frames", 0)
+        if warm or cold:
+            stats["warm_hit_rate"] = float(warm) / float(warm + cold)
+        scored = self.dispatch_telemetry.get("pairs_scored_warm", 0)
+        full = self.dispatch_telemetry.get("full_pairs_warm", 0)
+        if full:
+            stats["warm_rebuild_fraction"] = float(scored) / float(full)
+        return stats
 
     def summary(self) -> dict[str, float]:
         """Headline averages, the quantities Figs. 6 and 7 plot."""
@@ -185,6 +203,16 @@ class Simulator:
         agents = {t.taxi_id: TaxiAgent.from_taxi(t) for t in taxis}
         if len(agents) != len(taxis):
             raise SimulationError("duplicate taxi ids in fleet")
+        # The idle scan is the only per-frame pass over the whole fleet;
+        # tracking availability in one float array (updated on assign)
+        # turns it into a single vectorized comparison.
+        agent_list = list(agents.values())
+        agent_row = {agent.taxi_id: row for row, agent in enumerate(agent_list)}
+        available_at = np.fromiter(
+            (agent.available_at_s for agent in agent_list),
+            dtype=np.float64,
+            count=len(agent_list),
+        )
 
         ordered = sorted(requests, key=lambda r: (r.request_time_s, r.request_id))
         pending_pool = [_PendingRequest(r) for r in ordered]
@@ -201,6 +229,9 @@ class Simulator:
         # owns invalidation (begin_frame below), the dispatcher reads it.
         cache = FrameDistanceCache(self.oracle)
         self.dispatcher.frame_cache = cache
+        # Warm solver state (if the dispatcher carries any) never outlives
+        # a run: the first frame of every run is a cold frame.
+        self.dispatcher.reset_warm_state(counters=True)
 
         # The degradation ladder (if any) is instantiated once per run;
         # every rung shares the frame cache and the run's oracle.
@@ -212,6 +243,7 @@ class Simulator:
             report = ResilienceReport()
             for _, rung_dispatcher in rungs:
                 rung_dispatcher.frame_cache = cache
+                rung_dispatcher.reset_warm_state(counters=True)
             if policy.fault_injector is not None:
                 # Faults are confined to dispatch attempts: the ladder
                 # arms the injector per attempt and the engine's own
@@ -255,19 +287,26 @@ class Simulator:
             # Expire requests whose patience ran out.
             abandoned_now = 0
             if config.passenger_patience_s != float("inf"):
-                expired = [
-                    rid
-                    for rid, entry in queue.items()
-                    if time_s - entry.request.request_time_s > config.passenger_patience_s
-                ]
+                # The queue is insertion-ordered by admission, and
+                # admissions follow the trace's request-time order, so
+                # request times are non-decreasing along the queue and
+                # the expired entries form a prefix: stop at the first
+                # survivor instead of scanning the whole queue.
+                expired = []
+                for rid, entry in queue.items():
+                    if time_s - entry.request.request_time_s <= config.passenger_patience_s:
+                        break
+                    expired.append(rid)
                 for rid in expired:
                     queue.pop(rid).outcome.abandoned = True
                 abandoned_now = len(expired)
+                cache.retire_requests(expired)
 
             queue_length_before = len(queue)
             dispatched_now = 0
             assignments_before = len(assignments)
-            idle = [agent.snapshot() for agent in agents.values() if agent.is_idle_at(time_s)]
+            idle_rows = np.flatnonzero(available_at <= time_s)
+            idle = [agent_list[row].snapshot() for row in idle_rows.tolist()]
             dispatch_ms = 0.0
             cache.begin_frame()  # taxi positions changed: drop stale matrices
             if queue and idle:
@@ -281,10 +320,25 @@ class Simulator:
                         policy, rungs, idle, batch, time_s
                     )
                     report.record(record)
+                    # Warm state is only valid between consecutive frames
+                    # solved by the same dispatcher.  Rungs that did not
+                    # answer this frame (including a primary that failed
+                    # mid-solve and may have half-updated its state) must
+                    # restart cold next time they run.
+                    for index, (_, rung_dispatcher) in enumerate(rungs):
+                        if index != record.rung_index:
+                            rung_dispatcher.reset_warm_state()
                 # repro-lint: disable=REP001 telemetry only: dispatch_ms never feeds a decision
                 dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
-                schedule.validate(idle, batch)
-                requests_by_id = {r.request_id: r for r in batch}
+                # The queue mapping doubles as the known-request-id view;
+                # only the handful of assigned requests need resolving,
+                # not the whole batch.
+                schedule.validate_ids({t.taxi_id for t in idle}, queue)
+                requests_by_id = {
+                    rid: queue[rid].request
+                    for scheduled in schedule.assignments
+                    for rid in scheduled.request_ids
+                }
                 for assignment in schedule.assignments:
                     agent = agents[assignment.taxi_id]
                     metrics = assignment_metrics(
@@ -295,6 +349,7 @@ class Simulator:
                         self.dispatcher.config,
                     )
                     arrivals = agent.assign(assignment, time_s, self.oracle, config)
+                    available_at[agent_row[assignment.taxi_id]] = agent.available_at_s
                     revenue = sum(
                         cache.trip_distance(requests_by_id[rid])
                         for rid in assignment.request_ids
@@ -325,6 +380,14 @@ class Simulator:
                         )
                         del queue[rid]
                         dispatched_now += 1
+                # Dispatched requests never return to a frame; their
+                # request-keyed memos are dead (revenue above was their
+                # last read).
+                cache.retire_requests(
+                    rid
+                    for assignment in schedule.assignments
+                    for rid in assignment.request_ids
+                )
 
             frame_stats.append(
                 FrameStats(
@@ -360,11 +423,17 @@ class Simulator:
 
         # Detach the run-scoped cache: a dispatcher used outside this
         # engine afterwards must not read matrices from the last frame.
+        # Run telemetry is harvested first, then warm state dropped for
+        # the same reason — it describes this run's final frame only.
+        telemetry: dict[str, float | int] = dict(self.dispatcher.run_telemetry())
+        telemetry.update(cache.stats())
         self.dispatcher.frame_cache = None
+        self.dispatcher.reset_warm_state()
         if rungs is not None:
             for _, rung_dispatcher in rungs:
                 rung_dispatcher.frame_cache = None
                 rung_dispatcher.frame_budget = None
+                rung_dispatcher.reset_warm_state()
 
         # Anything still queued at the deadline is unserved.
         return SimulationResult(
@@ -377,6 +446,7 @@ class Simulator:
             frame_stats=frame_stats,
             frame_length_s=config.frame_length_s,
             resilience=report,
+            dispatch_telemetry=telemetry,
         )
 
     def _dispatch_resilient(

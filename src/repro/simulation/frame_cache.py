@@ -31,7 +31,7 @@ only how fast it is produced.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -49,17 +49,51 @@ class FrameDistanceCache:
         self.oracle = oracle
         # taxi-dependent: cleared every begin_frame()
         self._pickup: dict[tuple[tuple[int, ...], tuple[int, ...]], np.ndarray] = {}
-        # request-keyed: persist across frames (requests are frozen)
+        # request-keyed: persist while their request is live (see
+        # retire_requests); the engine retires served/expired ids so the
+        # memos stay proportional to the queue, not the whole trace
         self._gap: dict[tuple[int, ...], np.ndarray] = {}
         self._trip_km: dict[int, float] = {}
         self.frames = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def begin_frame(self) -> None:
         """Start a new frame: drop everything keyed on taxi positions."""
         self.frames += 1
         self._pickup.clear()
+
+    def retire_requests(self, request_ids: Iterable[int]) -> None:
+        """Evict request-keyed memos for requests that left the system.
+
+        Served and expired requests can never reappear in a frame, so
+        their trip distances and any gap matrix mentioning them are dead
+        weight; the engine calls this as requests resolve, which bounds
+        the request-keyed memos by the live queue instead of letting
+        them grow with the whole trace.
+        """
+        retired = set(request_ids)
+        if not retired:
+            return
+        dead_trips = retired.intersection(self._trip_km)
+        for rid in dead_trips:
+            del self._trip_km[rid]
+        dead_keys = [key for key in self._gap if retired.intersection(key)]
+        for key in dead_keys:
+            del self._gap[key]
+        self.evictions += len(dead_trips) + len(dead_keys)
+
+    def stats(self) -> dict[str, float | int]:
+        """Occupancy and traffic counters, for run telemetry."""
+        return {
+            "cache_frames": self.frames,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_trip_entries": len(self._trip_km),
+            "cache_gap_entries": len(self._gap),
+        }
 
     # -- taxi-dependent ----------------------------------------------------
 
@@ -137,6 +171,18 @@ class FrameDistanceCache:
         else:
             self.hits += 1
         return np.array([trips[r.request_id] for r in requests], dtype=np.float64)
+
+    def prime_trip_km(self, request_ids: Sequence[int], km: Sequence[float]) -> None:
+        """Seed the trip memo with values computed elsewhere.
+
+        The warm frame solver computes new requests' trip distances with
+        the same exact kernels this cache uses; priming them here keeps
+        the engine's per-assignment :meth:`trip_distance` reads hitting
+        the memo on warm frames exactly as they do on cold ones.
+        """
+        trips = self._trip_km
+        for rid, value in zip(request_ids, km):
+            trips[int(rid)] = float(value)
 
     def trip_distance(self, request: PassengerRequest) -> float:
         """Single-request trip distance through the same memo."""

@@ -35,6 +35,7 @@ class TaxiAgent:
     completed_trips: int = 0
     served_requests: int = 0
     _destination: Point | None = field(default=None, repr=False)
+    _snapshot: Taxi | None = field(default=None, repr=False)
 
     @classmethod
     def from_taxi(cls, taxi: Taxi) -> "TaxiAgent":
@@ -44,8 +45,20 @@ class TaxiAgent:
         return self.available_at_s <= time_s
 
     def snapshot(self) -> Taxi:
-        """The immutable view dispatchers see."""
-        return Taxi(taxi_id=self.taxi_id, location=self.location, seats=self.seats)
+        """The immutable view dispatchers see.
+
+        Memoized on the location object: ``taxi_id`` and ``seats`` never
+        change and every movement (``assign``, repositioning) rebinds
+        ``location``, so an unchanged location object proves the cached
+        view is current.  An agent idle across many frames therefore
+        presents the *same* :class:`Taxi` each frame, which warm-start
+        dispatchers exploit to classify it as retained by identity.
+        """
+        snap = self._snapshot
+        if snap is None or snap.location is not self.location:
+            snap = Taxi(taxi_id=self.taxi_id, location=self.location, seats=self.seats)
+            self._snapshot = snap
+        return snap
 
     def assign(
         self,

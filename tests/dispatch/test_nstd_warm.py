@@ -1,0 +1,122 @@
+"""Dispatcher-level warm-start behaviour of :class:`NSTDDispatcher`.
+
+Covers the lifecycle around the solver: the opt-in flag's
+preconditions, cold seeding of the first frame, transparent fallback
+with telemetry, and state reset semantics.  The frame-by-frame
+bit-identity guarantees live in the property suite.
+"""
+
+import pytest
+
+from repro.core import PassengerRequest, Taxi
+from repro.core.errors import PreferenceError
+from repro.dispatch.nonsharing import NSTDDispatcher
+from repro.geometry import EuclideanDistance, Point
+
+ORACLE = EuclideanDistance()
+
+
+def _frame():
+    taxis = [Taxi(0, Point(0.0, 0.0)), Taxi(1, Point(3.0, 0.0)), Taxi(2, Point(0.0, 3.0))]
+    requests = [
+        PassengerRequest(0, Point(1.0, 0.0), Point(2.0, 2.0)),
+        PassengerRequest(1, Point(0.0, 1.0), Point(-2.0, 1.0)),
+    ]
+    return taxis, requests
+
+
+class TestWarmStartFlag:
+    def test_requires_array_fast_path(self):
+        with pytest.raises(ValueError):
+            NSTDDispatcher(ORACLE, use_arrays=False, warm_start=True)
+        with pytest.raises(ValueError):
+            NSTDDispatcher(ORACLE, optimize_for="median", warm_start=True)
+        with pytest.raises(ValueError):
+            NSTDDispatcher(ORACLE, optimize_for="taxi", exact=True, warm_start=True)
+
+    def test_off_by_default(self):
+        dispatcher = NSTDDispatcher(ORACLE)
+        assert not dispatcher.warm_start
+        taxis, requests = _frame()
+        dispatcher.dispatch(taxis, requests)
+        assert dispatcher.run_telemetry() == {}
+
+
+class TestWarmLifecycle:
+    def test_first_frame_is_cold_then_warm(self):
+        dispatcher = NSTDDispatcher(ORACLE, warm_start=True)
+        taxis, requests = _frame()
+        dispatcher.dispatch(taxis, requests)
+        assert dispatcher.run_telemetry() == {"cold_frames": 1}
+        dispatcher.dispatch([t for t in taxis if t.taxi_id == 2], requests)
+        telemetry = dispatcher.run_telemetry()
+        assert telemetry["cold_frames"] == 1
+        assert telemetry["warm_frames"] == 1
+        assert telemetry["pairs_scored_warm"] <= telemetry["full_pairs_warm"]
+
+    def test_empty_frames_leave_state_and_counters_alone(self):
+        dispatcher = NSTDDispatcher(ORACLE, warm_start=True)
+        taxis, requests = _frame()
+        dispatcher.dispatch(taxis, requests)
+        dispatcher.dispatch([], requests)
+        dispatcher.dispatch(taxis, [])
+        assert dispatcher.run_telemetry() == {"cold_frames": 1}
+        dispatcher.dispatch(taxis, requests)
+        assert dispatcher.run_telemetry()["warm_frames"] == 1
+
+    def test_duplicate_ids_fall_back_and_surface_the_cold_error(self):
+        # Duplicate-id frames are illegal input everywhere: the cold
+        # builder rejects them with PreferenceError.  The warm layer
+        # must neither mask nor change that — it records the failed
+        # warm precondition in telemetry, redoes the frame cold, and
+        # lets the cold path's own verdict surface.
+        warm = NSTDDispatcher(ORACLE, warm_start=True)
+        cold = NSTDDispatcher(ORACLE)
+        taxis, requests = _frame()
+        warm.dispatch(taxis, requests)
+        cold.dispatch(taxis, requests)
+        bad = [Taxi(9, Point(2.0, 2.0)), Taxi(8, Point(0.0, 2.0)), Taxi(8, Point(2.0, 0.0))]
+        fresh = [PassengerRequest(7, Point(2.0, 1.0), Point(0.0, 0.0))]
+        with pytest.raises(PreferenceError):
+            cold.dispatch(bad, fresh)
+        with pytest.raises(PreferenceError):
+            warm.dispatch(bad, fresh)
+        telemetry = warm.run_telemetry()
+        assert telemetry["warm_fallbacks"] == 1
+        assert telemetry["warm_fallback_duplicate-ids"] == 1
+
+    def test_fallback_clears_state_and_reseeds(self):
+        dispatcher = NSTDDispatcher(ORACLE, warm_start=True)
+        taxis, requests = _frame()
+        dispatcher.dispatch(taxis, requests)
+        bad = [Taxi(8, Point(0.0, 2.0)), Taxi(8, Point(2.0, 0.0))]
+        with pytest.raises(PreferenceError):
+            dispatcher.dispatch(bad, [PassengerRequest(7, Point(2.0, 1.0), Point(0.0, 0.0))])
+        # The poisoned frame dropped the carried state; the next valid
+        # frame re-seeds cold and the one after runs warm again.
+        dispatcher.dispatch(taxis, [PassengerRequest(9, Point(0.5, 0.5), Point(1.0, 1.0))])
+        dispatcher.dispatch(taxis, [PassengerRequest(10, Point(0.4, 0.6), Point(1.0, 1.0))])
+        telemetry = dispatcher.run_telemetry()
+        assert telemetry["warm_fallbacks"] == 1
+        assert telemetry["warm_frames"] == 1
+
+    def test_reset_warm_state(self):
+        dispatcher = NSTDDispatcher(ORACLE, warm_start=True)
+        taxis, requests = _frame()
+        dispatcher.dispatch(taxis, requests)
+        dispatcher.reset_warm_state()
+        # State dropped, counters kept: the next frame re-seeds cold.
+        dispatcher.dispatch(taxis, requests)
+        assert dispatcher.run_telemetry()["cold_frames"] == 2
+        dispatcher.reset_warm_state(counters=True)
+        assert dispatcher.run_telemetry() == {}
+
+    def test_taxi_mode_also_warms(self):
+        dispatcher = NSTDDispatcher(ORACLE, optimize_for="taxi", warm_start=True)
+        taxis, requests = _frame()
+        dispatcher.dispatch(taxis, requests)
+        dispatcher.dispatch(
+            [t for t in taxis if t.taxi_id == 2],
+            [PassengerRequest(5, Point(0.2, 2.5), Point(1.0, 1.0))],
+        )
+        assert dispatcher.run_telemetry()["warm_frames"] == 1

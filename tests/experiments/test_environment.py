@@ -1,0 +1,101 @@
+"""Unit tests for host environment metadata.
+
+The effective CPU count feeds benchmark provenance: a baseline stamped
+with the host's core count would make runs from differently-confined
+containers look comparable when they are not.  The cgroup parsing is
+exercised against synthetic files so the tests pass identically on
+confined CI runners and unconfined developer machines.
+"""
+
+import os
+
+from repro.experiments import effective_cpu_count, environment_metadata
+from repro.experiments import environment as environment_module
+from repro.experiments.environment import _cgroup_cpu_quota
+
+
+class _FakePath:
+    """Stand-in for ``pathlib.Path`` backed by a dict of file contents."""
+
+    files: dict[str, str] = {}
+
+    def __init__(self, path: str):
+        self._path = path
+
+    def read_text(self) -> str:
+        try:
+            return self.files[self._path]
+        except KeyError:
+            raise FileNotFoundError(self._path) from None
+
+
+def _with_cgroup_files(monkeypatch, files):
+    monkeypatch.setattr(_FakePath, "files", dict(files))
+    monkeypatch.setattr(environment_module, "Path", _FakePath)
+
+
+class TestCgroupQuota:
+    def test_v2_fractional_quota(self, monkeypatch):
+        _with_cgroup_files(monkeypatch, {"/sys/fs/cgroup/cpu.max": "150000 100000\n"})
+        assert _cgroup_cpu_quota() == 1.5
+
+    def test_v2_unlimited_is_none(self, monkeypatch):
+        _with_cgroup_files(monkeypatch, {"/sys/fs/cgroup/cpu.max": "max 100000\n"})
+        assert _cgroup_cpu_quota() is None
+
+    def test_v1_fallback(self, monkeypatch):
+        _with_cgroup_files(
+            monkeypatch,
+            {
+                "/sys/fs/cgroup/cpu/cpu.cfs_quota_us": "50000\n",
+                "/sys/fs/cgroup/cpu/cpu.cfs_period_us": "100000\n",
+            },
+        )
+        assert _cgroup_cpu_quota() == 0.5
+
+    def test_v1_unlimited_is_none(self, monkeypatch):
+        # -1 is the kernel's "no quota" sentinel.
+        _with_cgroup_files(
+            monkeypatch,
+            {
+                "/sys/fs/cgroup/cpu/cpu.cfs_quota_us": "-1\n",
+                "/sys/fs/cgroup/cpu/cpu.cfs_period_us": "100000\n",
+            },
+        )
+        assert _cgroup_cpu_quota() is None
+
+    def test_absent_cgroupfs_is_none(self, monkeypatch):
+        _with_cgroup_files(monkeypatch, {})
+        assert _cgroup_cpu_quota() is None
+
+    def test_garbage_is_none(self, monkeypatch):
+        _with_cgroup_files(monkeypatch, {"/sys/fs/cgroup/cpu.max": "banana\n"})
+        assert _cgroup_cpu_quota() is None
+
+
+class TestEffectiveCpuCount:
+    def test_bounded_by_host_and_positive(self):
+        count = effective_cpu_count()
+        assert 1 <= count <= (os.cpu_count() or 1)
+
+    def test_quota_caps_and_rounds_up(self, monkeypatch):
+        # A 1.5-CPU quota still runs two-way parallel sections, so the
+        # effective count is ceil(1.5) = 2, capped by the host.
+        monkeypatch.setattr(environment_module, "_cgroup_cpu_quota", lambda: 1.5)
+        assert effective_cpu_count() == min(2, os.cpu_count() or 1)
+        monkeypatch.setattr(environment_module, "_cgroup_cpu_quota", lambda: 0.2)
+        assert effective_cpu_count() == 1  # never reports zero
+
+    def test_no_quota_trusts_scheduler_view(self, monkeypatch):
+        monkeypatch.setattr(environment_module, "_cgroup_cpu_quota", lambda: None)
+        assert effective_cpu_count() >= 1
+
+
+class TestEnvironmentMetadata:
+    def test_keys_and_cpu_fields(self):
+        meta = environment_metadata()
+        for key in ("python", "implementation", "numpy", "platform", "machine"):
+            assert isinstance(meta[key], str) and meta[key]
+        assert meta["cpu_count"] == effective_cpu_count()
+        assert meta["cpu_count_host"] == (os.cpu_count() or 1)
+        assert meta["cpu_count"] <= meta["cpu_count_host"]

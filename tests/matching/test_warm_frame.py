@@ -1,0 +1,200 @@
+"""Unit tests for the warm frame solver (``repro.matching.warm_frame``).
+
+The sweeping bit-identity guarantees live in
+``tests/property/test_warm_start_properties.py``; these tests pin the
+module's *contracts* one by one — address-based retention, matched-row
+presentation, fallback triggers, the new-trip callback — so a failure
+names the broken rule instead of just "the matching changed".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.core.errors import WarmStartError
+from repro.geometry import EuclideanDistance, Point
+from repro.matching import build_nonsharing_arrays, passenger_optimal
+from repro.matching.warm_frame import (
+    frame_state_from_cold,
+    request_trips,
+    warm_frame_solve,
+)
+
+ORACLE = EuclideanDistance()
+CONFIG = DispatchConfig()
+# Leaves survivors on *both* sides with the frames below (an
+# unthresholded market always exhausts its short side), which the
+# retention tests rely on.
+CONFIG_THRESH = DispatchConfig(passenger_threshold_km=1.0, taxi_threshold_km=2.0)
+
+
+def _frame(n_taxis=4, n_requests=4, seed=3, spread=1.5):
+    rng = np.random.default_rng(seed)
+    taxis = [
+        Taxi(i, Point(*(float(c) for c in rng.normal(0.0, spread, 2))))
+        for i in range(n_taxis)
+    ]
+    requests = [
+        PassengerRequest(
+            j,
+            Point(*(float(c) for c in rng.normal(0.0, spread, 2))),
+            Point(*(float(c) for c in rng.normal(0.0, spread, 2))),
+        )
+        for j in range(n_requests)
+    ]
+    return taxis, requests
+
+
+def _seed_state(taxis, requests, config=CONFIG):
+    arrays = build_nonsharing_arrays(taxis, requests, ORACLE, config)
+    matching = passenger_optimal(arrays)
+    trips = request_trips(requests, ORACLE)
+    return matching, frame_state_from_cold(taxis, requests, matching, trip=trips)
+
+
+class TestRetentionByAddress:
+    def test_same_objects_are_retained(self):
+        taxis, requests = _frame(6, 5, seed=2)
+        matching, state = _seed_state(taxis, requests, CONFIG_THRESH)
+        # Next frame: the unmatched survivors, as the same objects.
+        matched_r = {p for p, _ in matching.pairs}
+        matched_t = {t for _, t in matching.pairs}
+        next_requests = [r for r in requests if r.request_id not in matched_r]
+        next_taxis = [t for t in taxis if t.taxi_id not in matched_t]
+        assert next_taxis and next_requests
+        _, _, stats, _ = warm_frame_solve(
+            state, next_taxis, next_requests, ORACLE, CONFIG_THRESH
+        )
+        assert stats.retained_taxis == len(next_taxis)
+        assert stats.retained_requests == len(next_requests)
+        assert stats.pairs_scored == 0
+
+    def test_rebuilt_equal_objects_classify_as_new(self):
+        # Equality is not identity: a caller that rebuilds its entities
+        # each frame soundly degrades to all-new (a cold-sized build),
+        # never to a wrong answer.
+        taxis, requests = _frame(6, 5, seed=2)
+        matching, state = _seed_state(taxis, requests, CONFIG_THRESH)
+        matched_r = {p for p, _ in matching.pairs}
+        matched_t = {t for _, t in matching.pairs}
+        clones_r = [
+            PassengerRequest(r.request_id, r.pickup, r.dropoff, r.request_time_s, r.passengers)
+            for r in requests
+            if r.request_id not in matched_r
+        ]
+        clones_t = [
+            Taxi(t.taxi_id, t.location, t.seats) for t in taxis if t.taxi_id not in matched_t
+        ]
+        assert clones_t and clones_r
+        _, _, stats, _ = warm_frame_solve(state, clones_t, clones_r, ORACLE, CONFIG_THRESH)
+        assert stats.retained_taxis == 0
+        assert stats.retained_requests == 0
+        assert stats.pairs_scored == stats.full_pairs
+
+    def test_matched_entity_re_presented_is_new(self):
+        # A matched entity's object can legally reappear (a taxi that
+        # finished a trip within one frame and did not move); holding
+        # its old address must not classify it as retained, because the
+        # stability invariant only covers previously *unmatched* pairs.
+        taxis, requests = _frame(6, 5, seed=2)
+        matching, state = _seed_state(taxis, requests, CONFIG_THRESH)
+        assert matching.pairs
+        _, _, stats, _ = warm_frame_solve(
+            state, list(taxis), list(requests), ORACLE, CONFIG_THRESH
+        )
+        assert stats.retained_taxis == len(taxis) - len({t for _, t in matching.pairs})
+        assert stats.retained_requests == len(requests) - len(
+            {p for p, _ in matching.pairs}
+        )
+
+
+class TestSolveOutputs:
+    def test_matching_identical_to_cold_and_rows_aligned(self):
+        taxis, requests = _frame(5, 6, seed=11)
+        _, state = _seed_state(taxis, requests)
+        new_taxis, new_requests = _frame(4, 5, seed=12)
+        new_taxis = [Taxi(t.taxi_id + 10, t.location, t.seats) for t in new_taxis]
+        new_requests = [
+            PassengerRequest(r.request_id + 10, r.pickup, r.dropoff) for r in new_requests
+        ]
+        matching, matched_rows, _, _ = warm_frame_solve(
+            state, new_taxis, new_requests, ORACLE, CONFIG
+        )
+        cold = passenger_optimal(build_nonsharing_arrays(new_taxis, new_requests, ORACLE, CONFIG))
+        assert matching.pairs == cold.pairs
+        t_rows, r_rows = matched_rows
+        # Rows index the *presented* sequences, sorted by request id —
+        # exactly the order the dispatcher emits assignments in.
+        pairs = [
+            (new_requests[r].request_id, new_taxis[t].taxi_id)
+            for t, r in zip(t_rows.tolist(), r_rows.tolist())
+        ]
+        assert pairs == sorted(matching.pairs)
+
+    def test_on_new_trips_reports_only_new_requests(self):
+        taxis, requests = _frame()
+        matching, state = _seed_state(taxis, requests)
+        matched_r = {p for p, _ in matching.pairs}
+        survivors = [r for r in requests if r.request_id not in matched_r]
+        fresh = [PassengerRequest(100, Point(0.5, 0.5), Point(1.5, -0.5))]
+        seen: list[tuple[list[int], list[float]]] = []
+        warm_frame_solve(
+            state,
+            [Taxi(50, Point(0.0, 0.0))],
+            survivors + fresh,
+            ORACLE,
+            CONFIG,
+            on_new_trips=lambda ids, km: seen.append((ids.tolist(), km.tolist())),
+        )
+        assert len(seen) == 1
+        ids, km = seen[0]
+        assert ids == [100]
+        np.testing.assert_allclose(km, [fresh[0].trip_distance(ORACLE)])
+
+
+class TestFallbacks:
+    def test_duplicate_taxi_ids_raise(self):
+        taxis, requests = _frame()
+        _, state = _seed_state(taxis, requests)
+        dupes = [Taxi(9, Point(1.0, 0.0)), Taxi(8, Point(0.0, 1.0)), Taxi(8, Point(1.0, 1.0))]
+        with pytest.raises(WarmStartError) as err:
+            warm_frame_solve(state, dupes, [PassengerRequest(99, Point(0, 0), Point(1, 1))], ORACLE, CONFIG)
+        assert err.value.reason == "duplicate-ids"
+
+    def test_duplicate_request_ids_raise(self):
+        taxis, requests = _frame()
+        _, state = _seed_state(taxis, requests)
+        dupes = [
+            PassengerRequest(9, Point(0, 0), Point(1, 1)),
+            PassengerRequest(8, Point(1, 0), Point(0, 1)),
+            PassengerRequest(8, Point(0, 1), Point(1, 0)),
+        ]
+        with pytest.raises(WarmStartError) as err:
+            warm_frame_solve(state, [Taxi(50, Point(0.0, 0.0))], dupes, ORACLE, CONFIG)
+        assert err.value.reason == "duplicate-ids"
+
+    def test_negative_alpha_raises(self):
+        taxis, requests = _frame()
+        _, state = _seed_state(taxis, requests)
+        with pytest.raises(WarmStartError) as err:
+            warm_frame_solve(
+                state,
+                [Taxi(50, Point(0.0, 0.0))],
+                [PassengerRequest(99, Point(0, 0), Point(1, 1))],
+                ORACLE,
+                CONFIG,
+                alpha_by_taxi={50: -1.0},
+            )
+        assert err.value.reason == "bad-alpha"
+
+
+class TestRequestTrips:
+    def test_matches_scalar_oracle(self):
+        _, requests = _frame(1, 7, seed=21)
+        np.testing.assert_array_equal(
+            request_trips(requests, ORACLE),
+            np.array([r.trip_distance(ORACLE) for r in requests]),
+        )
+
+    def test_empty(self):
+        assert request_trips([], ORACLE).size == 0

@@ -121,6 +121,18 @@ class TestInvalidationAndReuse:
         assert cache.misses == misses_before + 1
         assert full[0] == ORACLE.distance(requests[0].pickup, requests[0].dropoff)
 
+    def test_prime_trip_km_preloads_the_memo(self):
+        # The warm frame solver measures new requests' trips itself and
+        # primes the cache; subsequent reads must hit, not recompute.
+        _, requests = small_frame()
+        cache = FrameDistanceCache(ORACLE)
+        km = [ORACLE.distance(r.pickup, r.dropoff) for r in requests]
+        cache.prime_trip_km([r.request_id for r in requests], km)
+        assert cache.misses == 0
+        np.testing.assert_array_equal(cache.trip_km(requests), km)
+        assert cache.trip_distance(requests[0]) == km[0]
+        assert cache.hits == 2 and cache.misses == 0
+
     def test_matrices_are_read_only(self):
         taxis, requests = small_frame()
         cache = FrameDistanceCache(ORACLE)

@@ -65,3 +65,30 @@ class TestAssign:
         assert snap.taxi_id == 3
         assert snap.seats == 6
         assert snap.location == Point(2, 0)
+
+
+class TestSnapshotMemoization:
+    """Warm-start retention rides on this: unmoved ⇒ same object."""
+
+    def test_idle_agent_presents_the_same_object(self, oracle, config):
+        agent = TaxiAgent.from_taxi(Taxi(0, Point(1, 1)))
+        first = agent.snapshot()
+        # Many frames of idleness: the engine calls snapshot() per
+        # frame and the warm dispatcher classifies by identity.
+        assert all(agent.snapshot() is first for _ in range(3))
+
+    def test_movement_rebinds_the_snapshot(self, oracle, config):
+        agent = TaxiAgent.from_taxi(Taxi(0, Point(0, 0)))
+        before = agent.snapshot()
+        request = PassengerRequest(1, Point(1, 0), Point(2, 0))
+        agent.assign(single_assignment(before, request), 0.0, oracle, config)
+        after = agent.snapshot()
+        assert after is not before
+        assert after.location == Point(2, 0)
+        # Repositioning rebinds ``location`` directly; that alone must
+        # invalidate the memo even though no assignment happened.
+        agent.location = Point(3, 0)
+        moved = agent.snapshot()
+        assert moved is not after
+        assert moved.location == Point(3, 0)
+        assert agent.snapshot() is moved
