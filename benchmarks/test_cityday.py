@@ -1,11 +1,12 @@
-"""Paper-scale city-day benchmark: cold vs warm-start NSTD-P.
+"""Paper-scale city-day benchmark: cold vs warm vs sharded-warm NSTD-P.
 
 Runs the full NYC city-day (scale_factor 1.0, the paper's 24-hour
-trace shape) end to end through the simulation engine twice — the
-stateless cold dispatcher and the warm-start dispatcher that carries
-solver state across frames — asserts the two runs are bit-identical in
-everything but wall clock, and writes machine-readable
-``BENCH_cityday.json`` at the repo root.
+trace shape) end to end through the simulation engine three times —
+the stateless cold dispatcher, the warm-start dispatcher that carries
+solver state across frames, and the spatially sharded warm dispatcher
+that decomposes each frame into θ-ball connected components — asserts
+all runs are bit-identical in everything but wall clock, and writes
+machine-readable ``BENCH_cityday.json`` at the repo root.
 ``scripts/check_bench_regression.py --suite cityday`` compares that
 file against the committed baseline in
 ``benchmarks/BENCH_cityday_baseline.json``.
@@ -49,11 +50,18 @@ BENCH_JSON = (
     if SMOKE
     else REPO_ROOT / "BENCH_cityday.json"
 )
+BASELINE_JSON = REPO_ROOT / "benchmarks" / "BENCH_cityday_baseline.json"
 SCALE_FACTOR = 0.02 if SMOKE else 1.0
 HOURS = (17.0, 19.0) if SMOKE else None
 REPEATS = 1 if SMOKE else 3
 SEED = 7
 MIN_WARM_SPEEDUP = 1.5
+#: The sharded acceptance floor is measured against the warm headline
+#: *recorded in the committed baseline* (the pre-sharding release), not
+#: the fresh warm run in this file: the baseline number is the fixed
+#: reference the sharding layer was built to beat, while same-run warm
+#: timings drift with machine state.  Both ratios are recorded.
+MIN_SHARDED_SPEEDUP = 1.25
 
 
 class TestCityDayBenchmark:
@@ -65,48 +73,62 @@ class TestCityDayBenchmark:
         sim_config = city_simulation_config(profile.scaled(scale.factor))
         fleet, day_requests = build_workload(profile, scale)
 
-        def run_city_day(warm):
+        def run_city_day(warm, sharded=False):
             """One full simulated day; returns (result, e2e wall ms)."""
             dispatcher = NSTDDispatcher(
                 ORACLE,
                 sim_config.dispatch,
                 optimize_for="passenger",
                 warm_start=warm,
+                sharded=sharded,
             )
             simulator = Simulator(dispatcher, ORACLE, sim_config)
             start = time.perf_counter()
             result = simulator.run(fleet, day_requests)
             return result, (time.perf_counter() - start) * 1e3
 
+        def assert_identical(reference, candidate):
+            """Bit-identity in everything but wall clock: same headline
+            metrics, same outcomes, same assignments, across the full
+            benchmark trace."""
+            assert reference.summary() == candidate.summary()
+            assert [
+                (o.request_id, o.taxi_id, o.dispatch_time_s) for o in reference.outcomes
+            ] == [(o.request_id, o.taxi_id, o.dispatch_time_s) for o in candidate.outcomes]
+            assert [
+                (a.taxi_id, a.request_ids) for a in reference.assignments
+            ] == [(a.taxi_id, a.request_ids) for a in candidate.assignments]
+
         result_cold, first_cold_ms = run_city_day(False)
         result_warm, first_warm_ms = run_city_day(True)
+        result_sharded, first_sharded_ms = run_city_day(True, sharded=True)
 
-        # Warm start must be indistinguishable from cold in everything
-        # but wall clock: same outcomes, same assignments, same
-        # headline metrics, across the full benchmark trace.
-        assert result_cold.summary() == result_warm.summary()
-        assert [
-            (o.request_id, o.taxi_id, o.dispatch_time_s) for o in result_cold.outcomes
-        ] == [(o.request_id, o.taxi_id, o.dispatch_time_s) for o in result_warm.outcomes]
-        assert [
-            (a.taxi_id, a.request_ids) for a in result_cold.assignments
-        ] == [(a.taxi_id, a.request_ids) for a in result_warm.assignments]
+        # Both accelerated modes must be indistinguishable from the cold
+        # global solve before any of them is timed.
+        assert_identical(result_cold, result_warm)
+        assert_identical(result_cold, result_sharded)
 
         warm_perf = result_warm.perf_stats()
         assert warm_perf.get("warm_frames", 0) > 0
         assert warm_perf.get("cold_frames", 0) >= 1
+        sharded_perf = result_sharded.perf_stats()
+        assert sharded_perf.get("warm_frames", 0) > 0
         if not SMOKE:
             # The deterministic seed-7 trace never trips a fallback;
             # one appearing here means a warm precondition broke.
             assert warm_perf.get("warm_fallbacks", 0) == 0
+            assert sharded_perf.get("warm_fallbacks", 0) == 0
+            assert sharded_perf.get("shards_degraded", 0) == 0
 
         # Best-of-N whole-simulation runs per mode (best, not mean, to
         # shed scheduler noise; the first runs above count as rep one).
         best_cold = (result_cold, first_cold_ms)
         best_warm = (result_warm, first_warm_ms)
+        best_sharded = (result_sharded, first_sharded_ms)
         for _ in range(REPEATS - 1):
             best_cold = min(best_cold, run_city_day(False), key=lambda r: r[1])
             best_warm = min(best_warm, run_city_day(True), key=lambda r: r[1])
+            best_sharded = min(best_sharded, run_city_day(True, sharded=True), key=lambda r: r[1])
 
         rows = {}
 
@@ -144,6 +166,46 @@ class TestCityDayBenchmark:
             },
         )
 
+        # The sharded row records two ratios: ``speedup_vs_warm`` against
+        # the warm run measured in this same file (same machine state,
+        # but both sides drift together), and ``speedup_vs_warm_headline``
+        # against the warm headline recorded in the committed baseline —
+        # the fixed pre-sharding reference the acceptance floor guards.
+        sharded_best_perf = best_sharded[0].perf_stats()
+        sharded_extra = {
+            "warm_frames": int(sharded_best_perf.get("warm_frames", 0)),
+            "cold_frames": int(sharded_best_perf.get("cold_frames", 0)),
+            "warm_fallbacks": int(sharded_best_perf.get("warm_fallbacks", 0)),
+            "shard_decomposed_frames": int(
+                sharded_best_perf.get("shard_decomposed_frames", 0)
+            ),
+            "shard_count_mean": round(sharded_best_perf.get("shard_count_mean", 0.0), 4),
+            "largest_shard_fraction": round(
+                sharded_best_perf.get("largest_shard_fraction", math.nan), 4
+            ),
+            "cross_shard_pairs_avoided": int(
+                sharded_best_perf.get("cross_shard_pairs_avoided", 0)
+            ),
+            "shards_degraded": int(sharded_best_perf.get("shards_degraded", 0)),
+            "speedup_vs_warm": round(best_warm[1] / best_sharded[1], 3),
+        }
+        warm_headline_ms = None
+        if not SMOKE and BASELINE_JSON.exists():
+            baseline_payload = json.loads(BASELINE_JSON.read_text())
+            baseline_row = baseline_payload.get("kernels", {}).get("cityday_nstd_p_warm")
+            if baseline_row is not None:
+                warm_headline_ms = float(baseline_row["ms"])
+        if warm_headline_ms is not None:
+            sharded_extra["speedup_vs_warm_headline"] = round(
+                warm_headline_ms / best_sharded[1], 3
+            )
+        record(
+            "cityday_nstd_p_sharded_warm",
+            *best_sharded,
+            baseline="cityday_nstd_p_cold",
+            extra=sharded_extra,
+        )
+
         payload = {
             "schema": "bench-cityday/1",
             "source": "benchmarks/test_cityday.py::TestCityDayBenchmark",
@@ -159,7 +221,13 @@ class TestCityDayBenchmark:
                 "oracle": "EuclideanDistance",
                 "repeats": REPEATS,
                 "smoke": SMOKE,
-                "headline": "cityday_nstd_p_warm",
+                "headline": "cityday_nstd_p_sharded_warm",
+                # Shard configuration of the headline run: the sharded
+                # rows above are single-worker (serial per-shard solves);
+                # ``shard_workers`` is the opt-in multi-process knob and
+                # is deliberately off for headline timings.
+                "sharded": True,
+                "shard_workers": None,
             },
             "kernels": rows,
         }
@@ -168,9 +236,14 @@ class TestCityDayBenchmark:
         print()
         print(json.dumps(payload, indent=2))
 
-        # The tentpole's acceptance bar: at paper scale the warm-start
-        # city-day beats the cold one ≥1.5x end to end.  Smoke frames
-        # are a few dozen requests each, all fixed overhead, so the
-        # floor only applies to the full-scale run.
+        # Acceptance bars, full scale only (smoke frames are a few dozen
+        # requests each, all fixed overhead): the warm-start city-day
+        # beats the cold one ≥1.5x end to end, and the sharded warm run
+        # beats the committed pre-sharding warm headline ≥1.25x.
         if not SMOKE:
             assert rows["cityday_nstd_p_warm"]["speedup_vs_cold"] >= MIN_WARM_SPEEDUP
+            sharded_row = rows["cityday_nstd_p_sharded_warm"]
+            assert "speedup_vs_warm_headline" in sharded_row, (
+                f"no warm headline found in {BASELINE_JSON}"
+            )
+            assert sharded_row["speedup_vs_warm_headline"] >= MIN_SHARDED_SPEEDUP

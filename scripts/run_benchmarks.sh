@@ -2,12 +2,18 @@
 # Regenerate the benchmark artifacts and run the regression guard.
 #
 #   scripts/run_benchmarks.sh                 # full: kernels + matching + cityday + guard
+#   scripts/run_benchmarks.sh --suite cityday # one suite + its guard only
 #   scripts/run_benchmarks.sh --tolerance 0.5 # extra args go to the guard
 #   scripts/run_benchmarks.sh --smoke         # CI probe: tiny city-day, no baselines
 #
 # Artifacts land at the repo root (BENCH_kernels.json,
 # BENCH_matching.json, BENCH_cityday.json); committed baselines live in
 # benchmarks/.
+#
+# --suite {kernels,matching,cityday} reruns one benchmark file and
+# checks only that suite against its baseline — the iteration loop when
+# touching a single layer (the paper-scale city-day alone dominates the
+# full run's wall clock).
 #
 # --smoke exists so CI can prove the benchmark harness still *runs*
 # without paying for (or trusting) full-scale wall-clock numbers on a
@@ -25,7 +31,33 @@ if [[ "${1:-}" == "--smoke" ]]; then
     exit 0
 fi
 
-PYTHONPATH=src python -m pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups -q
-PYTHONPATH=src python -m pytest benchmarks/test_matching_core.py -q
-PYTHONPATH=src python -m pytest benchmarks/test_cityday.py -q
-python scripts/check_bench_regression.py "$@"
+SUITE=""
+if [[ "${1:-}" == "--suite" ]]; then
+    if [[ $# -lt 2 ]]; then
+        echo "error: --suite needs an argument (kernels, matching, or cityday)" >&2
+        exit 2
+    fi
+    SUITE="$2"
+    shift 2
+fi
+
+run_kernels()  { PYTHONPATH=src python -m pytest benchmarks/test_micro_algorithms.py -k KernelSpeedups -q; }
+run_matching() { PYTHONPATH=src python -m pytest benchmarks/test_matching_core.py -q; }
+run_cityday()  { PYTHONPATH=src python -m pytest benchmarks/test_cityday.py -q; }
+
+case "$SUITE" in
+    "")
+        run_kernels
+        run_matching
+        run_cityday
+        python scripts/check_bench_regression.py "$@"
+        ;;
+    kernels|matching|cityday)
+        "run_$SUITE"
+        python scripts/check_bench_regression.py --suite "$SUITE" "$@"
+        ;;
+    *)
+        echo "error: unknown suite '$SUITE' (expected kernels, matching, or cityday)" >&2
+        exit 2
+        ;;
+esac

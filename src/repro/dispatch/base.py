@@ -31,10 +31,18 @@ from repro.core.types import (
 from repro.geometry.distance import DistanceOracle
 
 if TYPE_CHECKING:  # imported lazily to avoid a dispatch <-> simulation cycle
+    import numpy as np
+
     from repro.resilience.budget import FrameBudget
     from repro.simulation.frame_cache import FrameDistanceCache
 
-__all__ = ["Dispatcher", "single_assignment", "group_assignment"]
+__all__ = [
+    "Dispatcher",
+    "PackedSingleSchedule",
+    "single_assignment",
+    "trusted_single_assignment",
+    "group_assignment",
+]
 
 
 class Dispatcher(abc.ABC):
@@ -125,6 +133,92 @@ def single_assignment(taxi: Taxi, request: PassengerRequest) -> Assignment:
             RouteStop(request_id=request.request_id, is_pickup=False, point=request.dropoff),
         ),
     )
+
+
+def trusted_single_assignment(taxi: Taxi, request: PassengerRequest) -> Assignment:
+    """:func:`single_assignment` minus the dataclass validation pass.
+
+    The two-stop non-sharing plan is structurally valid by construction
+    — one request, its pickup before its dropoff, no duplicates — so
+    every branch of ``Assignment.__post_init__`` is statically known to
+    pass and the frozen-dataclass ``__init__``/``__post_init__`` pair is
+    bypassed with direct slot writes (for the stops too: a frozen
+    dataclass ``__init__`` is itself a sequence of ``object.__setattr__``
+    calls, so the bypass writes the same slots minus the call layers).
+    Meant for solver egress loops that emit tens of thousands of
+    assignments per simulated day; the engine still validates every
+    schedule it executes.
+    """
+    request_id = request.request_id
+    pickup = object.__new__(RouteStop)
+    object.__setattr__(pickup, "request_id", request_id)
+    object.__setattr__(pickup, "is_pickup", True)
+    object.__setattr__(pickup, "point", request.pickup)
+    dropoff = object.__new__(RouteStop)
+    object.__setattr__(dropoff, "request_id", request_id)
+    object.__setattr__(dropoff, "is_pickup", False)
+    object.__setattr__(dropoff, "point", request.dropoff)
+    assignment = object.__new__(Assignment)
+    object.__setattr__(assignment, "taxi_id", taxi.taxi_id)
+    object.__setattr__(assignment, "request_ids", (request_id,))
+    object.__setattr__(assignment, "stops", (pickup, dropoff))
+    return assignment
+
+
+class PackedSingleSchedule(DispatchSchedule):
+    """A frame's single-request assignments held as matched row arrays.
+
+    Array egress paths (the sharded warm solver) already know the
+    matched ``(taxi, request)`` rows into the frame's own ``taxis`` /
+    ``requests`` sequences — and, when available, the exact pickup and
+    trip leg lengths of every pair.  This schedule carries those arrays
+    verbatim so the simulation engine can execute the frame without
+    constructing one :class:`Assignment` (three frozen objects) per
+    matched pair.  Every other consumer sees a normal
+    :class:`DispatchSchedule`: the ``assignments`` list materializes
+    lazily on first access through the canonical two-stop constructor.
+
+    The schedule is finalized at construction; do not ``add`` to it —
+    the row arrays would not see the appended assignment.
+
+    ``pickup_km`` / ``trip_km`` (when not ``None``) are aligned with the
+    row arrays and owe bit-equality with the scalar oracle under the
+    batch-exactness contract; consumers may use them in place of
+    ``oracle.distance`` calls for the matched legs.
+    """
+
+    __slots__ = ("taxis", "requests", "taxi_rows", "request_rows", "pickup_km", "trip_km")
+
+    def __init__(
+        self,
+        taxis: Sequence[Taxi],
+        requests: Sequence[PassengerRequest],
+        taxi_rows: "np.ndarray",
+        request_rows: "np.ndarray",
+        *,
+        pickup_km: "np.ndarray | None" = None,
+        trip_km: "np.ndarray | None" = None,
+    ):
+        # ``assignments`` is intentionally left unset: the slot stays
+        # empty until ``__getattr__`` materializes the object view.
+        self.taxis = taxis
+        self.requests = requests
+        self.taxi_rows = taxi_rows
+        self.request_rows = request_rows
+        self.pickup_km = pickup_km
+        self.trip_km = trip_km
+
+    def __getattr__(self, name: str) -> list[Assignment]:
+        # Reached only when normal lookup fails — i.e. the first read of
+        # the never-assigned ``assignments`` slot.
+        if name == "assignments":
+            materialized = [
+                trusted_single_assignment(self.taxis[t_row], self.requests[r_row])
+                for t_row, r_row in zip(self.taxi_rows.tolist(), self.request_rows.tolist())
+            ]
+            self.assignments = materialized
+            return materialized
+        raise AttributeError(name)
 
 
 def group_assignment(taxi: Taxi, group: RideGroup) -> Assignment:

@@ -16,9 +16,16 @@ from repro.geometry.distance import (
     HaversineDistance,
     ManhattanDistance,
     ScaledDistance,
+    oracle_dominates_linf,
 )
 from repro.geometry.point import ORIGIN, Point
-from repro.geometry.spatial_index import GridSpatialIndex, suggest_cell_size
+from repro.geometry.spatial_index import (
+    GridSpatialIndex,
+    cell_reach,
+    grid_cells,
+    pack_cell_keys,
+    suggest_cell_size,
+)
 
 __all__ = [
     "Point",
@@ -31,6 +38,10 @@ __all__ = [
     "ScaledDistance",
     "GridSpatialIndex",
     "suggest_cell_size",
+    "grid_cells",
+    "pack_cell_keys",
+    "cell_reach",
+    "oracle_dominates_linf",
     "EARTH_RADIUS_KM",
     "as_point_array",
     "supports_batch",

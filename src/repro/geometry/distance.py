@@ -42,6 +42,7 @@ __all__ = [
     "HaversineDistance",
     "ScaledDistance",
     "EARTH_RADIUS_KM",
+    "oracle_dominates_linf",
 ]
 
 EARTH_RADIUS_KM = 6371.0088
@@ -82,6 +83,25 @@ class _BroadcastKernelMixin:
         if a.shape[0] != b.shape[0]:
             raise ValueError(f"paired inputs differ in length: {a.shape[0]} vs {b.shape[0]}")
         return self._kernel(a[:, 0], a[:, 1], b[:, 0], b[:, 1])
+
+    # -- packed entry points ----------------------------------------------
+    # Trusted variants of pairwise/paired for per-frame hot loops: the
+    # caller hands float64 ``(n, 2)`` arrays it already owns, so the
+    # sequence conversion and finiteness validation of as_point_array are
+    # skipped.  The kernel is the same object, so exactness guarantees
+    # (``batch_exact``) carry over unchanged.
+
+    def pairwise_packed(self, sources_xy: np.ndarray, targets_xy: np.ndarray) -> np.ndarray:
+        """``pairwise`` over pre-packed ``(n, 2)`` float64 coordinates."""
+        return self._kernel(
+            sources_xy[:, 0:1], sources_xy[:, 1:2], targets_xy[None, :, 0], targets_xy[None, :, 1]
+        )
+
+    def paired_packed(self, sources_xy: np.ndarray, targets_xy: np.ndarray) -> np.ndarray:
+        """``paired`` over pre-packed, equal-length coordinate arrays."""
+        return self._kernel(
+            sources_xy[:, 0], sources_xy[:, 1], targets_xy[:, 0], targets_xy[:, 1]
+        )
 
 
 class EuclideanDistance(_BroadcastKernelMixin):
@@ -227,3 +247,26 @@ class ScaledDistance:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ScaledDistance({self._base!r}, factor={self._factor})"
+
+
+def oracle_dominates_linf(oracle: DistanceOracle) -> bool:
+    """Whether ``oracle`` is bounded below by L∞ on the stored planar
+    coordinates.
+
+    This is the soundness condition for every grid-geometry shortcut in
+    the package: cell-box candidate generation
+    (:meth:`~repro.geometry.spatial_index.GridSpatialIndex.within`),
+    preference-builder pruning, and the sharding layer's θ-ball
+    component decomposition all reason "far apart in cell space ⇒ far
+    apart under the oracle", which holds exactly when the metric
+    dominates L∞.  Euclidean and Manhattan distance both do, as does any
+    ``ScaledDistance`` *expansion* (factor ≥ 1) of a dominating metric;
+    a contraction or an unknown third-party oracle does not, and callers
+    must fall back to geometry-free behaviour.
+    """
+    base: DistanceOracle = oracle
+    while isinstance(base, ScaledDistance):
+        if base.factor < 1.0:
+            return False
+        base = base._base  # noqa: SLF001 - same-package structural check
+    return isinstance(base, (EuclideanDistance, ManhattanDistance))

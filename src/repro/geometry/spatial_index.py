@@ -16,10 +16,74 @@ import math
 from collections import defaultdict
 from collections.abc import Hashable, Iterable, Iterator
 
+import numpy as np
+
 from repro.geometry.distance import DistanceOracle, EuclideanDistance
 from repro.geometry.point import Point
 
-__all__ = ["GridSpatialIndex", "suggest_cell_size"]
+__all__ = [
+    "GridSpatialIndex",
+    "suggest_cell_size",
+    "grid_cells",
+    "pack_cell_keys",
+    "cell_reach",
+]
+
+#: Packed cell coordinates live in a signed 32-bit lane of the 64-bit
+#: key; anything outside is a degenerate geometry (coordinates billions
+#: of kilometres from the origin) the packers refuse rather than wrap.
+_CELL_LIMIT = np.int64(1) << 31
+
+
+def grid_cells(xy: np.ndarray, cell_km: float) -> np.ndarray:
+    """Vectorized grid-cell coordinates of ``(n, 2)`` planar points.
+
+    The same floor-division convention as
+    :meth:`GridSpatialIndex._cell_of` — ``floor(coordinate / cell_km)``
+    per axis — so reach bounds derived for the object index
+    (:func:`cell_reach`) transfer verbatim to these arrays.
+
+    Raises ``ValueError`` on non-finite coordinates or cells outside the
+    packable 32-bit range; callers treating the grid as an optimization
+    (the sharding layer) catch this and fall back to one global bucket.
+    """
+    if cell_km <= 0.0 or not math.isfinite(cell_km):
+        raise ValueError(f"cell_km must be positive and finite, got {cell_km}")
+    pts = np.asarray(xy, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) coordinate array, got shape {pts.shape}")
+    cells = np.floor_divide(pts, cell_km)
+    if not bool(np.all(np.isfinite(cells))):
+        raise ValueError("non-finite coordinates cannot be bucketed")
+    out = cells.astype(np.int64)
+    if bool(np.any(np.abs(out) >= _CELL_LIMIT)):
+        raise ValueError("cell coordinates overflow the packable 32-bit range")
+    return out
+
+
+def pack_cell_keys(cells: np.ndarray) -> np.ndarray:
+    """Pack ``(n, 2)`` int64 cell coordinates into one uint64 key each.
+
+    The key is ``(cx + 2^31) << 32 | (cy + 2^31)``: a bijection on the
+    range :func:`grid_cells` guarantees, monotone in ``(cx, cy)``
+    lexicographic order, so sorted keys admit ``searchsorted`` joins.
+    """
+    cell_arr = np.asarray(cells, dtype=np.int64)
+    shifted = (cell_arr + _CELL_LIMIT).astype(np.uint64)
+    return (shifted[:, 0] << np.uint64(32)) | shifted[:, 1]
+
+
+def cell_reach(radius_km: np.ndarray, cell_km: float) -> np.ndarray:
+    """Per-radius Chebyshev cell reach, as :meth:`GridSpatialIndex.within`
+    computes it: ``floor(radius / cell) + 2``.
+
+    Any point within ``radius_km`` (under a metric dominating L∞) of a
+    query point lies in a cell at Chebyshev cell-distance at most
+    ``floor(radius/cell) + 1``; the extra ring absorbs floating-point
+    division slop, exactly as the object index's queries do.
+    """
+    radii = np.asarray(radius_km, dtype=np.float64)
+    return np.floor_divide(radii, cell_km).astype(np.int64) + 2
 
 
 def suggest_cell_size(points: Iterable[Point], *, floor_km: float = 0.25) -> float:

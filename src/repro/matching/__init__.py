@@ -58,6 +58,22 @@ from repro.matching.rotations import (
     eliminate_rotation,
     exposed_rotations,
 )
+from repro.matching.shard_warm import (
+    ShardedFrameState,
+    ShardFrameInfo,
+    sharded_state_from_cold,
+    sharded_warm_frame_solve,
+)
+from repro.matching.sharding import (
+    Shard,
+    ShardDecomposition,
+    acceptability_radii,
+    frame_decomposition,
+    shard_problems,
+    sharded_nonsharing_match,
+    solve_shard,
+    theta_components,
+)
 from repro.matching.stable_marriage import (
     complete_with_dummies,
     gale_shapley,
@@ -100,6 +116,18 @@ __all__ = [
     "incremental_nonsharing_arrays",
     "deferred_acceptance_resumable",
     "resume_deferred_acceptance",
+    "Shard",
+    "ShardDecomposition",
+    "ShardedFrameState",
+    "ShardFrameInfo",
+    "acceptability_radii",
+    "frame_decomposition",
+    "shard_problems",
+    "sharded_nonsharing_match",
+    "sharded_state_from_cold",
+    "sharded_warm_frame_solve",
+    "solve_shard",
+    "theta_components",
     "all_stable_matchings",
     "enumerate_all_stable_matchings",
     "break_dispatch",

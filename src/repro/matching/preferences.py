@@ -54,12 +54,7 @@ import numpy as np
 from repro.core.config import DispatchConfig
 from repro.core.errors import PreferenceError
 from repro.core.types import PassengerRequest, Taxi
-from repro.geometry.distance import (
-    DistanceOracle,
-    EuclideanDistance,
-    ManhattanDistance,
-    ScaledDistance,
-)
+from repro.geometry.distance import DistanceOracle, oracle_dominates_linf
 from repro.geometry.batch import (
     as_point_array,
     batch_kernels_exact,
@@ -488,17 +483,11 @@ def _prune_eligible(oracle: DistanceOracle, config: DispatchConfig) -> bool:
 
     The grid query under-approximates distance with L-infinity cell
     geometry, so it is exact only for metrics that dominate L-infinity
-    on the stored planar coordinates: Euclidean and Manhattan, and any
-    ``ScaledDistance`` expansion (factor >= 1) of such a metric.
+    on the stored planar coordinates
+    (:func:`~repro.geometry.distance.oracle_dominates_linf`), and only
+    when the passenger threshold actually bounds the candidate ball.
     """
-    if not math.isfinite(config.passenger_threshold_km):
-        return False
-    base = oracle
-    while isinstance(base, ScaledDistance):
-        if base.factor < 1.0:
-            return False
-        base = base._base  # noqa: SLF001 - same-package structural check
-    return isinstance(base, (EuclideanDistance, ManhattanDistance))
+    return math.isfinite(config.passenger_threshold_km) and oracle_dominates_linf(oracle)
 
 
 def _scalar_table(

@@ -1,0 +1,697 @@
+"""Shard-aware warm frame solver: fused facts, keyed GS, adaptive strips.
+
+This composes PR 6's warm-start churn machinery
+(:mod:`repro.matching.warm_frame`) with the θ-ball component
+decomposition of :mod:`repro.matching.sharding`, in one
+allocation-lean pipeline.  Three ideas on top of the plain warm solver:
+
+**Shard state needs no split/merge bookkeeping.**  The warm stability
+theorem says the frame's entire edge set lives on the churn strips
+(``new taxis × all requests`` ∪ ``retained taxis × new requests``) —
+retained × retained pairs are mutually unacceptable, or they would have
+blocked last frame's matching.  Shard labels are therefore recomputed
+*fresh* on every decomposed frame from the current coordinates, and
+per-shard work is derived from this frame's labels and this frame's
+churn alone: a component that split or merged since the previous frame
+simply produces different labels, with nothing carried across frames to
+invalidate.  (Carried facts — coordinates, party, trip, seats, α — are
+properties of frozen entities, not of shards.)
+
+**Per-shard strips are a restriction, not a different edge set.**  A
+cross-shard pair is beyond the acceptability radius by construction, so
+scoring strips shard-by-shard discards only pairs the global masks
+would discard anyway; the surviving edge set is identical, and the
+canonical pack below orders it identically.  Shards with no churn on
+the relevant side contribute no strip at all — the component-level form
+of the stability theorem.  Because restriction only pays when churn is
+spatially concentrated (many mixed components), the solver *probes*
+every ``probe_interval`` frames: it decomposes, compares the restricted
+pair count against the global strip count, and enables per-shard strips
+only while the ratio stays under ``restrict_threshold``.  On a
+one-giant-component geometry (the NYC benchmark — θ_pass is unbinding
+and the driver radius covers the city) the probe keeps restriction off
+and the decomposition runs ~1/64 frames, costing microseconds per frame
+amortized.
+
+**One canonical order, half the sort work.**  The cold pack sorts both
+sides' preference lists; deferred acceptance only ever *walks* the
+proposer lists, while reviewer lists are consulted solely to compare
+two suitors.  The solver therefore packs just the proposer CSR (one
+``np.lexsort`` by proposer row, then score, then partner id — the same
+total ``(row, score, id)`` key as the cold lexsort, and a *total* order
+because the partner id is unique within a row, so the CSR is
+bit-identical no matter what order strips were emitted in) and replaces
+the reviewer-side rank structure with one complex128 key per edge:
+``reviewer_score + 1j·proposer_id``.  NumPy orders complex values
+lexicographically (real, then imaginary), so a single ``np.minimum``
+reduction over keys picks exactly the suitor the reviewer's
+``(score, id)``-sorted list ranks best — the same winner, hence the
+same matching, as the rank-based engine, round for round.  Ids ride in
+the imaginary float64 lane, exact below 2^53; larger ids raise
+:class:`~repro.core.errors.WarmStartError` and the frame re-runs cold.
+
+Entity facts are carried as two fused matrices (``(R, 4)`` request
+``x, y, party, trip`` and ``(T, 4)`` taxi ``x, y, seats, α``) so a
+frame's retained-entity gather is one fancy-index per side.  Party and
+seat counts are validated to the float-exact integer range on
+extraction.  The identity index keeps only *previously unmatched*
+entities: a previously matched entity that reappears is simply not
+found and re-enters as new, which removes the matched-address
+subtraction the plain solver performs every frame.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DispatchConfig
+from repro.core.errors import WarmStartError
+from repro.core.types import PassengerRequest, Taxi
+from repro.geometry.batch import as_point_array, batch_kernels_exact
+from repro.geometry.distance import DistanceOracle
+from repro.geometry.point import Point
+from repro.matching.arrays import NO_PARTNER
+from repro.matching.incremental import IncrementalBuildStats
+from repro.matching.result import Matching
+from repro.matching.sharding import ShardDecomposition, frame_decomposition, shard_problems
+from repro.matching.warm_frame import (
+    _addrs_of,
+    _pickup_strip,
+    _sorted_member_rows,
+    request_trips,
+)
+
+__all__ = [
+    "ShardedFrameState",
+    "ShardFrameInfo",
+    "sharded_state_from_cold",
+    "sharded_warm_frame_solve",
+]
+
+#: Column layout of the fused per-request fact matrix.
+_RX, _RY, _RPARTY, _RTRIP = 0, 1, 2, 3
+#: Column layout of the fused per-taxi fact matrix.
+_TX, _TY, _TSEATS, _TALPHA = 0, 1, 2, 3
+
+#: Ids and counts carried in float64 lanes must stay integer-exact.
+_FLOAT_EXACT = float(1 << 53)
+
+#: Decompose-and-compare cadence of the adaptive probe, in frames.
+DEFAULT_PROBE_INTERVAL = 64
+#: Enable per-shard strips while restricted/global pair ratio ≤ this.
+DEFAULT_RESTRICT_THRESHOLD = 0.7
+
+
+@dataclass(slots=True)
+class ShardedFrameState:
+    """Frame-to-frame state of the sharded warm solver.
+
+    The identity machinery pins the previous frame's objects (so CPython
+    cannot reuse their addresses) exactly like :class:`~repro.matching.
+    warm_frame.FrameSolveState`, but the sorted address index covers only
+    the entities the previous matching left *unmatched* — membership in
+    the index is the whole retained test.  Entity facts are fused into
+    one matrix per side, and the adaptive-probe position rides along.
+    No shard labels are stored — see the module docstring.
+    """
+
+    req_ids: np.ndarray
+    req_addr_sorted: np.ndarray
+    """Sorted addresses of the previously *unmatched* requests."""
+    req_addr_rows: np.ndarray
+    """Previous-frame row of each ``req_addr_sorted`` entry."""
+    req_objs: list[PassengerRequest]
+    rfacts: np.ndarray
+    """``(R, 4)`` float64: pickup x, pickup y, party, trip km."""
+    taxi_ids: np.ndarray
+    taxi_addr_sorted: np.ndarray
+    """Sorted addresses of the previously *unmatched* taxis."""
+    taxi_addr_rows: np.ndarray
+    taxi_objs: list[Taxi]
+    tfacts: np.ndarray
+    """``(T, 4)`` float64: x, y, seats, α."""
+    restrict: bool
+    """Whether per-shard strip restriction is currently enabled."""
+    frames_since_probe: int
+    ids_bound: float
+    """Upper bound on ``max |id|`` over every entity the state has seen.
+
+    Conservative and monotone (departed entities keep contributing), so
+    one scalar comparison per frame replaces the full-array float-exact
+    scan; a cold reseed recomputes it exactly.
+    """
+    counts_bound: float
+    """Same bound for party sizes and seat counts."""
+    facts_finite: bool
+    """Every trip and α the state has seen was finite (conservative —
+    enables the lean strip masks; never affects correctness)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShardFrameInfo:
+    """What the sharding machinery did on one warm frame."""
+
+    probed: bool
+    restricted: bool
+    n_shards: int
+    """Mixed (solvable) shard count on decomposed frames, else 0."""
+    largest_entities: int
+    """Entities in the largest component on decomposed frames, else 0."""
+    frame_entities: int
+    pairs_global: int
+    """Strip pairs the unrestricted solver would score."""
+    pairs_scored: int
+    """Strip pairs actually scored (== ``pairs_global`` unrestricted)."""
+
+
+def _taxi_fact_row(
+    taxi: Taxi, config: DispatchConfig, alpha_by_taxi: Mapping[int, float] | None
+) -> tuple[float, float, float, float]:
+    alpha = float(
+        config.alpha if alpha_by_taxi is None else alpha_by_taxi.get(taxi.taxi_id, config.alpha)
+    )
+    return (taxi.location.x, taxi.location.y, float(taxi.seats), alpha)
+
+
+def _abs_max(values: np.ndarray) -> float:
+    """``max |values|`` as a float, 0 for an empty array."""
+    return float(np.abs(values).max()) if values.size else 0.0
+
+
+def _unmatched_addr_index(
+    addrs: np.ndarray, matched_rows: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted unmatched addresses, their frame rows)`` for one side."""
+    keep = np.ones(n, dtype=bool)
+    keep[matched_rows] = False
+    rows = np.flatnonzero(keep)
+    order = np.argsort(addrs[rows])
+    rows = rows[order]
+    return addrs[rows], rows
+
+
+def _rows_of_ids(ids: np.ndarray, wanted: Sequence[int]) -> np.ndarray:
+    """Frame rows of ``wanted`` ids (each id must occur in ``ids``)."""
+    if not len(wanted):
+        return np.empty(0, dtype=np.intp)
+    wanted_arr = np.fromiter(map(int, wanted), dtype=np.int64, count=len(wanted))
+    order = np.argsort(ids, kind="stable")
+    return np.asarray(order[np.searchsorted(ids[order], wanted_arr)], dtype=np.intp)
+
+
+def sharded_state_from_cold(
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    matching: Matching,
+    *,
+    trip: np.ndarray,
+    config: DispatchConfig,
+    alpha_by_taxi: Mapping[int, float] | None = None,
+    probe_interval: int = DEFAULT_PROBE_INTERVAL,
+) -> ShardedFrameState:
+    """Seed sharded warm state from a cold frame's inputs and matching.
+
+    ``frames_since_probe`` starts at the probe interval so the first
+    warm frame decomposes and decides restriction immediately.
+    """
+    n_requests = len(requests)
+    n_taxis = len(taxis)
+    req_ids = np.fromiter((r.request_id for r in requests), dtype=np.int64, count=n_requests)
+    taxi_ids = np.fromiter((t.taxi_id for t in taxis), dtype=np.int64, count=n_taxis)
+    req_addr_sorted, req_addr_rows = _unmatched_addr_index(
+        _addrs_of(requests), _rows_of_ids(req_ids, [p for p, _ in matching.pairs]), n_requests
+    )
+    taxi_addr_sorted, taxi_addr_rows = _unmatched_addr_index(
+        _addrs_of(taxis), _rows_of_ids(taxi_ids, [t for _, t in matching.pairs]), n_taxis
+    )
+    rfacts = np.empty((n_requests, 4), dtype=np.float64)
+    rfacts[:, _RX : _RY + 1] = as_point_array([r.pickup for r in requests], check_finite=False)
+    rfacts[:, _RPARTY] = np.fromiter(
+        (r.passengers for r in requests), dtype=np.int64, count=n_requests
+    )
+    rfacts[:, _RTRIP] = np.asarray(trip, dtype=np.float64)
+    tfacts = np.array(
+        [_taxi_fact_row(t, config, alpha_by_taxi) for t in taxis], dtype=np.float64
+    ).reshape(n_taxis, 4)
+    facts_finite = bool(np.isfinite(rfacts[:, _RTRIP]).all()) and bool(
+        np.isfinite(tfacts[:, _TALPHA]).all()
+    )
+    return ShardedFrameState(
+        req_ids=req_ids,
+        req_addr_sorted=req_addr_sorted,
+        req_addr_rows=req_addr_rows,
+        req_objs=list(requests),
+        rfacts=rfacts,
+        taxi_ids=taxi_ids,
+        taxi_addr_sorted=taxi_addr_sorted,
+        taxi_addr_rows=taxi_addr_rows,
+        taxi_objs=list(taxis),
+        tfacts=tfacts,
+        restrict=False,
+        frames_since_probe=probe_interval,
+        ids_bound=max(_abs_max(req_ids), _abs_max(taxi_ids)),
+        counts_bound=max(_abs_max(rfacts[:, _RPARTY]), _abs_max(tfacts[:, _TSEATS])),
+        facts_finite=facts_finite,
+    )
+
+
+def _gs_rounds_keyed(
+    indptr: np.ndarray, pref: np.ndarray, keys: np.ndarray, n_reviewers: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Gale–Shapley rounds on complex suitor keys.
+
+    The same round structure as
+    :func:`~repro.matching.deferred_acceptance.gale_shapley_rounds`,
+    with the per-reviewer rank reduction replaced by a lexicographic
+    ``np.minimum`` over ``score + 1j·proposer_id`` keys.  Within one
+    round each reviewer accepts the incoming suitor with the smallest
+    key — exactly the best-ranked suitor of the rank engine, since the
+    reviewer's rank order *is* ascending ``(score, id)``.  Equal key
+    sets traverse equal rounds, so the matching is bit-identical; the
+    proposal/refusal counters the rank engine reports are not
+    maintained (warm frames never consume them).
+
+    Returns ``(partner, next_choice)``.  A proposer stops proposing the
+    moment it is accepted and only resumes when displaced, so for every
+    proposer matched at termination ``next_choice[p] - 1`` is the packed
+    index of its *accepted* edge — the egress reads the matched pair's
+    already-computed leg lengths straight out of the edge arrays.
+    """
+    next_choice = indptr[:-1].copy()
+    ends = indptr[1:]
+    partner = np.full(n_reviewers, NO_PARTNER, dtype=np.int64)
+    # The dummy partner's key: any listed suitor beats it.
+    best = np.full(n_reviewers, np.inf, dtype=np.complex128)
+    free = np.flatnonzero(ends > next_choice)
+    while free.size:
+        active = free[next_choice[free] < ends[free]]
+        if active.size == 0:
+            break
+        edges = next_choice[active]
+        reviewers = pref[edges]
+        offered = keys[edges]
+        next_choice[active] += 1
+        np.minimum.at(best, reviewers, offered)
+        won = offered == best[reviewers]
+        winners = active[won]
+        win_reviewers = reviewers[won]
+        holders = partner[win_reviewers]
+        displaced = holders[holders != NO_PARTNER]
+        partner[win_reviewers] = winners
+        free = np.concatenate((active[~won], displaced))
+    return partner, next_choice
+
+
+def sharded_warm_frame_solve(
+    state: ShardedFrameState,
+    taxis: Sequence[Taxi],
+    requests: Sequence[PassengerRequest],
+    oracle: DistanceOracle,
+    config: DispatchConfig,
+    *,
+    optimize_for: str = "passenger",
+    alpha_by_taxi: Mapping[int, float] | None = None,
+    on_new_trips: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    probe_interval: int = DEFAULT_PROBE_INTERVAL,
+    restrict_threshold: float = DEFAULT_RESTRICT_THRESHOLD,
+    cell_km: float | None = None,
+) -> tuple[
+    Matching,
+    tuple[np.ndarray, np.ndarray],
+    tuple[np.ndarray, np.ndarray],
+    IncrementalBuildStats,
+    ShardedFrameState,
+    ShardFrameInfo,
+]:
+    """Solve one frame warm with shard-aware strips.
+
+    Bit-identical to the cold array path (and to
+    :func:`~repro.matching.warm_frame.warm_frame_solve`) on the same
+    inputs: restriction never changes the surviving edge set, the pack
+    realizes the cold lexsort's total order, and the keyed rounds
+    reproduce the rank engine's decisions — see the module docstring
+    for each argument.  Returns ``(matching, matched (taxi_rows,
+    request_rows) sorted by request id, matched (pickup_km, trip_km)
+    legs in the same order, build stats, next state, shard info)``.
+    The legs are read from the frame's own edge arrays — the pickup leg
+    is the exact-kernel distance of the accepted edge, the trip leg the
+    carried trip fact — so a consumer can execute the matching without
+    re-deriving either distance.
+    """
+    n_requests = len(requests)
+    n_taxis = len(taxis)
+    theta = config.passenger_threshold_km
+    tau = config.taxi_threshold_km
+
+    # -- classify churn: retained == member of the unmatched index ---------
+    addrs = _addrs_of(requests)
+    ret_r, addr_pos = _sorted_member_rows(state.req_addr_sorted, addrs)
+    prev_rows = state.req_addr_rows[addr_pos] if state.req_addr_rows.size else addr_pos
+    taxi_addrs = _addrs_of(taxis)
+    ret_t, taxi_pos = _sorted_member_rows(state.taxi_addr_sorted, taxi_addrs)
+    prev_t_rows = state.taxi_addr_rows[taxi_pos] if state.taxi_addr_rows.size else taxi_pos
+
+    new_r_rows = np.flatnonzero(~ret_r)
+    ret_r_rows = np.flatnonzero(ret_r)
+    new_t_rows = np.flatnonzero(~ret_t)
+    ret_t_rows = np.flatnonzero(ret_t)
+
+    # -- fused entity facts: one gather per side, extract only the new -----
+    # Retained rows were bounded and finiteness-checked when they first
+    # entered a state, so only the new entities update the carried
+    # bounds; one scalar comparison per frame replaces the full scans.
+    ids_bound = state.ids_bound
+    counts_bound = state.counts_bound
+    facts_finite = state.facts_finite
+    # Packed kernel entry points skip the per-call sequence conversion
+    # and validation of the public batch API; same kernel, same bits.
+    # Exact oracles without them (user-supplied) take the public path.
+    exact_kernels = batch_kernels_exact(oracle)
+    paired_packed = getattr(oracle, "paired_packed", None) if exact_kernels else None
+    pairwise_packed = getattr(oracle, "pairwise_packed", None) if exact_kernels else None
+    taxi_ids = np.empty(n_taxis, dtype=np.int64)
+    tfacts = np.empty((n_taxis, 4), dtype=np.float64)
+    if ret_t_rows.size:
+        src_t = prev_t_rows[ret_t_rows]
+        taxi_ids[ret_t_rows] = state.taxi_ids[src_t]
+        tfacts[ret_t_rows] = state.tfacts[src_t]
+    new_taxis = [taxis[i] for i in new_t_rows.tolist()]
+    if new_taxis:
+        k = len(new_taxis)
+        new_tids = np.fromiter((t.taxi_id for t in new_taxis), dtype=np.int64, count=k)
+        taxi_ids[new_t_rows] = new_tids
+        if alpha_by_taxi is None:
+            # Flat extraction: one C-level loop for x, y, seats; α is a
+            # frame constant.
+            blk = np.fromiter(
+                (v for t in new_taxis for v in (t.location.x, t.location.y, t.seats)),
+                dtype=np.float64,
+                count=3 * k,
+            ).reshape(k, 3)
+            tfacts[new_t_rows, :_TALPHA] = blk
+            alpha_const = float(config.alpha)
+            tfacts[new_t_rows, _TALPHA] = alpha_const
+            seats_new = blk[:, _TSEATS]
+            if alpha_const < 0.0:
+                raise WarmStartError("negative alpha in frame", reason="bad-alpha")
+            facts_finite = facts_finite and math.isfinite(alpha_const)
+        else:
+            new_trows = np.array(
+                [_taxi_fact_row(t, config, alpha_by_taxi) for t in new_taxis], dtype=np.float64
+            )
+            tfacts[new_t_rows] = new_trows
+            seats_new = new_trows[:, _TSEATS]
+            if bool(np.any(new_trows[:, _TALPHA] < 0.0)):
+                raise WarmStartError("negative alpha in frame", reason="bad-alpha")
+            facts_finite = facts_finite and bool(np.isfinite(new_trows[:, _TALPHA]).all())
+        ids_bound = max(ids_bound, _abs_max(new_tids))
+        counts_bound = max(counts_bound, _abs_max(seats_new))
+    taxi_ids_ascending = n_taxis < 2 or bool(np.all(taxi_ids[1:] > taxi_ids[:-1]))
+    if not taxi_ids_ascending and np.unique(taxi_ids).size != n_taxis:
+        raise WarmStartError("duplicate taxi ids in frame", reason="duplicate-ids")
+
+    req_ids = np.empty(n_requests, dtype=np.int64)
+    rfacts = np.empty((n_requests, 4), dtype=np.float64)
+    if ret_r_rows.size:
+        src = prev_rows[ret_r_rows]
+        req_ids[ret_r_rows] = state.req_ids[src]
+        rfacts[ret_r_rows] = state.rfacts[src]
+    new_requests = [requests[j] for j in new_r_rows.tolist()]
+    if new_requests:
+        k = len(new_requests)
+        new_rids = np.fromiter((r.request_id for r in new_requests), dtype=np.int64, count=k)
+        req_ids[new_r_rows] = new_rids
+        new_pick = as_point_array([r.pickup for r in new_requests], check_finite=False)
+        rfacts[new_r_rows, :_RPARTY] = new_pick
+        party_new = np.fromiter(
+            (r.passengers for r in new_requests), dtype=np.float64, count=k
+        )
+        rfacts[new_r_rows, _RPARTY] = party_new
+        if paired_packed is not None:
+            new_drop = as_point_array([r.dropoff for r in new_requests], check_finite=False)
+            new_trips = np.asarray(paired_packed(new_pick, new_drop), dtype=np.float64)
+            # request_trips validates coordinates on the exact path; a
+            # non-finite coordinate always surfaces as a non-finite trip
+            # (±inf/NaN survive subtraction, squaring and sqrt), so the
+            # packed kernel reproduces its error behaviour from the trip
+            # values alone.
+            if not bool(np.isfinite(new_trips).all()):
+                raise ValueError("non-finite coordinate in batch distance input")
+        else:
+            new_trips = request_trips(new_requests, oracle)
+            facts_finite = facts_finite and bool(np.isfinite(new_trips).all())
+        rfacts[new_r_rows, _RTRIP] = new_trips
+        ids_bound = max(ids_bound, _abs_max(new_rids))
+        counts_bound = max(counts_bound, _abs_max(party_new))
+        if on_new_trips is not None:
+            on_new_trips(new_rids, new_trips)
+    req_ids_ascending = n_requests < 2 or bool(np.all(req_ids[1:] > req_ids[:-1]))
+    if not req_ids_ascending and np.unique(req_ids).size != n_requests:
+        raise WarmStartError("duplicate request ids in frame", reason="duplicate-ids")
+    # Ids ride in the complex keys' imaginary float64 lane and counts in
+    # fact-matrix lanes; both must stay integer-exact.  The carried
+    # bounds cover every entity this state chain has seen (cold seeds
+    # scan their full arrays), so two scalar comparisons suffice.
+    if ids_bound >= _FLOAT_EXACT:
+        raise WarmStartError("frame id exceeds float-exact range", reason="id-overflow")
+    if counts_bound >= _FLOAT_EXACT:
+        raise WarmStartError("frame count exceeds float-exact range", reason="id-overflow")
+
+    txy = tfacts[:, : _TY + 1]
+    rxy = rfacts[:, : _RY + 1]
+    seats = tfacts[:, _TSEATS]
+    alpha = tfacts[:, _TALPHA]
+    party = rfacts[:, _RPARTY]
+    trip = rfacts[:, _RTRIP]
+
+    # -- adaptive probe / decomposition ------------------------------------
+    pairs_global = int(new_t_rows.size) * n_requests + int(ret_t_rows.size) * int(
+        new_r_rows.size
+    )
+    frames_since = state.frames_since_probe + 1
+    probed = False
+    restricted = state.restrict
+    decomp: ShardDecomposition | None = None
+    n_mixed = 0
+    largest_entities = 0
+    pairs_restricted = pairs_global
+    shard_blocks: list[tuple[np.ndarray, np.ndarray]] = []
+    if restricted or frames_since >= probe_interval:
+        alpha_max = float(alpha.max()) if n_taxis else float(config.alpha)
+        decomp = frame_decomposition(
+            txy, rxy, trip, oracle, config, alpha_max=alpha_max, cell_km=cell_km
+        )
+        probed = frames_since >= probe_interval
+        if probed:
+            frames_since = 0
+        if decomp.degenerate_reason is not None:
+            restricted = False
+        else:
+            new_t_mask = ~ret_t
+            new_r_mask = ~ret_r
+            problems = shard_problems(decomp, req_ids)
+            n_mixed = len(problems)
+            entities = np.bincount(
+                decomp.taxi_labels, minlength=decomp.n_shards
+            ) + np.bincount(decomp.request_labels, minlength=decomp.n_shards)
+            largest_entities = int(entities.max()) if entities.size else 0
+            pairs_restricted = 0
+            for shard in problems:
+                t_rows = shard.taxi_rows
+                r_rows = shard.request_rows
+                nt = t_rows[new_t_mask[t_rows]]
+                rt = t_rows[~new_t_mask[t_rows]]
+                nr = r_rows[new_r_mask[r_rows]]
+                if nt.size and r_rows.size:
+                    pairs_restricted += int(nt.size) * int(r_rows.size)
+                    shard_blocks.append((nt, r_rows))
+                if rt.size and nr.size:
+                    pairs_restricted += int(rt.size) * int(nr.size)
+                    shard_blocks.append((rt, nr))
+            if probed:
+                ratio = pairs_restricted / pairs_global if pairs_global else 1.0
+                restricted = ratio <= restrict_threshold
+            if not restricted:
+                pairs_restricted = pairs_global
+
+    # -- churn strips (globally, or per shard when restriction pays) -------
+    strip_ti: list[np.ndarray] = []
+    strip_rj: list[np.ndarray] = []
+    strip_pick: list[np.ndarray] = []
+    strip_driver: list[np.ndarray] = []
+    # Lean-mask regime: with θ finite and every trip/α finite, a pair can
+    # only survive ``pick ≤ θ`` with finite pick, and then its driver cost
+    # is finite by construction (finite − finite·finite); NaN coordinates
+    # fail the ≤ comparisons on their own.  Both ``isfinite`` masks are
+    # therefore redundant — the surviving edge set is provably identical.
+    lean_masks = math.isfinite(theta) and facts_finite
+
+    def score_block(t_block: np.ndarray, r_block: np.ndarray | None) -> None:
+        """Score one taxi-rows × request-rows strip and keep survivors.
+
+        ``r_block=None`` means *all requests* (the new-taxi strip) and
+        skips the request-side gathers entirely.
+        """
+        if r_block is None:
+            r_xy, r_party, r_trip = rxy, party, trip
+
+            def pick_points() -> list[Point]:
+                return [r.pickup for r in requests]
+
+        else:
+            rb = r_block
+            r_xy = rxy[rb]
+            r_party = party[rb]
+            r_trip = trip[rb]
+
+            def pick_points() -> list[Point]:
+                return [requests[j].pickup for j in rb.tolist()]
+
+        if pairwise_packed is not None:
+            pick_m = pairwise_packed(txy[t_block], r_xy)
+        else:
+            pick_m = _pickup_strip(
+                oracle,
+                txy[t_block],
+                lambda: [taxis[i].location for i in t_block.tolist()],
+                r_xy,
+                pick_points,
+            )
+        # Same *, − operations as ``pick − α·trip``, recycling the α·trip
+        # buffer (bit-identical, one fewer strip-sized allocation).
+        driver_m = alpha[t_block, None] * r_trip[None, :]
+        np.subtract(pick_m, driver_m, out=driver_m)
+        ok = pick_m <= theta
+        ok &= r_party[None, :] <= seats[t_block, None]
+        if not lean_masks:
+            ok &= np.isfinite(pick_m)
+            ok &= np.isfinite(driver_m)
+        ok &= driver_m <= tau
+        # One nonzero scan feeds every gather: integer fancy indexing
+        # walks the same row-major survivor order a boolean mask would,
+        # without re-scanning the mask per gathered array.
+        t_loc, r_loc = np.nonzero(ok)
+        strip_ti.append(t_block[t_loc])
+        strip_rj.append(r_loc if r_block is None else r_block[r_loc])
+        strip_pick.append(pick_m[t_loc, r_loc])
+        strip_driver.append(driver_m[t_loc, r_loc])
+
+    if restricted and decomp is not None:
+        for t_block, r_block in shard_blocks:
+            score_block(t_block, r_block)
+    else:
+        if new_t_rows.size and n_requests:
+            score_block(new_t_rows, None)
+        if ret_t_rows.size and new_r_rows.size:
+            score_block(ret_t_rows, new_r_rows)
+
+    if strip_ti:
+        ti = np.concatenate(strip_ti)
+        rj = np.concatenate(strip_rj)
+        pick = np.concatenate(strip_pick)
+        driver = np.concatenate(strip_driver)
+    else:
+        ti = np.empty(0, dtype=np.intp)
+        rj = np.empty(0, dtype=np.intp)
+        pick = np.empty(0, dtype=np.float64)
+        driver = np.empty(0, dtype=np.float64)
+    n_edges = len(rj)
+
+    # -- proposer-only canonical pack + keyed GS ---------------------------
+    # One lexsort realizes the total (proposer row, score, partner id)
+    # order of the cold pack regardless of strip emission order — the key
+    # triple is unique per edge (a partner appears once per row), so the
+    # permutation is the unique sorted order.  The reviewer side needs no
+    # pack at all: its (score, id) order is encoded in the complex keys.
+    idx_small = max(n_taxis, n_requests) <= 32767
+    if optimize_for == "taxi":
+        prop_rows, rev_rows = ti, rj
+        n_prop, n_rev = n_taxis, n_requests
+        prop_score = driver
+        partner_tie = (
+            rj.astype(np.int16) if (idx_small and req_ids_ascending) else req_ids[rj]
+        )
+        rev_score = pick
+        rev_tie_ids = taxi_ids
+    else:
+        prop_rows, rev_rows = rj, ti
+        n_prop, n_rev = n_requests, n_taxis
+        prop_score = pick
+        partner_tie = (
+            ti.astype(np.int16) if (idx_small and taxi_ids_ascending) else taxi_ids[ti]
+        )
+        rev_score = driver
+        rev_tie_ids = req_ids
+    prop_small = prop_rows.astype(np.int16) if idx_small else prop_rows
+    order = np.lexsort((partner_tie, prop_score, prop_small))
+    indptr = np.zeros(n_prop + 1, dtype=np.int64)
+    np.cumsum(np.bincount(prop_rows, minlength=n_prop), out=indptr[1:])
+    pref = rev_rows[order]
+    keys = np.empty(n_edges, dtype=np.complex128)
+    keys.real = rev_score[order]
+    keys.imag = rev_tie_ids[prop_rows[order]].astype(np.float64)
+    partner, final_choice = _gs_rounds_keyed(indptr, pref, keys, n_rev)
+
+    matched_rev = np.flatnonzero(partner != NO_PARTNER)
+    matched_prop = partner[matched_rev]
+    if optimize_for == "taxi":
+        t_rows_m, r_rows_m = matched_prop, matched_rev
+    else:
+        t_rows_m, r_rows_m = matched_rev, matched_prop
+    pairs = dict(zip(req_ids[r_rows_m].tolist(), taxi_ids[t_rows_m].tolist()))
+    matching = Matching(pairs)
+    row_order = np.argsort(req_ids[r_rows_m], kind="stable")
+    matched_rows = (t_rows_m[row_order], r_rows_m[row_order])
+    # Each matched proposer's accepted edge is its last proposal
+    # (``final_choice - 1`` in pack order); ``order`` maps it back to the
+    # strip arrays, whose pick entry is the exact-kernel pickup distance
+    # of that very pair.
+    pick_pair = pick[order[final_choice[matched_prop] - 1]]
+    matched_legs = (pick_pair[row_order], trip[matched_rows[1]])
+
+    stats = IncrementalBuildStats(
+        n_taxis=n_taxis,
+        n_requests=n_requests,
+        retained_taxis=int(ret_t_rows.size),
+        retained_requests=int(ret_r_rows.size),
+        pairs_scored=pairs_restricted if restricted else pairs_global,
+        full_pairs=n_taxis * n_requests,
+    )
+    info = ShardFrameInfo(
+        probed=probed,
+        restricted=restricted,
+        n_shards=n_mixed,
+        largest_entities=largest_entities,
+        frame_entities=n_taxis + n_requests,
+        pairs_global=pairs_global,
+        pairs_scored=pairs_restricted if restricted else pairs_global,
+    )
+
+    req_addr_sorted, req_addr_rows = _unmatched_addr_index(
+        addrs, matched_rows[1], n_requests
+    )
+    taxi_addr_sorted, taxi_addr_rows = _unmatched_addr_index(
+        taxi_addrs, matched_rows[0], n_taxis
+    )
+    new_state = ShardedFrameState(
+        req_ids=req_ids,
+        req_addr_sorted=req_addr_sorted,
+        req_addr_rows=req_addr_rows,
+        req_objs=list(requests),
+        rfacts=rfacts,
+        taxi_ids=taxi_ids,
+        taxi_addr_sorted=taxi_addr_sorted,
+        taxi_addr_rows=taxi_addr_rows,
+        taxi_objs=list(taxis),
+        tfacts=tfacts,
+        restrict=restricted,
+        frames_since_probe=frames_since,
+        ids_bound=ids_bound,
+        counts_bound=counts_bound,
+        facts_finite=facts_finite,
+    )
+    return matching, matched_rows, matched_legs, stats, new_state, info

@@ -30,7 +30,7 @@ from repro.core.errors import (
     TransientFaultError,
 )
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
-from repro.dispatch.base import Dispatcher
+from repro.dispatch.base import Dispatcher, PackedSingleSchedule
 from repro.dispatch.scoring import assignment_metrics
 from repro.geometry.distance import DistanceOracle
 from repro.resilience.ladder import ResiliencePolicy, Rung
@@ -141,6 +141,16 @@ class SimulationResult:
         full = self.dispatch_telemetry.get("full_pairs_warm", 0)
         if full:
             stats["warm_rebuild_fraction"] = float(scored) / float(full)
+        decomposed = self.dispatch_telemetry.get("shard_decomposed_frames", 0)
+        if decomposed:
+            stats["shard_count_mean"] = float(
+                self.dispatch_telemetry.get("shard_count", 0)
+            ) / float(decomposed)
+        entities = self.dispatch_telemetry.get("frame_entities", 0)
+        if entities:
+            stats["largest_shard_fraction"] = float(
+                self.dispatch_telemetry.get("largest_shard_entities", 0)
+            ) / float(entities)
         return stats
 
     def summary(self) -> dict[str, float]:
@@ -163,18 +173,6 @@ def _percentile(sorted_samples: list[float], q: float) -> float:
         return 0.0
     rank = max(1, math.ceil(q * len(sorted_samples)))
     return sorted_samples[rank - 1]
-
-
-@dataclass(slots=True)
-class _PendingRequest:
-    request: PassengerRequest
-    outcome: RequestOutcome = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.outcome = RequestOutcome(
-            request_id=self.request.request_id,
-            request_time_s=self.request.request_time_s,
-        )
 
 
 class Simulator:
@@ -208,6 +206,11 @@ class Simulator:
         # turns it into a single vectorized comparison.
         agent_list = list(agents.values())
         agent_row = {agent.taxi_id: row for row, agent in enumerate(agent_list)}
+        # Snapshots are memoized per agent on its location object; keeping
+        # the current view in a row-indexed list turns the per-frame idle
+        # gather into pure list indexing.  Entries refresh at the two
+        # places an agent moves: assignment and repositioning.
+        snapshots = [agent.snapshot() for agent in agent_list]
         available_at = np.fromiter(
             (agent.available_at_s for agent in agent_list),
             dtype=np.float64,
@@ -215,13 +218,18 @@ class Simulator:
         )
 
         ordered = sorted(requests, key=lambda r: (r.request_time_s, r.request_id))
-        pending_pool = [_PendingRequest(r) for r in ordered]
-        outcomes_by_id = {p.request.request_id: p.outcome for p in pending_pool}
-        if len(outcomes_by_id) != len(pending_pool):
+        outcomes = [
+            RequestOutcome(request_id=r.request_id, request_time_s=r.request_time_s)
+            for r in ordered
+        ]
+        outcomes_by_id = {outcome.request_id: outcome for outcome in outcomes}
+        if len(outcomes_by_id) != len(ordered):
             raise SimulationError("duplicate request ids in trace")
 
         arrival_cursor = 0
-        queue: dict[int, _PendingRequest] = {}
+        # Insertion-ordered by admission; the per-frame dispatch batch is
+        # one C-level ``list()`` call over its values.
+        queue: dict[int, PassengerRequest] = {}
         assignments: list[AssignmentRecord] = []
         frame_stats: list[FrameStats] = []
 
@@ -261,12 +269,12 @@ class Simulator:
             # Admit requests that arrived during the last frame.
             admitted: list[PassengerRequest] = []
             while (
-                arrival_cursor < len(pending_pool)
-                and pending_pool[arrival_cursor].request.request_time_s <= time_s
+                arrival_cursor < len(ordered)
+                and ordered[arrival_cursor].request_time_s <= time_s
             ):
-                entry = pending_pool[arrival_cursor]
-                queue[entry.request.request_id] = entry
-                admitted.append(entry.request)
+                incoming = ordered[arrival_cursor]
+                queue[incoming.request_id] = incoming
+                admitted.append(incoming)
                 arrival_cursor += 1
 
             # Optional idle-taxi cruising (off in the paper's model).
@@ -283,6 +291,7 @@ class Simulator:
                     )
                     agent.total_driven_km += agent.location.distance_to(moved)
                     agent.location = moved
+                    snapshots[agent_row[agent.taxi_id]] = agent.snapshot()
 
             # Expire requests whose patience ran out.
             abandoned_now = 0
@@ -293,12 +302,13 @@ class Simulator:
                 # the expired entries form a prefix: stop at the first
                 # survivor instead of scanning the whole queue.
                 expired = []
-                for rid, entry in queue.items():
-                    if time_s - entry.request.request_time_s <= config.passenger_patience_s:
+                for rid, queued in queue.items():
+                    if time_s - queued.request_time_s <= config.passenger_patience_s:
                         break
                     expired.append(rid)
                 for rid in expired:
-                    queue.pop(rid).outcome.abandoned = True
+                    del queue[rid]
+                    outcomes_by_id[rid].abandoned = True
                 abandoned_now = len(expired)
                 cache.retire_requests(expired)
 
@@ -306,11 +316,11 @@ class Simulator:
             dispatched_now = 0
             assignments_before = len(assignments)
             idle_rows = np.flatnonzero(available_at <= time_s)
-            idle = [agent_list[row].snapshot() for row in idle_rows.tolist()]
+            idle = [snapshots[row] for row in idle_rows.tolist()]
             dispatch_ms = 0.0
             cache.begin_frame()  # taxi positions changed: drop stale matrices
             if queue and idle:
-                batch = [entry.request for entry in queue.values()]
+                batch = list(queue.values())
                 # repro-lint: disable=REP001 telemetry only: dispatch_ms never feeds a decision
                 dispatch_start = time.perf_counter()
                 if policy is None:
@@ -330,64 +340,195 @@ class Simulator:
                             rung_dispatcher.reset_warm_state()
                 # repro-lint: disable=REP001 telemetry only: dispatch_ms never feeds a decision
                 dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
-                # The queue mapping doubles as the known-request-id view;
-                # only the handful of assigned requests need resolving,
-                # not the whole batch.
-                schedule.validate_ids({t.taxi_id for t in idle}, queue)
-                requests_by_id = {
-                    rid: queue[rid].request
-                    for scheduled in schedule.assignments
-                    for rid in scheduled.request_ids
-                }
-                for assignment in schedule.assignments:
-                    agent = agents[assignment.taxi_id]
-                    metrics = assignment_metrics(
-                        agent.snapshot(),
-                        assignment,
-                        requests_by_id,
-                        self.oracle,
-                        self.dispatcher.config,
-                    )
-                    arrivals = agent.assign(assignment, time_s, self.oracle, config)
-                    available_at[agent_row[assignment.taxi_id]] = agent.available_at_s
-                    revenue = sum(
-                        cache.trip_distance(requests_by_id[rid])
-                        for rid in assignment.request_ids
-                    )
-                    assignments.append(
-                        AssignmentRecord(
-                            frame_time_s=time_s,
-                            taxi_id=assignment.taxi_id,
-                            request_ids=assignment.request_ids,
-                            taxi_dissatisfaction=metrics.taxi_dissatisfaction,
-                            total_drive_km=metrics.total_drive_km,
-                            revenue_km=revenue,
+                dcfg = self.dispatcher.config
+                oracle = self.oracle
+                if (
+                    isinstance(schedule, PackedSingleSchedule)
+                    and schedule.taxis is idle
+                    and schedule.requests is batch
+                ):
+                    # Array-backed frame: the schedule's rows index this
+                    # very frame's ``idle`` / ``batch`` (checked by
+                    # identity above, so every row names a known
+                    # entity), and the no-taxi-twice / no-request-twice
+                    # validation the object path runs per id becomes two
+                    # uniqueness checks on the row arrays.  The executed
+                    # plans and every recorded number replicate the
+                    # object path's fast branch bit for bit.
+                    t_rows = schedule.taxi_rows
+                    r_rows = schedule.request_rows
+                    n_pairs = int(t_rows.size)
+                    if n_pairs and (
+                        np.unique(t_rows).size != n_pairs
+                        or np.unique(r_rows).size != n_pairs
+                        or int(t_rows.min()) < 0
+                        or int(t_rows.max()) >= len(idle)
+                        or int(r_rows.min()) < 0
+                        or int(r_rows.max()) >= len(batch)
+                    ):
+                        raise ValueError(
+                            "packed schedule has duplicate or out-of-range rows"
                         )
-                    )
-                    for arrival in arrivals:
-                        outcome = outcomes_by_id[arrival.request_id]
-                        if arrival.is_pickup:
-                            outcome.pickup_time_s = arrival.time_s
-                        else:
-                            outcome.dropoff_time_s = arrival.time_s
-                    for rid in assignment.request_ids:
+                    picks = schedule.pickup_km
+                    trips = schedule.trip_km
+                    pick_list = picks.tolist() if picks is not None else None
+                    trip_list = trips.tolist() if trips is not None else None
+                    retired: list[int] = []
+                    for index, (t_row, r_row) in enumerate(
+                        zip(t_rows.tolist(), r_rows.tolist())
+                    ):
+                        request = batch[r_row]
+                        taxi_id = idle[t_row].taxi_id
+                        agent = agents[taxi_id]
+                        # Solver-supplied legs are bit-equal to the
+                        # scalar oracle by the batch-exactness contract;
+                        # without them the legs are derived exactly as
+                        # the object path derives them.
+                        d1 = (
+                            pick_list[index]
+                            if pick_list is not None
+                            else oracle.distance(agent.location, request.pickup)
+                        )
+                        d2 = (
+                            trip_list[index]
+                            if trip_list is not None
+                            else cache.trip_distance(request)
+                        )
+                        pickup_km = 0.0 + d1
+                        total_drive = pickup_km + d2
+                        detour = (total_drive - pickup_km) - d2
+                        taxi_dis = total_drive - (dcfg.alpha + 1.0) * d2
+                        pickup_s, dropoff_s = agent.assign_single(
+                            request, time_s, d1, d2, config
+                        )
+                        rid = request.request_id
                         outcome = outcomes_by_id[rid]
+                        outcome.pickup_time_s = pickup_s
+                        outcome.dropoff_time_s = dropoff_s
                         outcome.dispatch_time_s = time_s
-                        outcome.taxi_id = assignment.taxi_id
-                        outcome.group_size = len(assignment.request_ids)
+                        outcome.taxi_id = taxi_id
+                        outcome.group_size = 1
                         outcome.passenger_dissatisfaction = (
-                            metrics.passenger_dissatisfaction[rid]
+                            pickup_km + dcfg.beta * detour
                         )
                         del queue[rid]
-                        dispatched_now += 1
-                # Dispatched requests never return to a frame; their
-                # request-keyed memos are dead (revenue above was their
-                # last read).
-                cache.retire_requests(
-                    rid
-                    for assignment in schedule.assignments
-                    for rid in assignment.request_ids
-                )
+                        retired.append(rid)
+                        row = agent_row[taxi_id]
+                        available_at[row] = agent.available_at_s
+                        snapshots[row] = agent.snapshot()
+                        assignments.append(
+                            AssignmentRecord(
+                                frame_time_s=time_s,
+                                taxi_id=taxi_id,
+                                request_ids=(rid,),
+                                taxi_dissatisfaction=taxi_dis,
+                                total_drive_km=total_drive,
+                                revenue_km=d2,
+                            )
+                        )
+                    dispatched_now = n_pairs
+                    cache.retire_requests(retired)
+                else:
+                    # The queue mapping doubles as the known-request-id
+                    # view; only the handful of assigned requests need
+                    # resolving, not the whole batch.
+                    schedule.validate_ids({t.taxi_id for t in idle}, queue)
+                    requests_by_id = {
+                        rid: queue[rid]
+                        for scheduled in schedule.assignments
+                        for rid in scheduled.request_ids
+                    }
+                    for assignment in schedule.assignments:
+                        taxi_id = assignment.taxi_id
+                        agent = agents[taxi_id]
+                        rids = assignment.request_ids
+                        stops = assignment.stops
+                        request = requests_by_id[rids[0]] if len(rids) == 1 else None
+                        if (
+                            request is not None
+                            and len(stops) == 2
+                            and stops[0].point is request.pickup
+                            and stops[1].point is request.dropoff
+                        ):
+                            # The canonical non-sharing plan (drive to the
+                            # pickup, then the dropoff): inline the
+                            # assignment_metrics formulas in their exact
+                            # operation order — the ``0.0 +`` seed, the
+                            # cumulative subtraction, and all — so every
+                            # number is bit-identical while skipping the
+                            # per-assignment dict/dataclass machinery.  The
+                            # trip leg comes from the frame cache (exact by
+                            # contract) and both legs feed assign_single, so
+                            # the oracle runs once per leg for the frame.
+                            d1 = oracle.distance(agent.location, request.pickup)
+                            d2 = cache.trip_distance(request)
+                            pickup_km = 0.0 + d1
+                            total_drive = pickup_km + d2
+                            detour = (total_drive - pickup_km) - d2
+                            taxi_dis = total_drive - (dcfg.alpha + 1.0) * d2
+                            revenue = d2
+                            pickup_s, dropoff_s = agent.assign_single(
+                                request, time_s, d1, d2, config
+                            )
+                            rid = rids[0]
+                            outcome = outcomes_by_id[rid]
+                            outcome.pickup_time_s = pickup_s
+                            outcome.dropoff_time_s = dropoff_s
+                            outcome.dispatch_time_s = time_s
+                            outcome.taxi_id = taxi_id
+                            outcome.group_size = 1
+                            outcome.passenger_dissatisfaction = (
+                                pickup_km + dcfg.beta * detour
+                            )
+                            del queue[rid]
+                            dispatched_now += 1
+                        else:
+                            metrics = assignment_metrics(
+                                agent.snapshot(), assignment, requests_by_id, oracle, dcfg
+                            )
+                            taxi_dis = metrics.taxi_dissatisfaction
+                            total_drive = metrics.total_drive_km
+                            revenue = sum(
+                                cache.trip_distance(requests_by_id[rid]) for rid in rids
+                            )
+                            arrivals = agent.assign(assignment, time_s, oracle, config)
+                            for arrival in arrivals:
+                                outcome = outcomes_by_id[arrival.request_id]
+                                if arrival.is_pickup:
+                                    outcome.pickup_time_s = arrival.time_s
+                                else:
+                                    outcome.dropoff_time_s = arrival.time_s
+                            for rid in rids:
+                                outcome = outcomes_by_id[rid]
+                                outcome.dispatch_time_s = time_s
+                                outcome.taxi_id = taxi_id
+                                outcome.group_size = len(rids)
+                                outcome.passenger_dissatisfaction = (
+                                    metrics.passenger_dissatisfaction[rid]
+                                )
+                                del queue[rid]
+                                dispatched_now += 1
+                        row = agent_row[taxi_id]
+                        available_at[row] = agent.available_at_s
+                        snapshots[row] = agent.snapshot()
+                        assignments.append(
+                            AssignmentRecord(
+                                frame_time_s=time_s,
+                                taxi_id=taxi_id,
+                                request_ids=rids,
+                                taxi_dissatisfaction=taxi_dis,
+                                total_drive_km=total_drive,
+                                revenue_km=revenue,
+                            )
+                        )
+                    # Dispatched requests never return to a frame; their
+                    # request-keyed memos are dead (revenue above was their
+                    # last read).
+                    cache.retire_requests(
+                        rid
+                        for assignment in schedule.assignments
+                        for rid in assignment.request_ids
+                    )
 
             frame_stats.append(
                 FrameStats(
@@ -403,7 +544,7 @@ class Simulator:
             frames_run += 1
             # Past the horizon no new requests arrive; stop as soon as the
             # queue drains (or patience will clear it).
-            if time_s >= config.horizon_s and not queue and arrival_cursor >= len(pending_pool):
+            if time_s >= config.horizon_s and not queue and arrival_cursor >= len(ordered):
                 break
             time_s += frame
 
@@ -438,7 +579,7 @@ class Simulator:
         # Anything still queued at the deadline is unserved.
         return SimulationResult(
             dispatcher_name=self.dispatcher.name,
-            outcomes=[p.outcome for p in pending_pool],
+            outcomes=outcomes,
             assignments=assignments,
             frames_run=frames_run,
             final_time_s=min(time_s, deadline),

@@ -32,6 +32,7 @@ only how fast it is produced.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from itertools import islice
 
 import numpy as np
 
@@ -42,11 +43,20 @@ from repro.geometry.distance import DistanceOracle
 __all__ = ["FrameDistanceCache"]
 
 
+#: Default ceiling on memoized trip distances.  Generous for any city-day
+#: queue (tens of thousands of live requests) while bounding month-scale
+#: soak runs whose drivers never retire requests promptly.
+DEFAULT_TRIP_CAPACITY = 200_000
+
+
 class FrameDistanceCache:
     """One frame's batched distance matrices, computed once, read many."""
 
-    def __init__(self, oracle: DistanceOracle):
+    def __init__(self, oracle: DistanceOracle, *, trip_capacity: int = DEFAULT_TRIP_CAPACITY):
+        if trip_capacity < 1:
+            raise ValueError(f"trip_capacity must be positive, got {trip_capacity}")
         self.oracle = oracle
+        self.trip_capacity = int(trip_capacity)
         # taxi-dependent: cleared every begin_frame()
         self._pickup: dict[tuple[tuple[int, ...], tuple[int, ...]], np.ndarray] = {}
         # request-keyed: persist while their request is live (see
@@ -58,6 +68,24 @@ class FrameDistanceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _enforce_trip_cap(self) -> None:
+        """Evict oldest-inserted trip memos beyond ``trip_capacity``.
+
+        Insertion order approximates request arrival order, so FIFO
+        eviction drops the longest-queued entries — the ones most likely
+        to expire next.  Evicting a *live* request's trip is safe: the
+        next read recomputes the same exact-kernel value and re-memoizes
+        it.  This is the backstop for drivers that never call
+        :meth:`retire_requests` (long soaks); with a well-behaved engine
+        the memo stays queue-sized and the cap never engages.
+        """
+        trips = self._trip_km
+        overflow = len(trips) - self.trip_capacity
+        if overflow > 0:
+            for rid in list(islice(iter(trips), overflow)):
+                del trips[rid]
+            self.evictions += overflow
 
     def begin_frame(self) -> None:
         """Start a new frame: drop everything keyed on taxi positions."""
@@ -73,16 +101,19 @@ class FrameDistanceCache:
         the request-keyed memos by the live queue instead of letting
         them grow with the whole trace.
         """
-        retired = set(request_ids)
-        if not retired:
-            return
-        dead_trips = retired.intersection(self._trip_km)
+        trips = self._trip_km
+        # Membership tests run against the retired ids (a frame's worth),
+        # never by scanning the memo itself (queue-sized or larger).
+        dead_trips = [rid for rid in request_ids if rid in trips]
         for rid in dead_trips:
-            del self._trip_km[rid]
-        dead_keys = [key for key in self._gap if retired.intersection(key)]
-        for key in dead_keys:
-            del self._gap[key]
-        self.evictions += len(dead_trips) + len(dead_keys)
+            del trips[rid]
+        self.evictions += len(dead_trips)
+        if self._gap and dead_trips:
+            retired = set(dead_trips)
+            dead_keys = [key for key in self._gap if retired.intersection(key)]
+            for key in dead_keys:
+                del self._gap[key]
+            self.evictions += len(dead_keys)
 
     def stats(self) -> dict[str, float | int]:
         """Occupancy and traffic counters, for run telemetry."""
@@ -91,6 +122,7 @@ class FrameDistanceCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_evictions": self.evictions,
+            "cache_trip_capacity": self.trip_capacity,
             "cache_trip_entries": len(self._trip_km),
             "cache_gap_entries": len(self._gap),
         }
@@ -170,9 +202,17 @@ class FrameDistanceCache:
                 trips[request.request_id] = km
         else:
             self.hits += 1
-        return np.array([trips[r.request_id] for r in requests], dtype=np.float64)
+        # Build the result before enforcing the cap: a single batch
+        # larger than the capacity still reads back every value it just
+        # measured, and only then sheds the overflow.
+        result = np.array([trips[r.request_id] for r in requests], dtype=np.float64)
+        if missing:
+            self._enforce_trip_cap()
+        return result
 
-    def prime_trip_km(self, request_ids: Sequence[int], km: Sequence[float]) -> None:
+    def prime_trip_km(
+        self, request_ids: Sequence[int] | np.ndarray, km: Sequence[float] | np.ndarray
+    ) -> None:
         """Seed the trip memo with values computed elsewhere.
 
         The warm frame solver computes new requests' trip distances with
@@ -180,9 +220,14 @@ class FrameDistanceCache:
         the engine's per-assignment :meth:`trip_distance` reads hitting
         the memo on warm frames exactly as they do on cold ones.
         """
+        rid_list = request_ids.tolist() if isinstance(request_ids, np.ndarray) else [
+            int(rid) for rid in request_ids
+        ]
+        km_list = km.tolist() if isinstance(km, np.ndarray) else [float(value) for value in km]
         trips = self._trip_km
-        for rid, value in zip(request_ids, km):
-            trips[int(rid)] = float(value)
+        for rid, value in zip(rid_list, km_list):
+            trips[rid] = value
+        self._enforce_trip_cap()
 
     def trip_distance(self, request: PassengerRequest) -> float:
         """Single-request trip distance through the same memo."""
@@ -198,6 +243,9 @@ class FrameDistanceCache:
             )
             self._trip_km[request.request_id] = km
             self.misses += 1
+            if len(self._trip_km) > self.trip_capacity:
+                del self._trip_km[next(iter(self._trip_km))]
+                self.evictions += 1
         else:
             self.hits += 1
         return km

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SimulationConfig
 from repro.core.errors import SimulationError
-from repro.core.types import Assignment, Taxi
+from repro.core.types import Assignment, PassengerRequest, Taxi
 from repro.geometry.distance import DistanceOracle
 from repro.geometry.point import Point
 
@@ -102,3 +102,38 @@ class TaxiAgent:
         self.completed_trips += 1
         self.served_requests += len(assignment.request_ids)
         return arrivals
+
+    def assign_single(
+        self,
+        request: PassengerRequest,
+        start_time_s: float,
+        pickup_leg_km: float,
+        trip_km: float,
+        sim_config: SimulationConfig,
+    ) -> tuple[float, float]:
+        """:meth:`assign` specialised to the canonical non-sharing plan.
+
+        Applies exactly the state updates :meth:`assign` would for a
+        two-stop pickup→dropoff assignment of ``request`` — same
+        operations in the same order, so every accumulated float is
+        bit-identical — and returns ``(pickup_time_s, dropoff_time_s)``
+        instead of building :class:`StopArrival` objects.  The caller
+        supplies the two leg lengths and owes bit-equality with the
+        scalar oracle (the engine passes distances it already computed
+        for the frame's metrics under the batch-exactness contract);
+        ownership of the assignment is the caller's to check.
+        """
+        if not self.is_idle_at(start_time_s):
+            raise SimulationError(
+                f"taxi {self.taxi_id} assigned at {start_time_s} but busy until {self.available_at_s}"
+            )
+        clock = start_time_s + sim_config.travel_time_s(pickup_leg_km)
+        self.total_driven_km += pickup_leg_km
+        pickup_time_s = clock
+        clock += sim_config.travel_time_s(trip_km)
+        self.total_driven_km += trip_km
+        self.location = request.dropoff
+        self.available_at_s = clock
+        self.completed_trips += 1
+        self.served_requests += 1
+        return pickup_time_s, clock

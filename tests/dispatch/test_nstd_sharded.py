@@ -1,0 +1,209 @@
+"""Unit tests for the sharded NSTD dispatcher paths.
+
+Solver-level identity lives in the matching and property suites; these
+tests pin the dispatcher plumbing around it: constructor validation,
+cold sharded frames identical to the global cold solve, the opt-in
+worker pool, per-shard budget degradation, the packed egress schedule,
+and the shard telemetry counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.dispatch.base import PackedSingleSchedule
+from repro.dispatch.nonsharing import NSTDDispatcher
+from repro.geometry import EuclideanDistance, Point
+from repro.resilience.budget import FrameBudget
+
+ORACLE = EuclideanDistance()
+CONFIG = DispatchConfig(passenger_threshold_km=3.0, taxi_threshold_km=5.0)
+
+
+def clustered_frame(seed=11, n_clusters=3, per_cluster=4):
+    """Several well-separated clusters: a genuinely multi-shard frame."""
+    rng = np.random.default_rng(seed)
+    taxis, requests = [], []
+    for c in range(n_clusters):
+        cx = c * 100.0
+        for _ in range(per_cluster):
+            taxis.append(Taxi(len(taxis), Point(cx + rng.uniform(-1, 1), rng.uniform(-1, 1))))
+            requests.append(
+                PassengerRequest(
+                    1000 + len(requests),
+                    Point(cx + rng.uniform(-1, 1), rng.uniform(-1, 1)),
+                    Point(cx + rng.uniform(-1, 1), rng.uniform(-1, 1)),
+                )
+            )
+    return taxis, requests
+
+
+def pairs_of(schedule):
+    return sorted((a.taxi_id, a.request_ids) for a in schedule.assignments)
+
+
+class TestConstructorValidation:
+    def test_sharded_requires_array_fast_path(self):
+        with pytest.raises(ValueError, match="array fast path"):
+            NSTDDispatcher(ORACLE, CONFIG, sharded=True, use_arrays=False)
+        with pytest.raises(ValueError, match="array fast path"):
+            NSTDDispatcher(
+                ORACLE, CONFIG, optimize_for="taxi", exact=True, sharded=True
+            )
+        with pytest.raises(ValueError, match="array fast path"):
+            NSTDDispatcher(ORACLE, CONFIG, optimize_for="median", sharded=True)
+
+    def test_shard_workers_requires_sharded(self):
+        with pytest.raises(ValueError, match="requires sharded"):
+            NSTDDispatcher(ORACLE, CONFIG, shard_workers=2)
+
+    def test_shard_workers_rejects_warm_start(self):
+        with pytest.raises(ValueError, match="cold sharded path"):
+            NSTDDispatcher(
+                ORACLE, CONFIG, sharded=True, warm_start=True, shard_workers=2
+            )
+
+    def test_shard_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            NSTDDispatcher(ORACLE, CONFIG, sharded=True, shard_workers=0)
+
+
+class TestColdShardedIdentity:
+    def test_sharded_cold_matches_global_cold(self):
+        taxis, requests = clustered_frame()
+        for mode in ("passenger", "taxi"):
+            plain = NSTDDispatcher(ORACLE, CONFIG, optimize_for=mode)
+            sharded = NSTDDispatcher(ORACLE, CONFIG, optimize_for=mode, sharded=True)
+            assert pairs_of(sharded.dispatch(taxis, requests)) == pairs_of(
+                plain.dispatch(taxis, requests)
+            )
+
+    def test_telemetry_counts_decomposition(self):
+        taxis, requests = clustered_frame(n_clusters=3)
+        sharded = NSTDDispatcher(ORACLE, CONFIG, sharded=True)
+        sharded.dispatch(taxis, requests)
+        telemetry = sharded.run_telemetry()
+        assert telemetry["sharded_frames"] == 1
+        assert telemetry["shard_decomposed_frames"] == 1
+        assert telemetry["shard_count"] >= 3
+        # Clusters 100 km apart: almost the whole dense block is skipped.
+        assert telemetry["cross_shard_pairs_avoided"] > 0
+        assert telemetry["largest_shard_entities"] <= len(taxis) + len(requests)
+
+    def test_worker_pool_matches_serial(self):
+        taxis, requests = clustered_frame(seed=23)
+        serial = NSTDDispatcher(ORACLE, CONFIG, sharded=True)
+        pooled = NSTDDispatcher(ORACLE, CONFIG, sharded=True, shard_workers=2)
+        try:
+            assert pairs_of(pooled.dispatch(taxis, requests)) == pairs_of(
+                serial.dispatch(taxis, requests)
+            )
+        finally:
+            pooled.shutdown_shard_pool()
+
+
+class TestPerShardDegradation:
+    def _ticking_budget(self, duration_s):
+        ticks = iter(range(10_000))
+
+        def clock():
+            return float(next(ticks))
+
+        return FrameBudget(duration_s, clock=clock)
+
+    def test_expired_budget_degrades_pending_shards(self):
+        taxis, requests = clustered_frame(n_clusters=3)
+        sharded = NSTDDispatcher(ORACLE, CONFIG, sharded=True, warm_start=True)
+        # Clock advances one unit per checkpoint: "nstd:start" and
+        # "nstd:decomposed" pass, the first "nstd:shard" check fires.
+        sharded.frame_budget = self._ticking_budget(2.5)
+        schedule = sharded.dispatch(taxis, requests)
+        telemetry = sharded.run_telemetry()
+        assert telemetry["shards_degraded"] == telemetry["shard_count"]
+        # Every request still gets a (greedy) answer inside its shard...
+        assert len(schedule.assignments) == len(requests)
+        # ...but a degraded frame never seeds the warm state.
+        assert sharded._sharded_state is None
+
+    def test_roomy_budget_changes_nothing(self):
+        taxis, requests = clustered_frame(n_clusters=2)
+        plain = NSTDDispatcher(ORACLE, CONFIG, sharded=True)
+        budgeted = NSTDDispatcher(ORACLE, CONFIG, sharded=True)
+        budgeted.frame_budget = FrameBudget(60.0)
+        assert pairs_of(budgeted.dispatch(taxis, requests)) == pairs_of(
+            plain.dispatch(taxis, requests)
+        )
+        assert budgeted.run_telemetry().get("shards_degraded", 0) == 0
+
+
+class TestPackedEgress:
+    def _warm_frames(self, mode="passenger"):
+        """Two engine-contract frames; frame two is warm and non-empty."""
+        rng = np.random.default_rng(31)
+        taxis, requests = clustered_frame(seed=31)
+        # More requests than taxis, so frame two still has a queue.
+        requests += [
+            PassengerRequest(
+                2000 + i,
+                Point(i % 3 * 100.0 + rng.uniform(-1, 1), rng.uniform(-1, 1)),
+                Point(i % 3 * 100.0 + rng.uniform(-1, 1), rng.uniform(-1, 1)),
+            )
+            for i in range(6)
+        ]
+        sharded = NSTDDispatcher(
+            ORACLE, CONFIG, optimize_for=mode, sharded=True, warm_start=True
+        )
+        first = sharded.dispatch(taxis, requests)
+        served = first.served_request_ids
+        dispatched = first.dispatched_taxi_ids
+        # Dispatched taxis return as fresh objects at new positions.
+        next_taxis = [t for t in taxis if t.taxi_id not in dispatched] + [
+            Taxi(
+                t.taxi_id,
+                Point(float(rng.integers(0, 3)) * 100.0 + rng.uniform(-1, 1), rng.uniform(-1, 1)),
+            )
+            for t in taxis
+            if t.taxi_id in dispatched
+        ]
+        next_requests = [r for r in requests if r.request_id not in served]
+        second = sharded.dispatch(next_taxis, next_requests)
+        assert next_taxis and next_requests and second.assignments
+        return sharded, next_taxis, next_requests, second
+
+    def test_warm_frame_returns_packed_schedule(self):
+        sharded, taxis, requests, second = self._warm_frames()
+        assert isinstance(second, PackedSingleSchedule)
+        assert sharded.run_telemetry().get("warm_frames", 0) == 1
+
+    def test_packed_schedule_matches_cold_dispatcher(self):
+        _, taxis, requests, second = self._warm_frames()
+        cold = NSTDDispatcher(ORACLE, CONFIG)
+        assert pairs_of(second) == pairs_of(cold.dispatch(taxis, requests))
+
+    def test_lazy_assignments_materialize_once(self):
+        _, taxis, requests, second = self._warm_frames()
+        first_read = second.assignments
+        assert second.assignments is first_read  # memoized in the slot
+        for assignment, (t_row, r_row) in zip(
+            first_read, zip(second.taxi_rows.tolist(), second.request_rows.tolist())
+        ):
+            assert assignment.taxi_id == taxis[t_row].taxi_id
+            assert assignment.request_ids == (requests[r_row].request_id,)
+            pickup, dropoff = assignment.stops
+            assert pickup.is_pickup and not dropoff.is_pickup
+            assert pickup.point == requests[r_row].pickup
+            assert dropoff.point == requests[r_row].dropoff
+
+    def test_packed_legs_are_bit_exact(self):
+        _, taxis, requests, second = self._warm_frames()
+        assert second.pickup_km is not None and second.trip_km is not None
+        for index, (t_row, r_row) in enumerate(
+            zip(second.taxi_rows.tolist(), second.request_rows.tolist())
+        ):
+            request = requests[r_row]
+            assert second.pickup_km[index] == ORACLE.distance(
+                taxis[t_row].location, request.pickup
+            )
+            assert second.trip_km[index] == ORACLE.distance(
+                request.pickup, request.dropoff
+            )

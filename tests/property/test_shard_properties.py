@@ -1,0 +1,148 @@
+"""Property tests: the sharded solve is the global DA, always.
+
+Hypothesis drives frames built from *adversarial geometries* for the
+θ-ball decomposition — candidate pairs sitting exactly on the θ and 2θ
+acceptability boundaries, duplicated coordinates (many entities in one
+grid cell), one giant connected component, widely separated singleton
+clusters, and empty sides — and asserts that
+:func:`~repro.matching.sharding.sharded_nonsharing_match` returns the
+*identical* matching to the global deferred-acceptance solve, for both
+optimization modes, at several coarsening cell sizes including the
+degenerate single-cell extreme.
+
+A second property pins determinism: permuting the input order of taxis
+and requests never changes the matched pairs (the decomposition labels
+permute with the entities; preference ties break on global ids, not
+positions), so the sharded path inherits the global solver's
+order-independence.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DispatchConfig, PassengerRequest, Taxi
+from repro.geometry import EuclideanDistance, Point
+from repro.matching import sharded_nonsharing_match, solve_shard
+
+ORACLE = EuclideanDistance()
+
+# Unthresholded, and two θ / 2θ operating points whose integer
+# thresholds sit on exact integer-grid distances, so generated pairs
+# regularly land exactly on the acceptability boundary.
+CONFIGS = (
+    DispatchConfig(),
+    DispatchConfig(passenger_threshold_km=2.0, taxi_threshold_km=4.0),
+    DispatchConfig(passenger_threshold_km=1.0, taxi_threshold_km=2.0),
+)
+
+# None picks the median-radius default; 0.25 over-fragments the cell
+# graph; 1000.0 merges everything into one shard (the global solve
+# itself) — correctness must hold at every granularity.
+CELL_SIZES = (None, 0.25, 1.0, 1000.0)
+
+
+def _points(rng: np.random.Generator, n: int, geometry: str) -> list[Point]:
+    """``n`` points in one of the adversarial layouts."""
+    if geometry == "giant":
+        # One dense blob: a single θ-ball component.
+        xy = rng.integers(-2, 3, size=(n, 2))
+    elif geometry == "singletons":
+        # Clusters far beyond any radius: mostly one-entity shards.
+        centers = rng.integers(0, max(n, 1), size=n) * 1000
+        xy = np.stack([centers, rng.integers(-1, 2, size=n)], axis=1)
+    elif geometry == "boundary":
+        # Points on a 1-km lattice line: with the θ=1, 2θ=2 configs the
+        # pair distances hit the thresholds exactly.
+        xy = np.stack([rng.integers(0, 6, size=n), np.zeros(n, dtype=np.int64)], axis=1)
+    elif geometry == "duplicates":
+        # Coordinates drawn from two cells only: heavy duplication.
+        xy = rng.integers(0, 2, size=(n, 2)) * 3
+    else:  # mixed integer grid
+        xy = rng.integers(-6, 7, size=(n, 2))
+    return [Point(float(x), float(y)) for x, y in xy.tolist()]
+
+
+def _frame(
+    rng: np.random.Generator, geometry: str, n_taxis: int, n_requests: int
+) -> tuple[list[Taxi], list[PassengerRequest]]:
+    taxis = [
+        Taxi(tid, p) for tid, p in enumerate(_points(rng, n_taxis, geometry))
+    ]
+    pickups = _points(rng, n_requests, geometry)
+    dropoffs = _points(rng, n_requests, geometry)
+    requests = [
+        PassengerRequest(100 + rid, pickup, dropoff)
+        for rid, (pickup, dropoff) in enumerate(zip(pickups, dropoffs))
+    ]
+    return taxis, requests
+
+
+GEOMETRIES = ("giant", "singletons", "boundary", "duplicates", "mixed")
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    geometry=st.sampled_from(GEOMETRIES),
+    n_taxis=st.integers(min_value=0, max_value=9),
+    n_requests=st.integers(min_value=0, max_value=9),
+    config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+    cell_index=st.integers(min_value=0, max_value=len(CELL_SIZES) - 1),
+    mode=st.sampled_from(["passenger", "taxi"]),
+)
+def test_sharded_identical_to_global_da(
+    seed, geometry, n_taxis, n_requests, config_index, cell_index, mode
+):
+    config = CONFIGS[config_index]
+    taxis, requests = _frame(np.random.default_rng(seed), geometry, n_taxis, n_requests)
+
+    sharded, decomp = sharded_nonsharing_match(
+        taxis,
+        requests,
+        ORACLE,
+        config,
+        optimize_for=mode,
+        cell_km=CELL_SIZES[cell_index],
+    )
+    if not taxis or not requests:
+        # Empty sides short-circuit to an explicitly degenerate
+        # decomposition and an empty matching.
+        assert sharded.pairs == frozenset()
+        assert decomp.degenerate_reason == "empty-side"
+        return
+
+    global_da = solve_shard(taxis, requests, ORACLE, config, optimize_for=mode)
+    assert sharded.pairs == global_da.pairs
+
+    # The label arrays cover the frame even when the cell graph merged
+    # everything into one shard.
+    assert decomp.taxi_labels.shape == (len(taxis),)
+    assert decomp.request_labels.shape == (len(requests),)
+    assert decomp.n_shards >= 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    geometry=st.sampled_from(GEOMETRIES),
+    n_taxis=st.integers(min_value=1, max_value=8),
+    n_requests=st.integers(min_value=1, max_value=8),
+    config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+    mode=st.sampled_from(["passenger", "taxi"]),
+)
+def test_sharded_deterministic_under_permutation(
+    seed, geometry, n_taxis, n_requests, config_index, mode
+):
+    config = CONFIGS[config_index]
+    rng = np.random.default_rng(seed)
+    taxis, requests = _frame(rng, geometry, n_taxis, n_requests)
+
+    reference, _ = sharded_nonsharing_match(
+        taxis, requests, ORACLE, config, optimize_for=mode
+    )
+    shuffled_taxis = [taxis[i] for i in rng.permutation(len(taxis)).tolist()]
+    shuffled_requests = [requests[j] for j in rng.permutation(len(requests)).tolist()]
+    permuted, _ = sharded_nonsharing_match(
+        shuffled_taxis, shuffled_requests, ORACLE, config, optimize_for=mode
+    )
+    assert permuted.pairs == reference.pairs

@@ -173,3 +173,62 @@ class TestDispatcherTransparency:
             cached_pairs = sorted((a.taxi_id, a.request_ids) for a in cached.assignments)
             assert bare_pairs == cached_pairs, dispatcher.name
             assert cache.misses > 0, dispatcher.name  # the cache was actually consulted
+
+
+class TestTripCapacity:
+    """The trip memo is bounded: FIFO eviction beyond ``trip_capacity``."""
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrameDistanceCache(ORACLE, trip_capacity=0)
+
+    def test_batched_insert_evicts_oldest(self):
+        _, requests = small_frame(n_requests=8)
+        cache = FrameDistanceCache(ORACLE, trip_capacity=5)
+        cache.trip_km(requests)
+        stats = cache.stats()
+        assert stats["cache_trip_capacity"] == 5
+        assert stats["cache_trip_entries"] == 5
+        assert stats["cache_evictions"] == 3
+        # FIFO: the three oldest-inserted ids (frame order) are gone; a
+        # re-read recomputes the same exact value (one more miss), while
+        # the newest-inserted ids still hit.
+        misses_before = cache.misses
+        assert cache.trip_distance(requests[-1]) == ORACLE.distance(
+            requests[-1].pickup, requests[-1].dropoff
+        )
+        assert cache.misses == misses_before
+        assert cache.trip_distance(requests[0]) == ORACLE.distance(
+            requests[0].pickup, requests[0].dropoff
+        )
+        assert cache.misses == misses_before + 1
+
+    def test_single_insert_evicts_at_cap(self):
+        _, requests = small_frame(n_requests=4)
+        cache = FrameDistanceCache(ORACLE, trip_capacity=2)
+        for request in requests:
+            cache.trip_distance(request)
+        assert cache.stats()["cache_trip_entries"] == 2
+        assert cache.stats()["cache_evictions"] == 2
+
+    def test_prime_respects_cap(self):
+        cache = FrameDistanceCache(ORACLE, trip_capacity=3)
+        cache.prime_trip_km(np.arange(10), np.linspace(1.0, 2.0, 10))
+        assert cache.stats()["cache_trip_entries"] == 3
+        assert cache.stats()["cache_evictions"] == 7
+
+    def test_retirement_counts_as_eviction(self):
+        _, requests = small_frame(n_requests=6)
+        cache = FrameDistanceCache(ORACLE)
+        cache.trip_km(requests)
+        cache.pickup_gap_matrix(requests)
+        cache.retire_requests([r.request_id for r in requests[:2]])
+        stats = cache.stats()
+        assert stats["cache_trip_entries"] == 4
+        assert stats["cache_gap_entries"] == 0  # the gap key mentioned them
+        assert stats["cache_evictions"] == 3  # two trips + one gap matrix
+
+    def test_retiring_unknown_ids_is_a_no_op(self):
+        cache = FrameDistanceCache(ORACLE)
+        cache.retire_requests([999, 1000])
+        assert cache.stats()["cache_evictions"] == 0
