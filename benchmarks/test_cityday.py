@@ -38,6 +38,7 @@ from repro.experiments import (
     environment_metadata,
 )
 from repro.geometry import EuclideanDistance
+from repro.resilience import DEFAULT_AUDIT_RATE, StabilityAuditor
 from repro.simulation import Simulator
 from repro.trace.profiles import nyc_profile
 
@@ -73,7 +74,7 @@ class TestCityDayBenchmark:
         sim_config = city_simulation_config(profile.scaled(scale.factor))
         fleet, day_requests = build_workload(profile, scale)
 
-        def run_city_day(warm, sharded=False):
+        def run_city_day(warm, sharded=False, audited=False):
             """One full simulated day; returns (result, e2e wall ms)."""
             dispatcher = NSTDDispatcher(
                 ORACLE,
@@ -82,7 +83,8 @@ class TestCityDayBenchmark:
                 warm_start=warm,
                 sharded=sharded,
             )
-            simulator = Simulator(dispatcher, ORACLE, sim_config)
+            auditor = StabilityAuditor(rate=DEFAULT_AUDIT_RATE) if audited else None
+            simulator = Simulator(dispatcher, ORACLE, sim_config, auditor=auditor)
             start = time.perf_counter()
             result = simulator.run(fleet, day_requests)
             return result, (time.perf_counter() - start) * 1e3
@@ -205,6 +207,36 @@ class TestCityDayBenchmark:
             baseline="cityday_nstd_p_cold",
             extra=sharded_extra,
         )
+
+        # Warm run with the runtime stability auditor riding along at its
+        # default sampling rate: still bit-identical (audits either pass
+        # or heal to the same matching), zero divergences on the honest
+        # trace, and the sampled re-verification stays within its 5%
+        # overhead budget.  One rep — the row documents the audit cost
+        # envelope, not a best-of race.
+        result_audited, audited_ms = run_city_day(True, audited=True)
+        assert_identical(result_cold, result_audited)
+        audited_perf = result_audited.perf_stats()
+        assert audited_perf["audit_divergences"] == 0
+        assert audited_perf["audit_healed"] == 0
+        record(
+            "cityday_nstd_p_warm_audited",
+            result_audited,
+            audited_ms,
+            baseline="cityday_nstd_p_cold",
+            extra={
+                "audit_rate": round(DEFAULT_AUDIT_RATE, 6),
+                "frames_audited": int(audited_perf["frames_audited"]),
+                "audit_divergences": int(audited_perf["audit_divergences"]),
+                "audit_ms": round(audited_perf["audit_ms"], 4),
+                "audit_overhead_fraction": round(
+                    audited_perf["audit_overhead_fraction"], 6
+                ),
+            },
+        )
+        if not SMOKE:
+            assert audited_perf["frames_audited"] > 0
+            assert audited_perf["audit_overhead_fraction"] < 0.05
 
         payload = {
             "schema": "bench-cityday/1",

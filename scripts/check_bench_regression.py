@@ -51,6 +51,10 @@ class Suite:
     current: Path
     baseline: Path
     guarded_prefixes: tuple[str, ...]
+    #: The ``bench-<suite>/<N>`` schema version this checker understands.
+    #: Artifacts carry it so a checker from one repo revision refuses,
+    #: with a clear message, to compare artifacts from another.
+    schema: str
 
 
 SUITES = (
@@ -58,6 +62,7 @@ SUITES = (
         name="kernels",
         current=REPO_ROOT / "BENCH_kernels.json",
         baseline=REPO_ROOT / "benchmarks" / "BENCH_kernels_baseline.json",
+        schema="bench-kernels/2",
         # The table-construction hot path plus the raw batched kernels
         # it is built on.
         guarded_prefixes=(
@@ -71,6 +76,7 @@ SUITES = (
         name="matching",
         current=REPO_ROOT / "BENCH_matching.json",
         baseline=REPO_ROOT / "benchmarks" / "BENCH_matching_baseline.json",
+        schema="bench-matching/1",
         # The array fast path only: the dict rows are reference points,
         # not guarded surfaces.  The e2e city-day rows aggregate whole
         # simulations and are too noisy at this tolerance; the JSON
@@ -84,6 +90,7 @@ SUITES = (
         name="cityday",
         current=REPO_ROOT / "BENCH_cityday.json",
         baseline=REPO_ROOT / "benchmarks" / "BENCH_cityday_baseline.json",
+        schema="bench-cityday/1",
         # Whole paper-scale simulations (schema bench-cityday/1): noisy,
         # but a regression here is exactly what the warm-start layer
         # exists to prevent, so the rows are guarded at the shared
@@ -93,7 +100,7 @@ SUITES = (
 )
 
 
-def load(path: Path) -> dict:
+def load(path: Path, expected_schema: str) -> dict:
     if not path.exists():
         sys.exit(f"error: {path} not found; run the benchmarks first (scripts/run_benchmarks.sh)")
     try:
@@ -106,6 +113,14 @@ def load(path: Path) -> dict:
             f"error: {path} has no 'kernels' table (schema {schema}); "
             "was it written by a benchmark run of this repo?"
         )
+    schema = payload.get("schema", "<missing>")
+    if schema != expected_schema:
+        sys.exit(
+            f"error: {path} declares schema {schema!r} but this checker "
+            f"understands {expected_schema!r}; regenerate the artifact with "
+            "the current benchmarks (scripts/run_benchmarks.sh) or check out "
+            "the repo revision that wrote it"
+        )
     kernels = payload["kernels"]
     for name, row in kernels.items():
         if not isinstance(row, dict) or "ms" not in row:
@@ -114,8 +129,8 @@ def load(path: Path) -> dict:
 
 
 def check_suite(suite: Suite, tolerance: float) -> list[str]:
-    current = load(suite.current)
-    baseline = load(suite.baseline)
+    current = load(suite.current, suite.schema)
+    baseline = load(suite.baseline, suite.schema)
 
     failures = []
     checked = 0
@@ -161,8 +176,8 @@ def list_suite(suite: Suite) -> None:
     if not suite.current.exists() and not suite.baseline.exists():
         print(f"[{suite.name}] no artifact and no baseline; skipped")
         return
-    current = load(suite.current) if suite.current.exists() else {}
-    baseline = load(suite.baseline) if suite.baseline.exists() else {}
+    current = load(suite.current, suite.schema) if suite.current.exists() else {}
+    baseline = load(suite.baseline, suite.schema) if suite.baseline.exists() else {}
     names = sorted(set(current) | set(baseline))
     for name in names:
         guarded = "*" if name.startswith(suite.guarded_prefixes) else " "

@@ -12,25 +12,66 @@ resilience layer's core invariants:
 * with faults disabled, the resilience-protected run is bit-identical
   to the unprotected baseline.
 
-Exit code 0 on success, 1 with a failure listing otherwise.  The fault
-schedule is deterministic in ``--seed``, so failures reproduce exactly.
+``--crash-recovery`` runs the durability matrix instead: for each of
+the cold / warm / sharded dispatch modes, a child process running a
+journaled+checkpointed simulation is SIGKILLed at several frame offsets
+(at the frame boundary, after the journal append, and mid-frame, before
+it), then the run is resumed from the surviving artifacts and asserted
+bit-identical (outcomes, assignments, frame count) to an uninterrupted
+reference.  ``--artifacts-dir`` keeps the journals and snapshots on
+disk for post-mortem (CI uploads them on failure).
+
+Exit code 0 on success, 1 with a failure listing otherwise.  Both fault
+and crash schedules are deterministic, so failures reproduce exactly.
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
+import signal
+import subprocess
 import sys
+import tempfile
+import warnings
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.experiments import ExperimentScale, run_city_experiment  # noqa: E402
-from repro.resilience import FaultPlan, ResiliencePolicy  # noqa: E402
+from repro.dispatch.nonsharing import NSTDDispatcher  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    ExperimentScale,
+    build_workload,
+    city_simulation_config,
+    run_city_experiment,
+)
+from repro.geometry import EuclideanDistance  # noqa: E402
+from repro.resilience import (  # noqa: E402
+    CrashPlan,
+    DurabilityConfig,
+    DurabilityManager,
+    FaultPlan,
+    ResiliencePolicy,
+    resume_simulation,
+)
+from repro.simulation import Simulator  # noqa: E402
 from repro.trace import boston_profile  # noqa: E402
 
 ALGORITHMS = ("Greedy", "NSTD-P")
+
+#: Dispatch-mode matrix of the crash-recovery harness.
+CRASH_MODES = ("cold", "warm", "sharded")
+
+#: (frame offset, crash phase) matrix.  With ``CHECKPOINT_EVERY = 8``
+#: this covers the three recovery shapes: frame 5 crashes before any
+#: snapshot exists (journal-only replay from frame 0), frame 12 resumes
+#: from snapshot 7 and replays the rest, and frame 23 crashes right
+#: after writing the snapshot it then resumes from (zero replay).
+CRASH_CASES = ((5, "boundary"), (12, "mid-frame"), (23, "boundary"))
+
+CHECKPOINT_EVERY = 8
 
 
 def comparable(result):
@@ -104,13 +145,145 @@ def run_chaos(seed: int = 13, workers: int = 2) -> tuple[dict, list[str]]:
     return summary, failures
 
 
+def crash_workload():
+    """The deterministic workload every crash-recovery process rebuilds.
+
+    Parent and SIGKILLed children construct it independently from the
+    same seeds; the trace generators are deterministic, so both see the
+    identical fleet and request stream.
+    """
+    scale = ExperimentScale(factor=0.004, seed=11, hours=(8.0, 9.0))
+    profile = boston_profile()
+    sim_config = city_simulation_config(profile.scaled(scale.factor))
+    fleet, requests = build_workload(profile, scale)
+    return sim_config, fleet, requests
+
+
+def make_crash_simulator(
+    mode: str, sim_config, *, durability: DurabilityManager | None = None
+) -> Simulator:
+    oracle = EuclideanDistance()
+    dispatcher = NSTDDispatcher(
+        oracle,
+        sim_config.dispatch,
+        warm_start=mode in ("warm", "sharded"),
+        sharded=mode == "sharded",
+    )
+    return Simulator(dispatcher, oracle, sim_config, durability=durability)
+
+
+def crash_child(directory: str, mode: str, frame: int, phase: str) -> int:
+    """Internal child entry point: run durably until the plan SIGKILLs us."""
+    sim_config, fleet, requests = crash_workload()
+    manager = DurabilityManager(
+        DurabilityConfig(Path(directory), checkpoint_every_frames=CHECKPOINT_EVERY),
+        crash_plan=CrashPlan(frame=frame, phase=phase),
+    )
+    make_crash_simulator(mode, sim_config, durability=manager).run(fleet, requests)
+    print(
+        f"crash child survived: plan ({frame}, {phase}) never fired",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def run_crash_recovery(artifacts_dir: Path) -> tuple[dict, list[str]]:
+    """The SIGKILL/resume matrix; returns (summary, failures)."""
+    sim_config, fleet, requests = crash_workload()
+    failures: list[str] = []
+    summary: dict = {}
+    references = {
+        mode: comparable(make_crash_simulator(mode, sim_config).run(fleet, requests))
+        for mode in CRASH_MODES
+    }
+    for mode in CRASH_MODES:
+        for frame, phase in CRASH_CASES:
+            case = f"{mode}@{frame}/{phase}"
+            directory = artifacts_dir / f"{mode}-{frame}-{phase}"
+            child = subprocess.run(
+                [
+                    sys.executable,
+                    str(Path(__file__).resolve()),
+                    "--crash-child",
+                    str(directory),
+                    mode,
+                    str(frame),
+                    phase,
+                ],
+                capture_output=True,
+                text=True,
+            )
+            if child.returncode != -signal.SIGKILL:
+                failures.append(
+                    f"{case}: child exited {child.returncode}, expected "
+                    f"SIGKILL ({child.stderr.strip()[:200]})"
+                )
+                continue
+            manager = DurabilityManager(
+                DurabilityConfig(directory, checkpoint_every_frames=CHECKPOINT_EVERY)
+            )
+            simulator = make_crash_simulator(mode, sim_config, durability=manager)
+            try:
+                with warnings.catch_warnings():
+                    # A torn journal tail is the expected crash signature.
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    resumed = resume_simulation(simulator, fleet, requests)
+            except Exception as exc:  # noqa: BLE001 - harness reports, never raises
+                failures.append(f"{case}: resume failed: {exc}")
+                continue
+            if comparable(resumed) != references[mode]:
+                failures.append(f"{case}: resumed run differs from uninterrupted reference")
+                continue
+            summary[case] = {
+                "frames": resumed.frames_run,
+                "replayed_verified": int(
+                    resumed.perf_stats().get("replay_frames_verified", 0)
+                ),
+            }
+    summary["cases"] = len(CRASH_MODES) * len(CRASH_CASES)
+    return summary, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=13, help="fault schedule seed")
     parser.add_argument("--workers", type=int, default=2, help="process-pool width")
+    parser.add_argument(
+        "--crash-recovery",
+        action="store_true",
+        help="run the SIGKILL crash/resume matrix instead of the fault smoke",
+    )
+    parser.add_argument(
+        "--artifacts-dir",
+        type=Path,
+        default=None,
+        help="keep journals/snapshots here (default: a temp dir, removed on success)",
+    )
+    parser.add_argument(
+        "--crash-child",
+        nargs=4,
+        metavar=("DIR", "MODE", "FRAME", "PHASE"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: the process the plan SIGKILLs
+    )
     args = parser.parse_args(argv)
 
-    summary, failures = run_chaos(seed=args.seed, workers=args.workers)
+    if args.crash_child is not None:
+        directory, mode, frame, phase = args.crash_child
+        return crash_child(directory, mode, int(frame), phase)
+
+    if args.crash_recovery:
+        cleanup = args.artifacts_dir is None
+        artifacts_dir = (
+            Path(tempfile.mkdtemp(prefix="chaos-recovery-"))
+            if cleanup
+            else args.artifacts_dir
+        )
+        artifacts_dir.mkdir(parents=True, exist_ok=True)
+        summary, failures = run_crash_recovery(artifacts_dir)
+    else:
+        summary, failures = run_chaos(seed=args.seed, workers=args.workers)
+
     for name, stats in summary.items():
         print(f"{name}: {stats}")
     if failures:
@@ -118,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         print("CHAOS FAILED", file=sys.stderr)
         return 1
+    if args.crash_recovery and cleanup:
+        shutil.rmtree(artifacts_dir, ignore_errors=True)
     print("CHAOS OK")
     return 0
 

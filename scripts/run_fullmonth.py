@@ -17,13 +17,27 @@ gate on.  Run it when touching the warm-start layer::
 
     PYTHONPATH=src python scripts/run_fullmonth.py                    # 31 days, scale 1.0
     PYTHONPATH=src python scripts/run_fullmonth.py --days 3 --scale 0.1   # quick probe
+
+A month-long soak should survive interruption.  ``--checkpoint-dir``
+makes every day's run durable (journal + periodic snapshots, see
+DESIGN.md §12) and records finished days in a progress ledger;
+``--resume`` picks the soak back up after a crash or Ctrl-C — finished
+days are skipped entirely, the interrupted day resumes from its latest
+snapshot, and the resumed day is still asserted bit-identical across
+cold and warm::
+
+    PYTHONPATH=src python scripts/run_fullmonth.py --checkpoint-dir /tmp/soak
+    # ... SIGKILL at day 17 ...
+    PYTHONPATH=src python scripts/run_fullmonth.py --checkpoint-dir /tmp/soak --resume
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import time
+from pathlib import Path
 
 from repro.dispatch.nonsharing import NSTDDispatcher
 from repro.experiments import (
@@ -34,11 +48,28 @@ from repro.experiments import (
     profile_by_name,
 )
 from repro.geometry import EuclideanDistance
+from repro.resilience import (
+    DurabilityConfig,
+    DurabilityManager,
+    read_journal,
+    resume_simulation,
+)
 from repro.simulation import SimulationResult, Simulator
+
+#: Schema of the soak progress ledger written under ``--checkpoint-dir``.
+LEDGER_SCHEMA = "fullmonth-progress/1"
+
+LEDGER_NAME = "progress.json"
 
 
 def simulate_day(
-    profile_name: str, scale: ExperimentScale, *, optimize_for: str, warm: bool
+    profile_name: str,
+    scale: ExperimentScale,
+    *,
+    optimize_for: str,
+    warm: bool,
+    durability_dir: Path | None = None,
+    resume: bool = False,
 ) -> tuple[SimulationResult, float]:
     """One full simulated day; returns (result, e2e wall seconds)."""
     profile = profile_by_name(profile_name)
@@ -48,10 +79,74 @@ def simulate_day(
     dispatcher = NSTDDispatcher(
         oracle, sim_config.dispatch, optimize_for=optimize_for, warm_start=warm
     )
-    simulator = Simulator(dispatcher, oracle, sim_config)
+    durability = None
+    if durability_dir is not None:
+        if resume:
+            _discard_completed_leg(durability_dir)
+        durability = DurabilityManager(DurabilityConfig(durability_dir))
+    simulator = Simulator(dispatcher, oracle, sim_config, durability=durability)
     start = time.perf_counter()
-    result = simulator.run(fleet, requests)
+    if resume and durability is not None:
+        result = resume_simulation(simulator, fleet, requests, fresh_ok=True)
+    else:
+        result = simulator.run(fleet, requests)
     return result, time.perf_counter() - start
+
+
+def _discard_completed_leg(durability_dir: Path) -> None:
+    """Clear a leg directory whose journal records a *finished* run.
+
+    Happens when the soak died between a leg completing and its day
+    being recorded in the ledger (e.g. cold finished, warm was killed).
+    ``resume_simulation`` rightly refuses a completed journal, so the
+    leg is recomputed from scratch — deterministic, hence identical.
+    """
+    journal_path = durability_dir / "journal.jsonl"
+    if journal_path.exists() and read_journal(journal_path).end is not None:
+        shutil.rmtree(durability_dir)
+
+
+def ledger_fingerprint(args: argparse.Namespace) -> dict:
+    """The soak parameters a resumed run must match exactly."""
+    return {
+        "days": args.days,
+        "scale_factor": args.scale,
+        "base_seed": args.seed,
+        "profile": args.profile,
+        "optimize_for": args.optimize_for,
+    }
+
+
+def load_ledger(checkpoint_dir: Path, fingerprint: dict) -> list[dict]:
+    """Completed-day records from a previous soak, oldest first."""
+    path = checkpoint_dir / LEDGER_NAME
+    if not path.exists():
+        return []
+    ledger = json.loads(path.read_text())
+    if ledger.get("schema") != LEDGER_SCHEMA:
+        raise SystemExit(
+            f"error: {path} has schema {ledger.get('schema')!r}, "
+            f"expected {LEDGER_SCHEMA!r}; was it written by this script?"
+        )
+    if ledger["fingerprint"] != fingerprint:
+        raise SystemExit(
+            f"error: {path} records a soak with different parameters "
+            f"({ledger['fingerprint']}); pass the same --days/--scale/--seed/"
+            "--profile/--optimize-for or use a fresh --checkpoint-dir"
+        )
+    return ledger["completed_days"]
+
+
+def record_day(checkpoint_dir: Path, fingerprint: dict, completed: list[dict]) -> None:
+    path = checkpoint_dir / LEDGER_NAME
+    payload = {
+        "schema": LEDGER_SCHEMA,
+        "fingerprint": fingerprint,
+        "completed_days": completed,
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp.replace(path)
 
 
 def identical(cold: SimulationResult, warm: SimulationResult) -> bool:
@@ -77,26 +172,94 @@ def main(argv: list[str] | None = None) -> int:
         help="which stable matching to dispatch (default passenger)",
     )
     parser.add_argument("--json", default=None, help="also write totals to this JSON file")
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="make every day's run durable (journal + snapshots) under this "
+        "directory and keep a progress ledger of finished days",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted soak from --checkpoint-dir: skip days "
+        "the ledger records as done, resume the interrupted day from its "
+        "latest snapshot (requires --checkpoint-dir)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+
+    fingerprint = ledger_fingerprint(args)
+    completed: list[dict] = []
+    if args.checkpoint_dir is not None:
+        args.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        if args.resume:
+            completed = load_ledger(args.checkpoint_dir, fingerprint)
 
     totals = {"cold_s": 0.0, "warm_s": 0.0}
     telemetry: dict[str, float] = {}
     mismatched_days: list[int] = []
-    for day in range(args.days):
+    for record in completed:
+        totals["cold_s"] += record["cold_s"]
+        totals["warm_s"] += record["warm_s"]
+        for key, value in record["telemetry"].items():
+            telemetry[key] = telemetry.get(key, 0.0) + value
+        if not record["identical"]:
+            mismatched_days.append(record["day"])
+        print(f"day {record['day']:2d}: already done (ledger), skipped", flush=True)
+
+    for day in range(len(completed), args.days):
         scale = ExperimentScale(factor=args.scale, seed=args.seed + day)
+        leg_dirs = {
+            leg: args.checkpoint_dir / f"day-{day:02d}-{leg}"
+            if args.checkpoint_dir is not None
+            else None
+            for leg in ("cold", "warm")
+        }
         cold, cold_s = simulate_day(
-            args.profile, scale, optimize_for=args.optimize_for, warm=False
+            args.profile,
+            scale,
+            optimize_for=args.optimize_for,
+            warm=False,
+            durability_dir=leg_dirs["cold"],
+            resume=args.resume,
         )
         warm, warm_s = simulate_day(
-            args.profile, scale, optimize_for=args.optimize_for, warm=True
+            args.profile,
+            scale,
+            optimize_for=args.optimize_for,
+            warm=True,
+            durability_dir=leg_dirs["warm"],
+            resume=args.resume,
         )
         if not identical(cold, warm):
             mismatched_days.append(day)
         totals["cold_s"] += cold_s
         totals["warm_s"] += warm_s
         perf = warm.perf_stats()
-        for key in ("warm_frames", "cold_frames", "warm_fallbacks"):
-            telemetry[key] = telemetry.get(key, 0.0) + perf.get(key, 0.0)
+        day_telemetry = {
+            key: perf.get(key, 0.0)
+            for key in ("warm_frames", "cold_frames", "warm_fallbacks")
+        }
+        for key, value in day_telemetry.items():
+            telemetry[key] = telemetry.get(key, 0.0) + value
+        if args.checkpoint_dir is not None:
+            # Finished day: durability artifacts are spent, the ledger is
+            # the record.  Delete first so a crash between the two steps
+            # re-runs the day instead of resuming a completed journal.
+            for leg_dir in leg_dirs.values():
+                shutil.rmtree(leg_dir, ignore_errors=True)
+            completed.append(
+                {
+                    "day": day,
+                    "cold_s": cold_s,
+                    "warm_s": warm_s,
+                    "telemetry": day_telemetry,
+                    "identical": day not in mismatched_days,
+                }
+            )
+            record_day(args.checkpoint_dir, fingerprint, completed)
         print(
             f"day {day:2d}: cold {cold_s:6.2f}s  warm {warm_s:6.2f}s  "
             f"speedup {cold_s / warm_s:4.2f}x  "

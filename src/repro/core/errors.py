@@ -24,6 +24,14 @@ __all__ = [
     "ExperimentError",
     "FrameBudgetExceededError",
     "TransientFaultError",
+    "WARM_FALLBACK_REASONS",
+    "WARM_FALLBACK_OTHER",
+    "JournalError",
+    "JournalCorruptionError",
+    "JournalSchemaError",
+    "CheckpointError",
+    "CheckpointSchemaError",
+    "ResumeError",
 ]
 
 
@@ -89,6 +97,31 @@ class WarmStartError(MatchingError):
         self.reason = reason
 
 
+#: The closed set of warm-start fallback/invalidation reasons that may
+#: appear as ``warm_fallback_<reason>`` / ``warm_invalidation_<reason>``
+#: telemetry keys.  Dispatchers map any reason outside this set to
+#: :data:`WARM_FALLBACK_OTHER`, so the ``perf_stats()`` key universe is
+#: bounded and deterministic across runs regardless of what a future
+#: solver raises.
+WARM_FALLBACK_REASONS: frozenset[str] = frozenset(
+    {
+        "invalid-seed",
+        "holder-removed",
+        "prefix-changed",
+        "reviewer-order-changed",
+        "held-edge-removed",
+        "bad-alpha",
+        "duplicate-ids",
+        "id-overflow",
+        "audit-divergence",
+        "external",
+    }
+)
+
+#: Telemetry bucket for warm-start reasons outside the enumerated set.
+WARM_FALLBACK_OTHER = "other"
+
+
 class PackingError(ReproError):
     """Set-packing input is invalid (e.g. an empty candidate subset)."""
 
@@ -129,4 +162,46 @@ class TransientFaultError(ReproError):
     Raised by :class:`repro.resilience.faults.FaultyOracle` (and
     recognisable to retry logic in the engine and experiment runners);
     by definition a retry of the same operation may succeed.
+    """
+
+
+class JournalError(ReproError):
+    """Base class for crash-recovery journal failures."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal record failed its checksum or structural validation.
+
+    Raised for any damaged record that is *not* the torn final line of
+    the file: a truncated tail is the expected signature of a crash
+    mid-append and is tolerated (with a warning), while corruption
+    anywhere else means the artifact cannot be trusted and recovery must
+    refuse to proceed.
+    """
+
+
+class JournalSchemaError(JournalError):
+    """A journal was written under an unknown schema version.
+
+    Journals are replayed to verify recovered state; replaying records
+    whose semantics this build does not know would silently validate the
+    wrong thing, so version skew is a hard refusal, never a warning.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint snapshot could not be written or read."""
+
+
+class CheckpointSchemaError(CheckpointError):
+    """A snapshot was written under an unknown schema version."""
+
+
+class ResumeError(ReproError):
+    """Crash recovery could not reconstruct a trustworthy run state.
+
+    Raised when resume preconditions fail (missing/mismatched workload,
+    unsupported configuration) or when the replayed frames diverge from
+    the journaled digests — the one signal that the recovered state is
+    *not* bit-identical to the uninterrupted run.
     """

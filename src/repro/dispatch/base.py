@@ -15,7 +15,7 @@ the consecutive-frame invariant the state relies on).
 from __future__ import annotations
 
 import abc
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.config import DispatchConfig
@@ -33,6 +33,7 @@ from repro.geometry.distance import DistanceOracle
 if TYPE_CHECKING:  # imported lazily to avoid a dispatch <-> simulation cycle
     import numpy as np
 
+    from repro.matching.arrays import PreferenceArrays
     from repro.resilience.budget import FrameBudget
     from repro.simulation.frame_cache import FrameDistanceCache
 
@@ -64,6 +65,13 @@ class Dispatcher(abc.ABC):
     #: resilience path.
     frame_budget: "FrameBudget | None" = None
 
+    #: Which solve path answered the most recent :meth:`dispatch` call
+    #: (``"cold"``, ``"warm"``, ``"warm_sharded"``, ``"sharded_cold"``);
+    #: ``None`` until a frame runs.  The stability auditor keys its
+    #: sampling eligibility off this — only fast-path frames carry state
+    #: worth re-verifying.
+    last_frame_mode: str | None = None
+
     def __init__(self, oracle: DistanceOracle, config: DispatchConfig | None = None):
         self.oracle = oracle
         self.config = config if config is not None else DispatchConfig()
@@ -86,6 +94,30 @@ class Dispatcher(abc.ABC):
         dispatcher.
         """
 
+    def invalidate_warm_state(self, *, reason: str = "external") -> None:
+        """Explicitly drop carried solver state as *suspect*, with a reason.
+
+        Unlike :meth:`reset_warm_state` (a lifecycle call the engine
+        makes at known-safe boundaries), this marks the state as
+        possibly corrupt — the stability auditor calls it when a
+        re-verification finds blocking pairs in a fast-path frame.
+        Stateful dispatchers record the reason in run telemetry;
+        the default implementation just resets.
+        """
+        self.reset_warm_state()
+
+    def audit_preferences(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> "PreferenceArrays":
+        """The frame's preference structure, rebuilt by the cold path.
+
+        Used by the stability auditor to re-verify a fast-path matching
+        against preferences constructed independently of any carried
+        solver state.  Dispatchers without a preference model (greedy
+        baselines) have nothing to audit and raise.
+        """
+        raise NotImplementedError(f"{self.name} has no auditable preference model")
+
     def run_telemetry(self) -> dict[str, float | int]:
         """Counters accumulated over a run, for ``perf_stats()`` reporting.
 
@@ -94,6 +126,14 @@ class Dispatcher(abc.ABC):
         flat and JSON-friendly.
         """
         return {}
+
+    def restore_telemetry(self, counters: Mapping[str, float | int]) -> None:
+        """Adopt checkpointed :meth:`run_telemetry` counters on resume.
+
+        No-op by default (stateless dispatchers have no counters);
+        stateful dispatchers replace their counter dict so a recovered
+        run's telemetry continues from the snapshot instead of zero.
+        """
 
     @abc.abstractmethod
     def dispatch(

@@ -50,7 +50,12 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.core.config import DispatchConfig
-from repro.core.errors import FrameBudgetExceededError, WarmStartError
+from repro.core.errors import (
+    WARM_FALLBACK_OTHER,
+    WARM_FALLBACK_REASONS,
+    FrameBudgetExceededError,
+    WarmStartError,
+)
 from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, PackedSingleSchedule, single_assignment
 from repro.dispatch.nonsharing.greedy import GreedyNearestDispatcher
@@ -85,6 +90,16 @@ from repro.matching.warm_frame import (
 )
 
 __all__ = ["NSTDDispatcher", "nstd_p", "nstd_t", "nstd_m"]
+
+
+def _reason_key(reason: str) -> str:
+    """Cap telemetry reasons to the enumerated set (``other`` otherwise).
+
+    Keeps the ``warm_fallback_<reason>`` / ``warm_invalidation_<reason>``
+    key universe of ``perf_stats()`` bounded and deterministic across
+    runs, whatever a future solver decides to raise.
+    """
+    return reason if reason in WARM_FALLBACK_REASONS else WARM_FALLBACK_OTHER
 
 
 class NSTDDispatcher(Dispatcher):
@@ -158,6 +173,45 @@ class NSTDDispatcher(Dispatcher):
         self._sharded_state = None
         if counters:
             self._telemetry = {}
+
+    def invalidate_warm_state(self, *, reason: str = "external") -> None:
+        """Drop the carried frame state as *suspect* and count why.
+
+        The stability auditor calls this (``reason="audit-divergence"``)
+        when a re-verified fast-path frame shipped blocking pairs: the
+        carried state can no longer be trusted, so the next frame solves
+        cold and reseeds.  Reasons outside the enumerated set collapse
+        to the ``other`` bucket, keeping telemetry keys bounded.
+        """
+        self._bump(f"warm_invalidation_{_reason_key(reason)}")
+        self.reset_warm_state()
+
+    def restore_telemetry(self, counters: Mapping[str, float | int]) -> None:
+        """Adopt checkpointed run counters (crash-recovery resume path)."""
+        self._telemetry = dict(counters)
+
+    def audit_preferences(
+        self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]
+    ) -> PreferenceArrays:
+        """The frame's preference arrays, rebuilt by the cold path.
+
+        Reads the frame distance cache when installed (exact by
+        contract) but never touches the carried warm/sharded state, so
+        the result is a state-independent oracle for the auditor.
+        """
+        pickup_matrix = trip_km = None
+        if self.frame_cache is not None:
+            pickup_matrix = self.frame_cache.pickup_matrix(taxis, requests)
+            trip_km = self.frame_cache.trip_km(requests)
+        return build_nonsharing_arrays(
+            taxis,
+            requests,
+            self.oracle,
+            self.config,
+            alpha_by_taxi=self.alpha_by_taxi,
+            pickup_matrix=pickup_matrix,
+            trip_km=trip_km,
+        )
 
     def shutdown_shard_pool(self) -> None:
         """Tear down the lazily created ``shard_workers`` process pool."""
@@ -254,6 +308,7 @@ class NSTDDispatcher(Dispatcher):
         array_path: bool,
     ) -> Matching:
         """The stateless frame solve (the pre-warm-start behaviour)."""
+        self.last_frame_mode = "cold"
         pickup_matrix = trip_km = None
         if self.frame_cache is not None:
             pickup_matrix = self.frame_cache.pickup_matrix(taxis, requests)
@@ -331,6 +386,7 @@ class NSTDDispatcher(Dispatcher):
         additionally seeds the sharded warm state, unless degradation
         produced a non-stable answer no warm frame may build on.
         """
+        self.last_frame_mode = "sharded_cold"
         cache = self.frame_cache
         _, request_ids = _check_global_ids(taxis, requests)
         trip = (
@@ -468,11 +524,12 @@ class NSTDDispatcher(Dispatcher):
             )
         except WarmStartError as exc:
             self._bump("warm_fallbacks")
-            self._bump(f"warm_fallback_{exc.reason}")
+            self._bump(f"warm_fallback_{_reason_key(exc.reason)}")
             self._sharded_state = None
             self._bump("cold_frames")
             return self._dispatch_sharded_cold(taxis, requests), None, None
         self.checkpoint("nstd:prefs-built")
+        self.last_frame_mode = "warm_sharded"
         self._sharded_state = new_state
         self._bump("warm_frames")
         self._bump("pairs_scored_warm", build_stats.pairs_scored)
@@ -533,11 +590,12 @@ class NSTDDispatcher(Dispatcher):
         except WarmStartError as exc:
             # The frame failed a warm precondition; redo it cold.
             self._bump("warm_fallbacks")
-            self._bump(f"warm_fallback_{exc.reason}")
+            self._bump(f"warm_fallback_{_reason_key(exc.reason)}")
             self._warm_state = None
             self._bump("cold_frames")
             return self._dispatch_cold(taxis, requests, array_path=True), None, None
         self.checkpoint("nstd:prefs-built")
+        self.last_frame_mode = "warm"
         self._warm_state = new_state
         self._bump("warm_frames")
         self._bump("pairs_scored_warm", build_stats.pairs_scored)

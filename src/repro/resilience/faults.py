@@ -33,6 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import signal
 import zlib
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -44,6 +45,7 @@ from repro.geometry.distance import DistanceOracle
 from repro.geometry.point import Point
 
 __all__ = [
+    "CrashPlan",
     "FaultInjector",
     "FaultyOracle",
     "FaultPlan",
@@ -133,6 +135,48 @@ class FaultInjector:
     def wrap(self, oracle: DistanceOracle) -> "FaultyOracle":
         """The distance oracle with this injector in front of every call."""
         return FaultyOracle(oracle, self)
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state_payload(self) -> dict:
+        """JSON-serializable capture of the injector's full mutable state.
+
+        ``random.Random.getstate()`` is a nested tuple of ints; it round-
+        trips through JSON as lists and is converted back on restore, so
+        a resumed run continues the *same* fault schedule the crashed run
+        would have produced.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "seed": self.seed,
+            "armed": self.armed,
+            "calls": self.calls,
+            "latency_spikes": self.latency_spikes,
+            "errors_raised": self.errors_raised,
+            "virtual_s": self._virtual_s,
+            "rng": [version, list(internal), gauss_next],
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore state captured by :meth:`state_payload`."""
+        if payload["seed"] != self.seed:
+            raise ValueError(
+                f"injector seed mismatch: snapshot has {payload['seed']}, "
+                f"this injector was built with {self.seed}"
+            )
+        self.armed = payload["armed"]
+        self.calls = payload["calls"]
+        self.latency_spikes = payload["latency_spikes"]
+        self.errors_raised = payload["errors_raised"]
+        self._virtual_s = payload["virtual_s"]
+        version, internal, gauss_next = payload["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+
+    def state_fingerprint(self) -> str:
+        """Compact digest of the injector state for journal records."""
+        version, internal, gauss_next = self._rng.getstate()
+        crc = zlib.crc32(repr((version, internal, gauss_next)).encode("utf-8"))
+        return f"{self.calls}:{self.errors_raised}:{self.latency_spikes}:{crc:08x}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -234,6 +278,36 @@ class FaultPlan:
     ) -> tuple[DistanceOracle, FaultInjector]:
         injector = self.build_injector(cell_key, attempt)
         return injector.wrap(oracle), injector
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPlan:
+    """SIGKILL the process at a chosen frame and phase (chaos tests only).
+
+    ``phase`` selects the crash point relative to durability writes:
+    ``"mid-frame"`` fires *before* the frame's journal append (the frame
+    is lost and must replay on resume), ``"boundary"`` fires *after* the
+    append and any checkpoint (the frame survives in the journal).
+    SIGKILL — not an exception — because the recovery contract under
+    test is "no Python cleanup ran at all", exactly what the OOM killer
+    or a power-cycled host delivers.
+    """
+
+    frame: int
+    phase: str = "boundary"
+
+    _PHASES = ("boundary", "mid-frame")
+
+    def __post_init__(self) -> None:
+        if self.phase not in self._PHASES:
+            raise ValueError(f"phase must be one of {self._PHASES}, got {self.phase!r}")
+        if self.frame < 0:
+            raise ValueError(f"frame must be >= 0, got {self.frame}")
+
+    def execute(self, frame: int, phase: str) -> None:
+        """Die here if this is the planned (frame, phase); otherwise no-op."""
+        if frame == self.frame and phase == self.phase:
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 def in_worker_process() -> bool:

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FrameResilienceRecord", "ResilienceReport", "DROPPED_RUNG"]
+__all__ = [
+    "FrameResilienceRecord",
+    "ResilienceReport",
+    "DROPPED_RUNG",
+    "StabilityAuditRecord",
+    "StabilityAuditReport",
+]
 
 #: Rung name recorded when even the terminal ladder rung failed and the
 #: engine emitted an empty schedule.  Chaos runs assert this never appears.
@@ -86,4 +92,58 @@ class ResilienceReport:
             "degraded_frames": float(len(self.degraded_frames)),
             "dropped_frames": float(self.dropped_frames),
             "faults_absorbed": float(self.faults_absorbed),
+        }
+
+
+@dataclass(slots=True)
+class StabilityAuditRecord:
+    """One sampled frame's stability re-verification outcome.
+
+    ``mode`` is the fast path the frame was served by (``"warm"``,
+    ``"warm_sharded"``, ``"cold"``, ...).  ``diverged`` marks the case
+    the auditor exists for: the fast path shipped a matching with
+    blocking pairs, the auditor invalidated warm state and recomputed
+    the frame cold, and ``healed`` records that the replacement passed.
+    ``blocking_pairs`` counts the violations found in the *original*
+    matching (zero on a clean audit).
+    """
+
+    time_s: float
+    frame: int
+    mode: str
+    requests: int
+    taxis: int
+    blocking_pairs: int = 0
+    diverged: bool = False
+    healed: bool = False
+    audit_ms: float = 0.0
+
+
+@dataclass(slots=True)
+class StabilityAuditReport:
+    """All stability-audit records of one simulation run."""
+
+    frames: list[StabilityAuditRecord] = field(default_factory=list)
+
+    def record(self, entry: StabilityAuditRecord) -> None:
+        self.frames.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def divergences(self) -> list[StabilityAuditRecord]:
+        return [f for f in self.frames if f.diverged]
+
+    @property
+    def audit_ms(self) -> float:
+        return sum(f.audit_ms for f in self.frames)
+
+    def summary(self) -> dict[str, float]:
+        """Headline audit numbers (``divergences`` is expected zero)."""
+        return {
+            "frames_audited": float(len(self.frames)),
+            "audit_divergences": float(len(self.divergences)),
+            "audit_healed": float(sum(1 for f in self.divergences if f.healed)),
+            "audit_ms": self.audit_ms,
         }

@@ -33,8 +33,18 @@ from repro.core.types import DispatchSchedule, PassengerRequest, Taxi
 from repro.dispatch.base import Dispatcher, PackedSingleSchedule
 from repro.dispatch.scoring import assignment_metrics
 from repro.geometry.distance import DistanceOracle
+from repro.geometry.point import Point
+from repro.resilience.auditor import StabilityAuditor
+from repro.resilience.checkpoint import DurabilityManager
+from repro.resilience.journal import FrameDigest, frame_pairs_crc
 from repro.resilience.ladder import ResiliencePolicy, Rung
-from repro.resilience.report import DROPPED_RUNG, FrameResilienceRecord, ResilienceReport
+from repro.resilience.report import (
+    DROPPED_RUNG,
+    FrameResilienceRecord,
+    ResilienceReport,
+    StabilityAuditRecord,
+    StabilityAuditReport,
+)
 from repro.simulation.events import AssignmentRecord, FrameStats, RequestOutcome, TaxiStats
 from repro.simulation.frame_cache import FrameDistanceCache
 from repro.simulation.repositioning import RepositioningPolicy
@@ -63,6 +73,9 @@ class SimulationResult:
     #: warm-start frame counts) and the frame distance cache; merged
     #: into :meth:`perf_stats`.
     dispatch_telemetry: dict[str, float | int] = field(default_factory=dict)
+    #: Sampled stability re-verification records; ``None`` unless the run
+    #: had a :class:`~repro.resilience.auditor.StabilityAuditor` installed.
+    stability_audit: StabilityAuditReport | None = None
 
     # -- request-side views ------------------------------------------------
 
@@ -151,6 +164,14 @@ class SimulationResult:
             stats["largest_shard_fraction"] = float(
                 self.dispatch_telemetry.get("largest_shard_entities", 0)
             ) / float(entities)
+        if self.stability_audit is not None:
+            # frames_audited / audit_divergences / audit_healed / audit_ms;
+            # divergences are expected to stay zero on every committed row.
+            stats.update(self.stability_audit.summary())
+            if total > 0.0:
+                stats["audit_overhead_fraction"] = (
+                    self.stability_audit.audit_ms / total
+                )
         return stats
 
     def summary(self) -> dict[str, float]:
@@ -187,6 +208,8 @@ class Simulator:
         overrun_s: float = 6.0 * 3600.0,
         repositioning: RepositioningPolicy | None = None,
         resilience: ResiliencePolicy | None = None,
+        durability: DurabilityManager | None = None,
+        auditor: StabilityAuditor | None = None,
     ):
         self.dispatcher = dispatcher
         self.oracle = oracle
@@ -194,9 +217,25 @@ class Simulator:
         self.overrun_s = overrun_s
         self.repositioning = repositioning
         self.resilience = resilience
+        self.durability = durability
+        self.auditor = auditor
 
-    def run(self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]) -> SimulationResult:
-        """Simulate until every request resolves or the horizon+overrun ends."""
+    def run(
+        self,
+        taxis: Sequence[Taxi],
+        requests: Sequence[PassengerRequest],
+        *,
+        _resume: dict | None = None,
+    ) -> SimulationResult:
+        """Simulate until every request resolves or the horizon+overrun ends.
+
+        ``_resume`` is the crash-recovery entry point (use
+        :func:`~repro.resilience.checkpoint.resume_simulation`, not this
+        parameter directly): the snapshot's state payload to restore
+        before the frame loop starts.  Replayed frames are verified
+        against the journal by the installed
+        :class:`~repro.resilience.checkpoint.DurabilityManager`.
+        """
         config = self.sim_config
         agents = {t.taxi_id: TaxiAgent.from_taxi(t) for t in taxis}
         if len(agents) != len(taxis):
@@ -262,8 +301,141 @@ class Simulator:
         deadline = config.horizon_s + self.overrun_s
         time_s = frame
         frames_run = 0
+        #: Running CRC chained over every frame's assignment pairs; the
+        #: journal's cross-frame integrity digest.
+        cum_crc = 0
 
         reposition_step_km = config.taxi_speed_kms * frame
+
+        durability = self.durability
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.reset()
+        if durability is not None:
+            durability.begin_run(
+                {
+                    "dispatcher": self.dispatcher.name,
+                    "n_taxis": len(taxis),
+                    "n_requests": len(requests),
+                    "frame_length_s": config.frame_length_s,
+                    "horizon_s": config.horizon_s,
+                    "warm_start": bool(getattr(self.dispatcher, "warm_start", False)),
+                    "sharded": bool(getattr(self.dispatcher, "sharded", False)),
+                },
+                resuming=durability.resuming,
+            )
+        elif _resume is not None:
+            raise SimulationError("_resume state requires a DurabilityManager")
+
+        if _resume is not None:
+            # Crash recovery: adopt the snapshot's state wholesale.  All
+            # floats crossed the snapshot as JSON (shortest-repr round
+            # trip, exact), so the restored run is *bit*-identical to the
+            # interrupted one, not approximately so.
+            requests_by_id = {r.request_id: r for r in ordered}
+            arrival_cursor = int(_resume["arrival_cursor"])
+            for rid in _resume["queue"]:
+                queue[rid] = requests_by_id[rid]
+            for row in _resume["agents"]:
+                taxi_id, x, y, avail, driven, trips, served = row
+                agent = agents[taxi_id]
+                agent.location = Point(x, y)
+                agent.available_at_s = avail
+                agent.total_driven_km = driven
+                agent.completed_trips = trips
+                agent.served_requests = served
+            snapshots[:] = [agent.snapshot() for agent in agent_list]
+            available_at[:] = [agent.available_at_s for agent in agent_list]
+            for row in _resume["outcomes"]:
+                outcome = outcomes_by_id[row[0]]
+                outcome.dispatch_time_s = row[1]
+                outcome.pickup_time_s = row[2]
+                outcome.dropoff_time_s = row[3]
+                outcome.passenger_dissatisfaction = row[4]
+                outcome.group_size = row[5]
+                outcome.taxi_id = row[6]
+                outcome.abandoned = row[7]
+            assignments.extend(
+                AssignmentRecord(row[0], row[1], tuple(row[2]), row[3], row[4], row[5])
+                for row in _resume["assignments"]
+            )
+            frame_stats.extend(FrameStats(*row) for row in _resume["frame_stats"])
+            if report is not None:
+                for row in _resume.get("resilience") or []:
+                    report.record(FrameResilienceRecord(*row))
+            if auditor is not None:
+                for row in _resume.get("audit") or []:
+                    auditor.report.record(StabilityAuditRecord(*row))
+            self.dispatcher.restore_telemetry(_resume.get("telemetry") or {})
+            if policy is not None and policy.fault_injector is not None:
+                injector_state = _resume.get("fault_injector")
+                if injector_state is not None:
+                    policy.fault_injector.restore_state(injector_state)
+            if self.repositioning is not None:
+                repositioning_state = _resume.get("repositioning")
+                if repositioning_state is not None:
+                    self.repositioning.restore_state(repositioning_state)
+            cum_crc = int(_resume["cum_crc"])
+            frames_run = int(_resume["frames_run"])
+            time_s = float(_resume["time_s"]) + frame
+
+        def _state_payload() -> dict:
+            """Everything a resumed run needs, as pure JSON values.
+
+            Warm/sharded solver state is deliberately absent: resume
+            restarts those paths cold, which is proven bit-identical
+            (DESIGN.md §10–11) and keeps snapshots solver-agnostic.
+            """
+            payload: dict = {
+                "time_s": time_s,
+                "frames_run": frames_run,
+                "arrival_cursor": arrival_cursor,
+                "cum_crc": cum_crc,
+                "queue": list(queue.keys()),
+                "agents": [
+                    [a.taxi_id, a.location.x, a.location.y, a.available_at_s,
+                     a.total_driven_km, a.completed_trips, a.served_requests]
+                    for a in agent_list
+                ],
+                # Only touched outcomes travel; the rest reconstruct from
+                # the trace.
+                "outcomes": [
+                    [o.request_id, o.dispatch_time_s, o.pickup_time_s,
+                     o.dropoff_time_s, o.passenger_dissatisfaction,
+                     o.group_size, o.taxi_id, o.abandoned]
+                    for o in outcomes
+                    if o.dispatch_time_s is not None or o.abandoned
+                ],
+                "assignments": [
+                    [r.frame_time_s, r.taxi_id, list(r.request_ids),
+                     r.taxi_dissatisfaction, r.total_drive_km, r.revenue_km]
+                    for r in assignments
+                ],
+                "frame_stats": [
+                    [f.time_s, f.queue_length, f.idle_taxis,
+                     f.dispatched_requests, f.dispatched_taxis, f.abandoned,
+                     f.dispatch_ms]
+                    for f in frame_stats
+                ],
+                "telemetry": dict(self.dispatcher.run_telemetry()),
+            }
+            if report is not None:
+                payload["resilience"] = [
+                    [r.time_s, r.rung, r.rung_index, r.trigger, r.attempts,
+                     r.faults, r.budget_s, r.elapsed_s]
+                    for r in report.frames
+                ]
+            if auditor is not None:
+                payload["audit"] = [
+                    [r.time_s, r.frame, r.mode, r.requests, r.taxis,
+                     r.blocking_pairs, r.diverged, r.healed, r.audit_ms]
+                    for r in auditor.report.frames
+                ]
+            if policy is not None and policy.fault_injector is not None:
+                payload["fault_injector"] = policy.fault_injector.state_payload()
+            if self.repositioning is not None:
+                payload["repositioning"] = self.repositioning.state_payload()
+            return payload
 
         while time_s <= deadline:
             # Admit requests that arrived during the last frame.
@@ -318,6 +490,9 @@ class Simulator:
             idle_rows = np.flatnonzero(available_at <= time_s)
             idle = [snapshots[row] for row in idle_rows.tolist()]
             dispatch_ms = 0.0
+            frame_record: FrameResilienceRecord | None = None
+            audit_record: StabilityAuditRecord | None = None
+            frame_mode: str | None = None
             cache.begin_frame()  # taxi positions changed: drop stale matrices
             if queue and idle:
                 batch = list(queue.values())
@@ -330,6 +505,7 @@ class Simulator:
                         policy, rungs, idle, batch, time_s
                     )
                     report.record(record)
+                    frame_record = record
                     # Warm state is only valid between consecutive frames
                     # solved by the same dispatcher.  Rungs that did not
                     # answer this frame (including a primary that failed
@@ -340,6 +516,22 @@ class Simulator:
                             rung_dispatcher.reset_warm_state()
                 # repro-lint: disable=REP001 telemetry only: dispatch_ms never feeds a decision
                 dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
+                if frame_record is None or frame_record.rung_index == 0:
+                    frame_mode = self.dispatcher.last_frame_mode
+                    if auditor is not None:
+                        # Sampled stability re-verification of fast-path
+                        # frames; on divergence the schedule coming back
+                        # is a healed cold recomputation, and only the
+                        # primary dispatcher's frames are eligible (a
+                        # ladder fallback has no carried state to audit).
+                        schedule, audit_record = auditor.audit_frame(
+                            frame_index=frames_run,
+                            time_s=time_s,
+                            dispatcher=self.dispatcher,
+                            taxis=idle,
+                            requests=batch,
+                            schedule=schedule,
+                        )
                 dcfg = self.dispatcher.config
                 oracle = self.oracle
                 if (
@@ -541,7 +733,37 @@ class Simulator:
                     dispatch_ms=dispatch_ms,
                 )
             )
+            frame_index = frames_run
             frames_run += 1
+            if durability is not None:
+                frame_pairs = [
+                    (rid, assigned.taxi_id)
+                    for assigned in assignments[assignments_before:]
+                    for rid in assigned.request_ids
+                ]
+                cum_crc = frame_pairs_crc(frame_pairs, seed=cum_crc)
+                injector = policy.fault_injector if policy is not None else None
+                digest = FrameDigest(
+                    frame=frame_index,
+                    time_s=time_s,
+                    queue=queue_length_before,
+                    idle=len(idle),
+                    dispatched=dispatched_now,
+                    abandoned=abandoned_now,
+                    pairs_crc=frame_pairs_crc(frame_pairs),
+                    cum_crc=cum_crc,
+                    rng=injector.state_fingerprint() if injector is not None else None,
+                    rung=frame_record.rung if frame_record is not None else None,
+                    mode=frame_mode,
+                    audited=audit_record is not None,
+                    divergence=audit_record.diverged if audit_record is not None else False,
+                )
+                # A mid-frame crash loses this frame's journal record:
+                # resume replays it from the previous checkpoint.  The
+                # boundary crash point (after append + checkpoint) lives
+                # inside commit_frame.
+                durability.crash_point(frame_index, "mid-frame")
+                durability.commit_frame(digest, _state_payload)
             # Past the horizon no new requests arrive; stop as soon as the
             # queue drains (or patience will clear it).
             if time_s >= config.horizon_s and not queue and arrival_cursor >= len(ordered):
@@ -562,12 +784,28 @@ class Simulator:
             for taxi_id, agent in agents.items()
         }
 
+        # Seal the durability artifacts: the journal's end record and a
+        # final ``finished`` snapshot, so a later resume attempt can tell
+        # a completed run from an interrupted one.
+        if durability is not None:
+            durability.finish_run(
+                max(frames_run - 1, 0),
+                {
+                    "frames": frames_run,
+                    "assignments": len(assignments),
+                    "cum_crc": cum_crc,
+                },
+                _state_payload,
+            )
+
         # Detach the run-scoped cache: a dispatcher used outside this
         # engine afterwards must not read matrices from the last frame.
         # Run telemetry is harvested first, then warm state dropped for
         # the same reason — it describes this run's final frame only.
         telemetry: dict[str, float | int] = dict(self.dispatcher.run_telemetry())
         telemetry.update(cache.stats())
+        if durability is not None:
+            telemetry["replay_frames_verified"] = durability.frames_verified
         self.dispatcher.frame_cache = None
         self.dispatcher.reset_warm_state()
         if rungs is not None:
@@ -588,6 +826,7 @@ class Simulator:
             frame_length_s=config.frame_length_s,
             resilience=report,
             dispatch_telemetry=telemetry,
+            stability_audit=auditor.report if auditor is not None else None,
         )
 
     def _dispatch_resilient(

@@ -40,6 +40,17 @@ class RepositioningPolicy(abc.ABC):
     def observe_requests(self, requests: Sequence[PassengerRequest]) -> None:
         """Called once per frame with the newly arrived requests."""
 
+    def state_payload(self) -> dict | None:
+        """JSON-serializable cross-frame state for checkpointing.
+
+        ``None`` (the default) means the policy is stateless and a
+        resumed run can use it as constructed.
+        """
+        return None
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore state captured by :meth:`state_payload` (no-op default)."""
+
     @staticmethod
     def step_toward(location: Point, target: Point, max_distance_km: float) -> Point:
         """The position after driving ``max_distance_km`` toward ``target``."""
@@ -91,6 +102,14 @@ class DriftToRecentDemand(RepositioningPolicy):
     def observe_requests(self, requests: Sequence[PassengerRequest]) -> None:
         for request in requests:
             self._recent.append(request.pickup)
+
+    def state_payload(self) -> dict | None:
+        return {"recent": [[p.x, p.y] for p in self._recent]}
+
+    def restore_state(self, payload: dict) -> None:
+        self._recent = deque(
+            (Point(x, y) for x, y in payload["recent"]), maxlen=self.window
+        )
 
     @property
     def centroid(self) -> Point | None:

@@ -1,0 +1,262 @@
+"""Engine-level durability and runtime-audit behaviour.
+
+Four properties on a small city simulation: (1) installing the
+journal/checkpoint subsystem changes nothing observable; (2) a run
+interrupted mid-flight resumes from its artifacts to a bit-identical
+result with journal-verified replay; (3) a journal whose digests were
+tampered with makes the resume *fail loudly* instead of shipping a
+silently different run; (4) the stability auditor rides along at zero
+divergences on honest runs, and when a warm frame is deliberately
+corrupted it detects, heals cold, and records the event while the final
+result stays bit-identical to an honest run.
+"""
+
+import json
+import warnings
+import zlib
+
+import pytest
+
+from repro.core.errors import ResumeError
+from repro.dispatch.base import single_assignment
+from repro.dispatch.nonsharing import NSTDDispatcher
+from repro.experiments import ExperimentScale, build_workload, city_simulation_config
+from repro.geometry import EuclideanDistance
+from repro.resilience import (
+    DurabilityConfig,
+    DurabilityManager,
+    StabilityAuditor,
+    resume_simulation,
+    schedule_pairs,
+)
+from repro.simulation import Simulator
+from repro.trace.profiles import nyc_profile
+
+ORACLE = EuclideanDistance()
+
+CHECKPOINT_EVERY = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    profile = nyc_profile()
+    scale = ExperimentScale(factor=0.01, seed=5, hours=(17.0, 18.0))
+    sim_config = city_simulation_config(profile.scaled(scale.factor))
+    fleet, requests = build_workload(profile, scale)
+    return sim_config, fleet, requests
+
+
+def make_simulator(sim_config, *, warm=True, durability=None, auditor=None, dispatcher=None):
+    if dispatcher is None:
+        dispatcher = NSTDDispatcher(ORACLE, sim_config.dispatch, warm_start=warm)
+    return Simulator(
+        dispatcher, ORACLE, sim_config, durability=durability, auditor=auditor
+    )
+
+
+def observable(result):
+    return (
+        result.summary(),
+        [(o.request_id, o.taxi_id, o.dispatch_time_s) for o in result.outcomes],
+        [(a.frame_time_s, a.taxi_id, a.request_ids) for a in result.assignments],
+    )
+
+
+class _Interrupt(RuntimeError):
+    """Stands in for SIGKILL inside one process (the real-signal matrix
+    lives in tests/integration/test_crash_recovery.py)."""
+
+
+class InterruptingManager(DurabilityManager):
+    def __init__(self, config, *, die_at_frame):
+        super().__init__(config)
+        self.die_at_frame = die_at_frame
+
+    def crash_point(self, frame, phase):
+        if phase == "mid-frame" and frame == self.die_at_frame:
+            raise _Interrupt(frame)
+        super().crash_point(frame, phase)
+
+
+class TestDurableRun:
+    def test_durable_run_is_observably_identical(self, workload, tmp_path):
+        sim_config, fleet, requests = workload
+        plain = make_simulator(sim_config).run(fleet, requests)
+        manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY)
+        )
+        durable = make_simulator(sim_config, durability=manager).run(fleet, requests)
+        assert observable(durable) == observable(plain)
+        # The journal is sealed and a finished snapshot survives.
+        from repro.resilience import read_journal
+
+        contents = read_journal(manager.journal_path)
+        assert contents.end is not None
+        assert contents.end["frames"] == durable.frames_run
+        assert manager.store.latest_valid()["finished"] is True
+
+    def test_interrupted_run_resumes_bit_identical(self, workload, tmp_path):
+        sim_config, fleet, requests = workload
+        reference = make_simulator(sim_config).run(fleet, requests)
+        die_at = 40
+        manager = InterruptingManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY),
+            die_at_frame=die_at,
+        )
+        with pytest.raises(_Interrupt):
+            make_simulator(sim_config, durability=manager).run(fleet, requests)
+        resumed_manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY)
+        )
+        simulator = make_simulator(sim_config, durability=resumed_manager)
+        resumed = resume_simulation(simulator, fleet, requests)
+        assert observable(resumed) == observable(reference)
+        # Snapshot at 31, journal frontier 39: 8 frames replay-verified.
+        replayed = resumed.perf_stats()["replay_frames_verified"]
+        assert replayed == die_at - CHECKPOINT_EVERY * (die_at // CHECKPOINT_EVERY)
+
+    def test_tampered_journal_digest_fails_the_resume_loudly(self, workload, tmp_path):
+        sim_config, fleet, requests = workload
+        die_at = 40
+        manager = InterruptingManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY),
+            die_at_frame=die_at,
+        )
+        with pytest.raises(_Interrupt):
+            make_simulator(sim_config, durability=manager).run(fleet, requests)
+        # Rewrite a post-snapshot frame record with a wrong pairs digest,
+        # keeping the line checksum valid: integrity passes, replay
+        # verification must still catch the divergence.
+        lines = manager.journal_path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if record.get("kind") == "frame" and record["frame"] == die_at - 3:
+                del record["crc"]
+                record["pairs_crc"] = (record["pairs_crc"] + 1) % 2**32
+                canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+                record["crc"] = zlib.crc32(canonical.encode())
+                lines[i] = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        manager.journal_path.write_text("\n".join(lines) + "\n")
+        resumed_manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY)
+        )
+        simulator = make_simulator(sim_config, durability=resumed_manager)
+        with pytest.raises(ResumeError, match="diverged from the journal"):
+            resume_simulation(simulator, fleet, requests)
+
+    def test_completed_journal_refuses_resume(self, workload, tmp_path):
+        sim_config, fleet, requests = workload
+        manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY)
+        )
+        make_simulator(sim_config, durability=manager).run(fleet, requests)
+        resumed_manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY)
+        )
+        simulator = make_simulator(sim_config, durability=resumed_manager)
+        with pytest.raises(ResumeError, match="completed run"):
+            resume_simulation(simulator, fleet, requests)
+        # fresh_ok turns "nothing to resume" (empty dir) into a fresh
+        # run, but never overrides a completed journal.
+        with pytest.raises(ResumeError, match="completed run"):
+            resume_simulation(simulator, fleet, requests, fresh_ok=True)
+
+
+class CorruptingNSTD(NSTDDispatcher):
+    """Ships one deliberately destabilized warm frame, then behaves.
+
+    The corruption swaps the taxi of the first matched request with the
+    matched taxi farthest from it — the abandoned near pair is all but
+    guaranteed blocking, which is exactly the corruption species the
+    auditor exists to catch.
+    """
+
+    corruptions = 0
+
+    def dispatch(self, taxis, requests):
+        schedule = super().dispatch(taxis, requests)
+        if self.corruptions or self.last_frame_mode != "warm":
+            return schedule
+        pairs = schedule_pairs(schedule, taxis, requests)
+        if pairs is None or len(pairs) < 2:
+            return schedule
+        by_taxi = {t.taxi_id: t for t in taxis}
+        by_request = {r.request_id: r for r in requests}
+        first_rid = next(iter(pairs))
+        anchor = by_request[first_rid].pickup
+        far_rid = max(
+            (rid for rid in pairs if rid != first_rid),
+            key=lambda rid: anchor.distance_to(by_taxi[pairs[rid]].location),
+        )
+        pairs[first_rid], pairs[far_rid] = pairs[far_rid], pairs[first_rid]
+        self.corruptions = 1
+        from repro.core.types import DispatchSchedule
+
+        corrupted = DispatchSchedule()
+        for rid, tid in pairs.items():
+            corrupted.add(single_assignment(by_taxi[tid], by_request[rid]))
+        return corrupted
+
+
+class TestEngineAudit:
+    def test_honest_run_audits_clean(self, workload):
+        sim_config, fleet, requests = workload
+        auditor = StabilityAuditor(rate=1.0)
+        result = make_simulator(sim_config, auditor=auditor).run(fleet, requests)
+        perf = result.perf_stats()
+        assert perf["frames_audited"] > 0
+        assert perf["audit_divergences"] == 0
+        assert perf["audit_healed"] == 0
+        assert perf["audit_overhead_fraction"] >= 0.0
+        # Audit telemetry never exists when no auditor is installed.
+        plain = make_simulator(sim_config).run(fleet, requests)
+        assert "frames_audited" not in plain.perf_stats()
+
+    def test_corrupted_warm_frame_is_detected_healed_and_recorded(self, workload):
+        sim_config, fleet, requests = workload
+        honest = make_simulator(sim_config).run(fleet, requests)
+        dispatcher = CorruptingNSTD(ORACLE, sim_config.dispatch, warm_start=True)
+        auditor = StabilityAuditor(rate=1.0)
+        result = make_simulator(
+            sim_config, auditor=auditor, dispatcher=dispatcher
+        ).run(fleet, requests)
+        assert dispatcher.corruptions == 1
+        divergences = result.stability_audit.divergences
+        assert len(divergences) == 1
+        record = divergences[0]
+        assert record.diverged and record.healed
+        assert record.blocking_pairs != 0
+        perf = result.perf_stats()
+        assert perf["audit_divergences"] == 1
+        assert perf["audit_healed"] == 1
+        # Healing recomputed the frame cold after dropping warm state...
+        assert result.dispatch_telemetry.get("warm_invalidation_audit-divergence", 0) == 1
+        # ...so the corruption never reached taxi motion: observables
+        # match an honest run exactly.
+        assert observable(result) == observable(honest)
+
+    def test_audit_sampling_survives_resume(self, workload, tmp_path):
+        # The sampler is hash-based on (seed, frame index): a resumed run
+        # audits exactly the frames the uninterrupted one audits.
+        sim_config, fleet, requests = workload
+        auditor = StabilityAuditor(rate=0.5)
+        uninterrupted = make_simulator(sim_config, auditor=auditor).run(fleet, requests)
+        audited_frames = [r.frame for r in uninterrupted.stability_audit.frames]
+        manager = InterruptingManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY),
+            die_at_frame=40,
+        )
+        with pytest.raises(_Interrupt):
+            make_simulator(
+                sim_config, durability=manager, auditor=StabilityAuditor(rate=0.5)
+            ).run(fleet, requests)
+        resumed_manager = DurabilityManager(
+            DurabilityConfig(tmp_path, checkpoint_every_frames=CHECKPOINT_EVERY)
+        )
+        simulator = make_simulator(
+            sim_config, durability=resumed_manager, auditor=StabilityAuditor(rate=0.5)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = resume_simulation(simulator, fleet, requests)
+        assert [r.frame for r in resumed.stability_audit.frames] == audited_frames
