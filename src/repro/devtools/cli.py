@@ -4,8 +4,17 @@ Usage::
 
     repro-lint src/                      # human-readable, exit 1 on findings
     repro-lint --format json src/        # machine-readable report
+    repro-lint --format sarif src/       # SARIF 2.1.0 for code scanning
     repro-lint --select REP001,REP005 …  # subset of rules
     repro-lint --list-rules              # rule ids, summaries, conventions
+    repro-lint --changed-only a.py -- src/
+                                         # analyze all of src/, report a.py
+
+``--changed-only`` narrows *reporting*, not *analysis*: the project
+context (call graph, mutation summaries, exception flow) is still built
+over every positional path, so cross-file rules judge the named files
+with full context.  Pair it with ``git diff --name-only`` for a fast
+pre-push gate — see ``scripts/run_static_checks.sh --changed-only``.
 
 Also reachable without installation as ``python -m repro.devtools``.
 Exit codes: 0 clean, 1 findings, 2 usage error.
@@ -15,10 +24,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 
 from repro.devtools.engine import lint_paths
+from repro.devtools.findings import LintReport
 from repro.devtools.registry import all_rules
 
 __all__ = ["main", "build_parser"]
@@ -32,14 +43,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif for code-scanning upload)",
     )
     parser.add_argument(
         "--select",
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="+",
+        metavar="FILE",
+        help=(
+            "report findings only for these files; the positional paths "
+            "(after --) are still fully analyzed for cross-file context"
+        ),
     )
     parser.add_argument(
         "--show-suppressed",
@@ -52,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every registered rule and exit",
     )
     return parser
+
+
+def _narrow_to(report: LintReport, files: Sequence[str]) -> None:
+    """Drop findings outside ``files`` (paths compared after normpath)."""
+    focus = {os.path.normpath(path) for path in files}
+    report.findings = [
+        f for f in report.findings if os.path.normpath(f.path) in focus
+    ]
+    report.suppressed = [
+        f for f in report.suppressed if os.path.normpath(f.path) in focus
+    ]
 
 
 def _print_rules() -> None:
@@ -76,9 +107,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
+    if args.changed_only:
+        _narrow_to(report, args.changed_only)
 
     if args.format == "json":
         print(json.dumps(report.to_json(), indent=2))
+        return 0 if report.ok else 1
+
+    if args.format == "sarif":
+        from repro.devtools.sarif import report_to_sarif
+
+        print(json.dumps(report_to_sarif(report), indent=2))
         return 0 if report.ok else 1
 
     for finding in report.findings:

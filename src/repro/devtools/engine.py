@@ -1,4 +1,16 @@
-"""Lint orchestration: walk files, run rules, apply suppressions."""
+"""Lint orchestration: walk files, run rules, apply suppressions.
+
+Since PR 9 the engine is project-wide: every file of the run is parsed
+first, a single :class:`~repro.devtools.project.ProjectContext` is
+built over all of them (symbol table, call graph, mutation summaries),
+and rules then run in two tiers — the classic per-file ``check(ctx)``
+pass and an optional ``project_check(project)`` pass whose findings may
+land in any file of the run.  Suppressions stay per-file and per-line;
+the engine additionally tracks which directives actually waived a
+finding, so stale ``disable=`` comments are reported as
+:data:`~repro.devtools.findings.META_RULE_ID` findings instead of
+silently rotting.
+"""
 
 from __future__ import annotations
 
@@ -9,10 +21,11 @@ from pathlib import Path
 
 from repro.devtools.context import FileContext
 from repro.devtools.findings import META_RULE_ID, Finding, LintReport
+from repro.devtools.project import ProjectContext
 from repro.devtools.registry import all_rules
 from repro.devtools.suppressions import SuppressionIndex
 
-__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+__all__ = ["lint_source", "lint_sources", "lint_file", "lint_paths", "iter_python_files"]
 
 #: Directory names never descended into when expanding path arguments.
 _SKIPPED_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".pytest_cache"}
@@ -28,54 +41,115 @@ def _selected_rules(select: Sequence[str] | None) -> list[object]:
     return [registry[rule_id.upper()]() for rule_id in select]
 
 
-def lint_source(
-    source: str, path: str = "<string>", *, select: Sequence[str] | None = None
+def lint_sources(
+    entries: Sequence[tuple[str, str]], *, select: Sequence[str] | None = None
 ) -> LintReport:
-    """Lint one source string; the core everything else wraps."""
-    report = LintReport(files_checked=1)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        report.findings.append(
-            Finding(
-                rule=META_RULE_ID,
-                message=f"file does not parse: {exc.msg}",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
+    """Lint ``(path, source)`` pairs as one project; the core of every run.
+
+    All parseable files feed one shared :class:`ProjectContext`, so the
+    interprocedural rules see cross-file calls exactly when the files
+    are linted together (the CI gate lints all of ``src/`` at once).
+    """
+    rules = _selected_rules(select)
+    selected_ids = {rule.rule_id for rule in rules}  # type: ignore[attr-defined]
+    registered_ids = set(all_rules())
+    report = LintReport(files_checked=len(entries))
+    contexts: list[FileContext] = []
+    indexes: dict[str, SuppressionIndex] = {}
+    used: set[tuple[int, str]] = set()  # (id(suppression), rule id) pairs that waived
+
+    for path, source in entries:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule=META_RULE_ID,
+                    message=f"file does not parse: {exc.msg}",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                )
             )
-        )
-        return report
-    ctx = FileContext.build(path, source, tree)
-    suppressions = SuppressionIndex(source, path)
-    report.findings.extend(suppressions.malformed)
-    for rule in _selected_rules(select):
-        for finding in rule.check(ctx):
-            waiver = suppressions.lookup(finding.rule, finding.line)
-            if waiver is None:
-                report.findings.append(finding)
-            else:
-                report.suppressed.append(replace(finding, suppression_reason=waiver.reason))
+            continue
+        contexts.append(FileContext.build(path, source, tree))
+        index = SuppressionIndex(source, path)
+        indexes[path] = index
+        report.findings.extend(index.malformed)
+
+    project = ProjectContext.build(contexts)
+
+    def emit(finding: Finding) -> None:
+        index = indexes.get(finding.path)
+        waiver = index.lookup(finding.rule, finding.line) if index is not None else None
+        if waiver is None:
+            report.findings.append(finding)
+        else:
+            used.add((id(waiver), finding.rule))
+            report.suppressed.append(replace(finding, suppression_reason=waiver.reason))
+
+    for rule in rules:
+        check = getattr(rule, "check", None)
+        if check is not None:
+            for ctx in contexts:
+                for finding in check(ctx):
+                    emit(finding)
+        project_check = getattr(rule, "project_check", None)
+        if project_check is not None:
+            for finding in project_check(project):
+                emit(finding)
+
+    # Stale-suppression audit: a directive rule id that ran in this
+    # invocation but waived nothing is dead weight; one naming a rule id
+    # that does not exist at all is a typo.  Ids for *registered but not
+    # selected* rules are left alone — a partial `--select` run cannot
+    # tell whether they would have fired.
+    for path, index in indexes.items():
+        ctx_lines = project.context_for(path).lines if path in project.contexts else []
+        for suppression in index.suppressions:
+            for rule_id in sorted(suppression.rules):
+                if rule_id in registered_ids:
+                    if rule_id not in selected_ids or (id(suppression), rule_id) in used:
+                        continue
+                    message = (
+                        f"unused suppression: {rule_id} does not fire here; "
+                        "delete the directive or narrow its rule list"
+                    )
+                else:
+                    message = (
+                        f"suppression names unknown rule id {rule_id}; "
+                        "it waives nothing"
+                    )
+                snippet = ""
+                if 1 <= suppression.line <= len(ctx_lines):
+                    snippet = ctx_lines[suppression.line - 1].strip()
+                report.findings.append(
+                    Finding(
+                        rule=META_RULE_ID,
+                        message=message,
+                        path=path,
+                        line=suppression.line,
+                        snippet=snippet,
+                    )
+                )
+
     report.sort()
     return report
 
 
+def lint_source(
+    source: str, path: str = "<string>", *, select: Sequence[str] | None = None
+) -> LintReport:
+    """Lint one source string (a one-file project)."""
+    return lint_sources([(path, source)], select=select)
+
+
 def lint_file(path: Path, *, select: Sequence[str] | None = None) -> LintReport:
-    """Lint one file on disk."""
-    try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        report = LintReport(files_checked=1)
-        report.findings.append(
-            Finding(
-                rule=META_RULE_ID,
-                message=f"file is unreadable: {exc}",
-                path=str(path),
-                line=1,
-            )
-        )
-        return report
-    return lint_source(source, str(path), select=select)
+    """Lint one file on disk (a one-file project)."""
+    reports = lint_paths([path], select=select)
+    if reports.files_checked == 0:
+        reports.files_checked = 1
+    return reports
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -95,9 +169,24 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
 def lint_paths(
     paths: Iterable[str | Path], *, select: Sequence[str] | None = None
 ) -> LintReport:
-    """Lint every Python file under ``paths``; the CLI's workhorse."""
-    report = LintReport()
+    """Lint every Python file under ``paths`` as one project."""
+    entries: list[tuple[str, str]] = []
+    unreadable: list[Finding] = []
     for path in iter_python_files(paths):
-        report.extend(lint_file(path, select=select))
-    report.sort()
+        try:
+            entries.append((str(path), path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError) as exc:
+            unreadable.append(
+                Finding(
+                    rule=META_RULE_ID,
+                    message=f"file is unreadable: {exc}",
+                    path=str(path),
+                    line=1,
+                )
+            )
+    report = lint_sources(entries, select=select)
+    if unreadable:
+        report.findings.extend(unreadable)
+        report.files_checked += len(unreadable)
+        report.sort()
     return report

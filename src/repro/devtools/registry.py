@@ -2,10 +2,19 @@
 
 A rule is a class with a ``rule_id``, a one-line ``summary``, a
 ``convention`` note (what repo invariant it guards, and where that
-convention came from), and a ``check(ctx)`` generator yielding
-:class:`~repro.devtools.findings.Finding` objects.  Registration is a
-decorator so adding a rule is one module with one class; the CLI and
-the engine discover everything through :func:`all_rules`.
+convention came from), and at least one of two check entry points:
+
+* ``check(ctx)`` — the per-file tier, a generator over one
+  :class:`~repro.devtools.context.FileContext`;
+* ``project_check(project)`` — the interprocedural tier, a generator
+  over the run's single
+  :class:`~repro.devtools.project.ProjectContext`, whose findings may
+  point into any file of the run.
+
+A rule may implement both (REP002/REP004 keep their per-file syntax
+checks and add cross-call flow on top).  Registration is a decorator so
+adding a rule is one module with one class; the CLI and the engine
+discover everything through :func:`all_rules`.
 """
 
 from __future__ import annotations
@@ -16,18 +25,26 @@ from typing import TYPE_CHECKING, Protocol
 if TYPE_CHECKING:
     from repro.devtools.context import FileContext
     from repro.devtools.findings import Finding
+    from repro.devtools.project import ProjectContext
 
 __all__ = ["LintRule", "register_rule", "all_rules"]
 
 
 class LintRule(Protocol):
-    """Structural interface every registered rule satisfies."""
+    """Structural interface every registered rule satisfies.
+
+    The engine discovers ``check`` / ``project_check`` with ``getattr``,
+    so a rule only defines the tiers it uses; the protocol lists both
+    for documentation.
+    """
 
     rule_id: str
     summary: str
     convention: str
 
     def check(self, ctx: "FileContext") -> Iterator["Finding"]: ...
+
+    def project_check(self, project: "ProjectContext") -> Iterator["Finding"]: ...
 
 
 _REGISTRY: dict[str, type] = {}

@@ -16,6 +16,9 @@ from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     rep005_batched_sources,
     rep006_float_equality,
     rep007_annotations,
+    rep008_durability,
+    rep009_pool_safety,
+    rep010_warm_invalidation,
 )
 
 __all__ = [
@@ -26,4 +29,7 @@ __all__ = [
     "rep005_batched_sources",
     "rep006_float_equality",
     "rep007_annotations",
+    "rep008_durability",
+    "rep009_pool_safety",
+    "rep010_warm_invalidation",
 ]

@@ -9,6 +9,20 @@ third-party call reorders the stream and silently breaks
 bit-reproducibility — and with it the stability guarantees, which
 assume exact, order-stable preference evaluation (Gale–Shapley /
 Roth; see PAPERS.md).
+
+Since PR 9 the rule also checks the *seed itself*, in two tiers:
+
+* per-file — constructing an allowed generator with no seed
+  (``random.Random()``, ``default_rng()``), an explicit ``None`` seed,
+  or a seed drawn from an entropy source (``os.urandom``,
+  ``uuid.uuid4``, ``time.time_ns``, ...) is exactly the
+  non-reproducible stream the allowed-constructor list exists to
+  prevent, and is flagged at the construction site;
+* project-wide — when a generator is seeded from a function parameter
+  whose default is ``None``, every project call site that omits that
+  argument inherits an OS-entropy stream, so the *call sites* are
+  flagged (the construction itself is fine: the parameter exists
+  precisely so config can thread a seed through).
 """
 
 from __future__ import annotations
@@ -18,6 +32,7 @@ from collections.abc import Iterator
 
 from repro.devtools.context import FileContext
 from repro.devtools.findings import Finding
+from repro.devtools.project import FunctionInfo, ProjectContext
 from repro.devtools.registry import register_rule
 
 __all__ = ["SeededRngOnlyRule"]
@@ -38,6 +53,67 @@ _ALLOWED_NUMPY = {
     "MT19937",
 }
 
+#: Canonical dotted names that construct a generator REP002 allows —
+#: and whose seed argument therefore decides reproducibility.
+_GENERATOR_CTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
+#: Canonical dotted names whose value is fresh entropy per process/call.
+_ENTROPY_SOURCES = {
+    "os.urandom",
+    "os.getpid",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+}
+
+#: Keyword names under which the ctors above accept their seed.
+_SEED_KEYWORDS = {"seed", "entropy"}
+
+
+def _seed_argument(call: ast.Call) -> ast.expr | None:
+    """The seed expression of a generator construction, if given."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg in _SEED_KEYWORDS:
+            return keyword.value
+    return None
+
+
+def _forwards_arguments(call: ast.Call) -> bool:
+    """Whether ``*args``/``**kwargs`` at the call defeat seed analysis."""
+    return any(isinstance(arg, ast.Starred) for arg in call.args) or any(
+        keyword.arg is None for keyword in call.keywords
+    )
+
+
+def _entropy_name(seed: ast.expr, ctx: FileContext) -> str | None:
+    """The entropy source feeding ``seed``, if any (recursive)."""
+    for node in ast.walk(seed):
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _ENTROPY_SOURCES:
+                return dotted
+    return None
+
 
 @register_rule
 class SeededRngOnlyRule:
@@ -50,6 +126,8 @@ class SeededRngOnlyRule:
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_construction(ctx, node)
             if not isinstance(node, (ast.Attribute, ast.Name)):
                 continue
             dotted = ctx.dotted_name(node)
@@ -71,3 +149,82 @@ class SeededRngOnlyRule:
                     "default_rng(seed)) and thread it from config",
                     node,
                 )
+
+    def _check_construction(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        dotted = ctx.dotted_name(call.func)
+        if dotted not in _GENERATOR_CTORS or _forwards_arguments(call):
+            return
+        seed = _seed_argument(call)
+        if seed is None:
+            yield ctx.finding(
+                self.rule_id,
+                f"`{dotted}()` constructed without a seed draws OS entropy; "
+                "pass a seed threaded from config",
+                call,
+            )
+            return
+        if isinstance(seed, ast.Constant) and seed.value is None:
+            yield ctx.finding(
+                self.rule_id,
+                f"`{dotted}(None)` is an explicit request for OS entropy; "
+                "pass a seed threaded from config",
+                call,
+            )
+            return
+        entropy = _entropy_name(seed, ctx)
+        if entropy is not None:
+            yield ctx.finding(
+                self.rule_id,
+                f"seed derived from `{entropy}` is fresh entropy per run; "
+                "seeds must come from config so runs are bit-reproducible",
+                call,
+            )
+
+    def project_check(self, project: ProjectContext) -> Iterator[Finding]:
+        # Generators seeded from a ``None``-defaulted parameter: the
+        # construction is deliberate plumbing, but a call site omitting
+        # the argument silently selects OS entropy — flag those.
+        for fn in project.iter_functions():
+            ctx = project.context_for(fn.path)
+            for param in self._none_defaulted_seed_params(fn, ctx):
+                for caller, call in project.callers.get(id(fn), ()):
+                    if project.call_site_omits(call, fn, param):
+                        call_ctx = project.context_for(caller.path)
+                        yield call_ctx.finding(
+                            self.rule_id,
+                            f"call to `{fn.qualname}` omits `{param}`, which "
+                            "defaults to None and seeds an RNG — the stream "
+                            "becomes OS entropy; pass a seed from config",
+                            call,
+                        )
+
+    @staticmethod
+    def _none_defaulted_seed_params(fn: FunctionInfo, ctx: FileContext) -> set[str]:
+        """Parameters of ``fn`` that default to None and seed a generator."""
+        flagged: set[str] = set()
+        none_defaulted = {
+            name
+            for name, default in fn.defaults.items()
+            if isinstance(default, ast.Constant) and default.value is None
+        }
+        if not none_defaulted:
+            return flagged
+        # A param rebound inside the body (``if seed is None: seed = 0``)
+        # no longer carries the None default by the time it seeds.
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        none_defaulted.discard(target.id)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.dotted_name(node.func) not in _GENERATOR_CTORS:
+                continue
+            seed = _seed_argument(node)
+            # Only the bare-parameter shape is flagged: a seed *derived*
+            # from the param (``seed or 0``) already handles None.
+            if isinstance(seed, ast.Name) and seed.id in none_defaulted:
+                flagged.add(seed.id)
+        return flagged

@@ -8,10 +8,20 @@ must reach the resilience ladder / the caller that owns the budget.  A
 bare ``except:``, ``except Exception``, or a catch of one of their
 ancestors (``ReproError``; ``MatchingError`` for the enumeration
 error) silently converts "out of time" into "no result", deadlocking
-the degradation ladder's accounting.  Such a handler is compliant only
-if an *earlier* handler in the same ``try`` names every budget error
-the broad clause could swallow, or if the handler body re-raises
-(a bare ``raise``).  Anything else needs a reasoned suppression.
+the degradation ladder's accounting.
+
+Since PR 9 the rule is interprocedural: it only fires where a budget
+error can actually *reach* the broad handler, computed from the
+project call graph — a ``try`` body whose calls provably cannot raise
+a budget error (stdlib calls, project functions whose transitive
+callees never raise one) is exempt, while a helper three calls deep
+that hits ``budget.checkpoint()`` taints every broad handler above it.
+Calls the graph cannot resolve (callbacks, callables from outside the
+linted set) count as able to raise both errors, so partial knowledge
+errs toward reporting.  A broad handler stays compliant if an
+*earlier* handler in the same ``try`` names every budget error that
+can reach it, or if the handler body re-raises (a bare ``raise``).
+Anything else needs a reasoned suppression.
 """
 
 from __future__ import annotations
@@ -19,22 +29,11 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
-from repro.devtools.context import FileContext
 from repro.devtools.findings import Finding
+from repro.devtools.project import BROAD_CATCHES, BUDGET_ERROR_NAMES, ProjectContext
 from repro.devtools.registry import register_rule
 
 __all__ = ["NoSwallowedBudgetErrorsRule"]
-
-_BUDGET_ERRORS = ("FrameBudgetExceededError", "EnumerationBudgetError")
-
-#: Broad classes mapped to the budget errors they are able to swallow
-#: (``None`` type means a bare ``except:``).
-_BROAD = {
-    "BaseException": _BUDGET_ERRORS,
-    "Exception": _BUDGET_ERRORS,
-    "ReproError": _BUDGET_ERRORS,
-    "MatchingError": ("EnumerationBudgetError",),
-}
 
 
 def _caught_names(handler: ast.ExceptHandler) -> list[str | None]:
@@ -57,9 +56,9 @@ def _swallowable(names: list[str | None]) -> set[str]:
     swallowed: set[str] = set()
     for name in names:
         if name is None:
-            swallowed.update(_BUDGET_ERRORS)
-        elif name in _BROAD:
-            swallowed.update(_BROAD[name])
+            swallowed.update(BUDGET_ERROR_NAMES)
+        elif name in BROAD_CATCHES:
+            swallowed.update(BROAD_CATCHES[name])
     return swallowed
 
 
@@ -79,22 +78,34 @@ class NoSwallowedBudgetErrorsRule:
         "must reach the resilience ladder; broad handlers must exclude or re-raise them."
     )
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Try):
-                continue
-            handled_earlier: set[str] = set()
-            for handler in node.handlers:
-                names = _caught_names(handler)
-                at_risk = _swallowable(names) - handled_earlier
-                if at_risk and not _reraises(handler):
-                    broad = next(n for n in names if n is None or n in _BROAD)
-                    label = "bare except" if broad is None else f"`except {broad}`"
-                    yield ctx.finding(
-                        self.rule_id,
-                        f"{label} can swallow {', '.join(sorted(at_risk))}; catch the "
-                        "budget error in an earlier handler (or re-raise it) so the "
-                        "resilience ladder sees it",
-                        handler,
-                    )
-                handled_earlier.update(n for n in names if isinstance(n, str))
+    def project_check(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn in project.iter_functions():
+            ctx = project.context_for(fn.path)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Try):
+                    continue
+                # Errors that can arrive at this handler chain: raised
+                # in the body directly, or escaping any call reachable
+                # from it (the interprocedural fixpoint).  Nested trys
+                # inside the body already subtracted what they catch.
+                reachable = project.escaping_budget_errors(node.body, fn)
+                if not reachable:
+                    continue
+                handled_earlier: set[str] = set()
+                for handler in node.handlers:
+                    names = _caught_names(handler)
+                    at_risk = (_swallowable(names) & reachable) - handled_earlier
+                    if at_risk and not _reraises(handler):
+                        broad = next(
+                            n for n in names if n is None or n in BROAD_CATCHES
+                        )
+                        label = "bare except" if broad is None else f"`except {broad}`"
+                        yield ctx.finding(
+                            self.rule_id,
+                            f"{label} can swallow {', '.join(sorted(at_risk))}, which "
+                            "the call graph shows can reach this handler; catch the "
+                            "budget error in an earlier handler (or re-raise it) so "
+                            "the resilience ladder sees it",
+                            handler,
+                        )
+                    handled_earlier.update(n for n in names if isinstance(n, str))

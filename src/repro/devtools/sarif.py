@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 serialization of a lint report.
+
+`SARIF <https://sarifweb.azurewebsites.net/>`_ is the interchange
+format GitHub code scanning ingests: uploading the document produced
+here renders every repro-lint finding as an inline annotation on the
+pull request, with the rule's convention text as its help.  The
+emitter targets the minimal subset the ingestion pipeline requires —
+one run, one driver, a ``rules`` table, and one ``result`` per finding
+— and additionally carries waived findings as SARIF ``suppressions``
+(kind ``inSource`` with the directive's reason as the justification),
+so the audit trail of reasoned waivers survives into the scanning UI
+instead of disappearing at the CLI boundary.
+
+Only :mod:`json`-ready dicts are built here; writing is the CLI's job.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devtools.findings import META_RULE_ID, Finding, LintReport
+from repro.devtools.registry import all_rules
+
+__all__ = ["report_to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    descriptors: list[dict[str, Any]] = [
+        {
+            "id": META_RULE_ID,
+            "shortDescription": {"text": "lint-run diagnostic (unsuppressable)"},
+            "fullDescription": {
+                "text": (
+                    "Problems with the lint run itself: unparseable files, "
+                    "malformed or stale suppression directives."
+                )
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    ]
+    for rule_id, cls in all_rules().items():
+        descriptors.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": cls.summary},
+                "fullDescription": {"text": cls.convention},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding, *, suppressed: bool) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.snippet:
+        location = result["locations"][0]["physicalLocation"]
+        location["region"]["snippet"] = {"text": finding.snippet}
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.suppression_reason,
+            }
+        ]
+    return result
+
+
+def report_to_sarif(report: LintReport) -> dict[str, Any]:
+    """The full SARIF document for one lint run."""
+    results = [_result(f, suppressed=False) for f in report.findings]
+    results.extend(_result(f, suppressed=True) for f in report.suppressed)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        # Rule ids double as stable documentation anchors:
+                        # DESIGN.md's enforced-invariants table is the
+                        # authoritative reference for every REPnnn.
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Mapping, Sequence
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.config import DispatchConfig
 from repro.core.errors import DispatchError
@@ -134,6 +134,30 @@ class Dispatcher(abc.ABC):
         stateful dispatchers replace their counter dict so a recovered
         run's telemetry continues from the snapshot instead of zero.
         """
+
+    def state_payload(self) -> dict[str, Any]:
+        """Everything of this dispatcher a checkpoint must round-trip.
+
+        The engine embeds this dict in its frame-boundary snapshots and
+        feeds it back through :meth:`restore_state` on crash-recovery
+        resume; together the pair owns the durability contract that
+        ``repro-lint`` REP008 enforces — every attribute a dispatcher
+        mutates across frames is either reachable from here or declared
+        (with a reason) in a class-level ``DURABILITY_EXCLUSIONS`` dict.
+        The base payload carries the run telemetry; stateful
+        dispatchers extend the dict (keep keys JSON-friendly).
+        """
+        return {"telemetry": dict(self.run_telemetry())}
+
+    def restore_state(self, payload: Mapping[str, Any]) -> None:
+        """Adopt a :meth:`state_payload` snapshot on crash-recovery resume.
+
+        Must restore everything its :meth:`state_payload` captured;
+        tolerate missing keys (payloads written by older schema
+        versions are rejected upstream by the checkpoint loader, so a
+        missing key here only means "state that did not exist yet").
+        """
+        self.restore_telemetry(payload.get("telemetry") or {})
 
     @abc.abstractmethod
     def dispatch(

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -106,6 +107,37 @@ class NSTDDispatcher(Dispatcher):
     """Non-Sharing Taxi Dispatch via stable matching (Algorithms 1 and 2)."""
 
     _NAMES = {"passenger": "NSTD-P", "taxi": "NSTD-T", "median": "NSTD-M"}
+
+    #: The declared durability contract (enforced by repro-lint REP008):
+    #: cross-frame attributes this dispatcher mutates but deliberately
+    #: does NOT persist in :meth:`state_payload`, each with the reason
+    #: it is safe to drop.  Checkpoints are written at frame boundaries
+    #: and a resumed run's first frame always solves cold (the engine
+    #: calls ``reset_warm_state`` before resuming), so derived solver
+    #: state rebuilds itself and nothing here can change the matching.
+    DURABILITY_EXCLUSIONS: ClassVar[dict[str, str]] = {
+        "_warm_state": (
+            "derived per-frame solver state; a resumed run's first frame "
+            "solves cold and reseeds it (bit-identical by the warm-start "
+            "equivalence contract)"
+        ),
+        "_sharded_state": (
+            "derived sharded solver state; rebuilt from the first cold "
+            "frame after resume exactly like _warm_state"
+        ),
+        "_shard_pool": (
+            "live process handles cannot cross a checkpoint; the pool is "
+            "respawned lazily on the first sharded frame after resume"
+        ),
+        "_frame_degraded": (
+            "intra-frame flag consumed before the frame ends; checkpoints "
+            "are only written at frame boundaries where it is always False"
+        ),
+        "last_frame_mode": (
+            "diagnostic label of the previous frame; the auditor only "
+            "samples fast-path frames and the first resumed frame is cold"
+        ),
+    }
 
     def __init__(
         self,
@@ -189,6 +221,19 @@ class NSTDDispatcher(Dispatcher):
     def restore_telemetry(self, counters: Mapping[str, float | int]) -> None:
         """Adopt checkpointed run counters (crash-recovery resume path)."""
         self._telemetry = dict(counters)
+
+    def state_payload(self) -> dict[str, Any]:
+        """The durable cross-frame state: run telemetry only.
+
+        Everything else this dispatcher carries between frames is
+        derived solver state, declared (with reasons) in
+        :data:`DURABILITY_EXCLUSIONS` and rebuilt after resume.
+        """
+        return {"telemetry": dict(self._telemetry)}
+
+    def restore_state(self, payload: Mapping[str, Any]) -> None:
+        """Adopt a :meth:`state_payload` snapshot; solver state stays cold."""
+        self.restore_telemetry(payload.get("telemetry") or {})
 
     def audit_preferences(
         self, taxis: Sequence[Taxi], requests: Sequence[PassengerRequest]

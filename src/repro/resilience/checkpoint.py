@@ -63,8 +63,11 @@ __all__ = [
     "resume_simulation",
 ]
 
-#: Schema version stamped into every snapshot envelope.
-CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+#: Schema version stamped into every snapshot envelope.  /2 replaced
+#: the flat ``telemetry`` dict with the dispatcher-owned ``dispatch``
+#: payload (``Dispatcher.state_payload``); /1 snapshots are refused
+#: rather than guessed at, per the version-skew policy below.
+CHECKPOINT_SCHEMA = "repro-checkpoint/2"
 
 _SNAPSHOT_PREFIX = "snap-"
 _JOURNAL_NAME = "journal.jsonl"

@@ -366,7 +366,7 @@ class Simulator:
             if auditor is not None:
                 for row in _resume.get("audit") or []:
                     auditor.report.record(StabilityAuditRecord(*row))
-            self.dispatcher.restore_telemetry(_resume.get("telemetry") or {})
+            self.dispatcher.restore_state(_resume.get("dispatch") or {})
             if policy is not None and policy.fault_injector is not None:
                 injector_state = _resume.get("fault_injector")
                 if injector_state is not None:
@@ -417,7 +417,7 @@ class Simulator:
                      f.dispatch_ms]
                     for f in frame_stats
                 ],
-                "telemetry": dict(self.dispatcher.run_telemetry()),
+                "dispatch": self.dispatcher.state_payload(),
             }
             if report is not None:
                 payload["resilience"] = [

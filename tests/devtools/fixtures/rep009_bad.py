@@ -1,0 +1,30 @@
+"""Known-bad: unpicklable or state-capturing pool submissions (REP009)."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def _work(seed: int) -> int:
+    return seed * 2
+
+
+def fan_out(seeds: list[int]) -> list[int]:
+    rng = random.Random(7)
+
+    def closure_worker(seed: int) -> int:
+        return int(rng.random() * seed)
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(lambda s: s + 1, seed) for seed in seeds]
+        futures.append(pool.submit(closure_worker, seeds[0]))
+        futures.append(pool.submit(partial(_work, rng)))
+        return [future.result() for future in futures]
+
+
+class ShardEngine:
+    def solve(self, payload: int) -> int:
+        return payload
+
+    def run(self, pool: ProcessPoolExecutor, payloads: list[int]) -> list[int]:
+        return list(pool.map(self.solve, payloads))

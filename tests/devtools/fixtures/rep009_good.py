@@ -1,0 +1,16 @@
+"""Known-good: module-level, capture-free pool submissions (REP009)."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def solve_payload(seed: int, scale: int = 1) -> int:
+    return seed * scale
+
+
+def fan_out(seeds: list[int]) -> list[int]:
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(solve_payload, seed) for seed in seeds]
+        futures.append(pool.submit(partial(solve_payload, scale=3), 5))
+        results = list(pool.map(solve_payload, seeds))
+        return results + [future.result() for future in futures]

@@ -1,0 +1,33 @@
+"""Known-good: every warm-state input mutation reaches a reset (REP010)."""
+
+from typing import Any
+
+
+def frame_state_from_cold(frame: dict[str, Any]) -> dict[str, Any]:
+    return dict(frame)
+
+
+class WarmSolver:
+    def __init__(self) -> None:
+        self._warm_state: dict[str, Any] | None = None
+        self.alpha = 1.0
+        self.bias = 0.0
+
+    def solve(self, frame: dict[str, Any]) -> dict[str, Any]:
+        if self._warm_state is None:
+            self._warm_state = frame_state_from_cold(frame)
+        return {"alpha": self.alpha, "bias": self.bias, **self._warm_state}
+
+    def set_alpha(self, alpha: float) -> None:
+        self.alpha = alpha
+        self.reset_warm_state()
+
+    def set_bias(self, bias: float) -> None:
+        self._retune(bias)
+
+    def _retune(self, bias: float) -> None:
+        self.bias = bias
+        self._warm_state = None
+
+    def reset_warm_state(self) -> None:
+        self._warm_state = None

@@ -46,8 +46,8 @@ class TestTextOutput:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
-            assert rule_id in out
+        for number in range(1, 11):
+            assert f"REP{number:03d}" in out
 
 
 class TestJsonOutput:
@@ -68,6 +68,47 @@ class TestJsonOutput:
             "telemetry only; never feeds a decision",
             "standalone comment covers the next line",
         ]
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self, capsys):
+        assert main(["--format", "sarif", str(FIXTURES / "rep006_bad.py")]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-2.1.0" in doc["$schema"]
+        [run] = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids[0] == "REP000"
+        for number in range(1, 11):
+            assert f"REP{number:03d}" in rule_ids
+
+    def test_sarif_results_carry_locations(self, capsys):
+        assert main(["--format", "sarif", str(FIXTURES / "rep006_bad.py")]) == 1
+        [run] = json.loads(capsys.readouterr().out)["runs"]
+        assert [r["ruleId"] for r in run["results"]] == ["REP006", "REP006"]
+        region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
+        uri = run["results"][0]["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert uri["uri"].endswith("rep006_bad.py")
+
+    def test_sarif_marks_suppressions_in_source(self, capsys):
+        assert main(["--format", "sarif", str(FIXTURES / "suppressions_ok.py")]) == 0
+        [run] = json.loads(capsys.readouterr().out)["runs"]
+        suppressed = [r for r in run["results"] if r.get("suppressions")]
+        assert suppressed, "waived findings must still appear, marked suppressed"
+        for result in suppressed:
+            [entry] = result["suppressions"]
+            assert entry["kind"] == "inSource"
+            assert entry["justification"]
+        active = [r for r in run["results"] if not r.get("suppressions")]
+        assert active == []
+
+    def test_sarif_clean_run_exits_zero(self, capsys):
+        assert main(["--format", "sarif", str(FIXTURES / "rep001_good.py")]) == 0
+        [run] = json.loads(capsys.readouterr().out)["runs"]
+        assert run["results"] == []
 
 
 class TestSelfCheck:

@@ -63,6 +63,9 @@ class TestRuleSelection:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
         ]
         for cls in all_rules().values():
             assert cls.summary and cls.convention

@@ -1,0 +1,286 @@
+"""Project-wide analysis: symbol table, mutation summaries, call graph,
+budget-exception fixpoint, and the interprocedural rule tiers."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.devtools import lint_source
+from repro.devtools.context import FileContext
+from repro.devtools.engine import lint_sources
+from repro.devtools.project import ProjectContext, module_name_for_path
+
+
+def _project(*entries: tuple[str, str]) -> ProjectContext:
+    contexts = [
+        FileContext.build(path, source, ast.parse(source)) for path, source in entries
+    ]
+    return ProjectContext.build(contexts)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert (
+            module_name_for_path("src/repro/matching/sharding.py")
+            == "repro.matching.sharding"
+        )
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/__init__.py") == "repro"
+
+    def test_bare_file_uses_stem(self):
+        assert module_name_for_path("fixture.py") == "fixture"
+
+
+class TestMutationSummaries:
+    SOURCE = (
+        "class Widget:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "        self.count = 0\n"
+        "    def push(self, item):\n"
+        "        self.items.append(item)\n"
+        "        self._bump()\n"
+        "    def _bump(self):\n"
+        "        self.count += 1\n"
+        "    def index(self, pairs):\n"
+        "        for self.cursor in pairs:\n"
+        "            self.table[self.cursor] = 1\n"
+    )
+
+    def test_all_mutation_kinds_recorded(self):
+        project = _project(("w.py", self.SOURCE))
+        widget = project.classes[0]
+        assert set(widget.mutations) == {"items", "count", "cursor", "table"}
+        kinds = {attr: {s.kind for s in sites} for attr, sites in widget.mutations.items()}
+        assert kinds["items"] == {"assign", "call"}  # __init__ assign + .append
+        assert kinds["count"] == {"assign", "augassign"}
+        assert kinds["cursor"] == {"loop"}
+        assert kinds["table"] == {"item"}
+
+    def test_helper_method_mutations_attributed(self):
+        project = _project(("w.py", self.SOURCE))
+        widget = project.classes[0]
+        methods = {s.method for s in widget.mutations["count"]}
+        assert methods == {"__init__", "_bump"}
+
+    def test_self_call_closure_reaches_helpers(self):
+        project = _project(("w.py", self.SOURCE))
+        widget = project.classes[0]
+        assert widget.self_call_closure(["push"]) == {"push", "_bump"}
+        assert widget.attrs_mutated_in(widget.self_call_closure(["push"])) == {
+            "items",
+            "count",
+        }
+
+
+class TestCallResolution:
+    def test_cross_module_alias_resolved(self):
+        helpers = "def solve(x):\n    return x\n"
+        user = (
+            "from helpers import solve as sv\n"
+            "def run(x):\n"
+            "    return sv(x)\n"
+        )
+        project = _project(("helpers.py", helpers), ("user.py", user))
+        run = next(fn for fn in project.functions if fn.name == "run")
+        [site] = [s for s in run.calls]
+        assert not site.unknown
+        assert [t.qualname for t in site.targets] == ["solve"]
+
+    def test_unresolved_local_callable_is_unknown(self):
+        project = _project(("u.py", "def run(step):\n    return step()\n"))
+        run = project.functions[0]
+        [site] = run.calls
+        assert site.unknown and not site.targets
+
+    def test_stdlib_calls_are_inert(self):
+        project = _project(
+            ("u.py", "import json\ndef run(x):\n    return json.dumps(x)\n")
+        )
+        [site] = project.functions[0].calls
+        assert not site.unknown and not site.targets
+
+
+class TestBudgetFixpoint:
+    CHAIN = (
+        "class FrameBudgetExceededError(Exception):\n"
+        "    pass\n"
+        "def leaf():\n"
+        "    raise FrameBudgetExceededError()\n"
+        "def middle():\n"
+        "    return leaf()\n"
+        "def top():\n"
+        "    return middle()\n"
+        "def guarded():\n"
+        "    try:\n"
+        "        return middle()\n"
+        "    except FrameBudgetExceededError:\n"
+        "        return None\n"
+    )
+
+    def test_raise_propagates_transitively(self):
+        project = _project(("c.py", self.CHAIN))
+        by_name = {fn.name: fn for fn in project.functions}
+        for name in ("leaf", "middle", "top"):
+            assert project.budget_raises(by_name[name]) == {
+                "FrameBudgetExceededError"
+            }, name
+
+    def test_named_handler_stops_propagation(self):
+        project = _project(("c.py", self.CHAIN))
+        by_name = {fn.name: fn for fn in project.functions}
+        assert project.budget_raises(by_name["guarded"]) == frozenset()
+
+    def test_bare_reraise_does_not_guard(self):
+        source = (
+            "class EnumerationBudgetError(Exception):\n"
+            "    pass\n"
+            "def leaf():\n"
+            "    raise EnumerationBudgetError()\n"
+            "def relay():\n"
+            "    try:\n"
+            "        return leaf()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        project = _project(("r.py", source))
+        relay = next(fn for fn in project.functions if fn.name == "relay")
+        assert project.budget_raises(relay) == {"EnumerationBudgetError"}
+
+
+class TestInterproceduralRep004:
+    def test_swallow_three_calls_deep_is_flagged(self):
+        helpers = (
+            "def checkpoint(budget):\n"
+            "    raise FrameBudgetExceededError()\n"
+        )
+        caller = (
+            "from helpers import checkpoint\n"
+            "def stage(budget):\n"
+            "    return checkpoint(budget)\n"
+            "def frame(budget):\n"
+            "    try:\n"
+            "        return stage(budget)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        report = lint_sources(
+            [("helpers.py", helpers), ("caller.py", caller)], select=["REP004"]
+        )
+        assert [(f.rule, f.path, f.line) for f in report.findings] == [
+            ("REP004", "caller.py", 7)
+        ]
+        assert "call graph" in report.findings[0].message
+
+    def test_provably_inert_try_body_is_exempt(self):
+        source = (
+            "import json\n"
+            "def load(path):\n"
+            "    try:\n"
+            "        return json.loads(path)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert lint_source(source, "x.py", select=["REP004"]).ok
+
+    def test_single_file_unknown_calls_stay_conservative(self):
+        source = (
+            "def frame(step):\n"
+            "    try:\n"
+            "        return step()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        report = lint_source(source, "x.py", select=["REP004"])
+        assert [(f.rule, f.line) for f in report.findings] == [("REP004", 4)]
+
+
+class TestInterproceduralRep002:
+    def test_call_site_omitting_none_default_seed_flagged(self):
+        maker = (
+            "import random\n"
+            "def make_rng(seed=None):\n"
+            "    return random.Random(seed)\n"
+        )
+        user = (
+            "from maker import make_rng\n"
+            "def run():\n"
+            "    return make_rng()\n"
+            "def run_seeded(cfg):\n"
+            "    return make_rng(cfg.seed)\n"
+        )
+        report = lint_sources([("maker.py", maker), ("user.py", user)], select=["REP002"])
+        assert [(f.rule, f.path, f.line) for f in report.findings] == [
+            ("REP002", "user.py", 3)
+        ]
+        assert "omits `seed`" in report.findings[0].message
+
+    def test_unseeded_constructions_flagged_per_file(self):
+        source = (
+            "import os\n"
+            "import random\n"
+            "from numpy.random import default_rng\n"
+            "a = random.Random()\n"
+            "b = random.Random(None)\n"
+            "c = default_rng(int.from_bytes(os.urandom(4), 'big'))\n"
+        )
+        report = lint_source(source, "x.py", select=["REP002"])
+        assert [(f.rule, f.line) for f in report.findings] == [
+            ("REP002", 4),
+            ("REP002", 5),
+            ("REP002", 6),
+        ]
+
+    def test_rebound_parameter_not_flagged(self):
+        source = (
+            "import random\n"
+            "def make_rng(seed=None):\n"
+            "    if seed is None:\n"
+            "        seed = 0\n"
+            "    return random.Random(seed)\n"
+            "def run():\n"
+            "    return make_rng()\n"
+        )
+        assert lint_source(source, "x.py", select=["REP002"]).ok
+
+
+class TestUnusedSuppressions:
+    def test_stale_directive_reported(self):
+        source = "x = 1  # repro-lint: disable=REP001 nothing fires here\n"
+        report = lint_source(source, "x.py")
+        assert [(f.rule, f.line) for f in report.findings] == [("REP000", 1)]
+        assert "unused suppression" in report.findings[0].message
+
+    def test_unknown_rule_id_reported(self):
+        source = "x = 1  # repro-lint: disable=REP999 typo in the id\n"
+        report = lint_source(source, "x.py")
+        assert [(f.rule, f.line) for f in report.findings] == [("REP000", 1)]
+        assert "unknown rule id" in report.findings[0].message
+
+    def test_used_directive_not_reported(self):
+        source = "import time\nx = time.time()  # repro-lint: disable=REP001 fixture clock\n"
+        report = lint_source(source, "x.py")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["REP001"]
+
+    def test_partial_select_cannot_judge_other_rules(self):
+        # Under --select REP006 the REP001 directive may or may not be
+        # stale — the rule never ran — so it must not be reported.
+        source = "import time\nx = time.time()  # repro-lint: disable=REP001 fixture clock\n"
+        report = lint_source(source, "x.py", select=["REP006"])
+        assert report.ok
+
+    @pytest.mark.parametrize("rule", ["REP001"])
+    def test_stale_and_live_mix(self, rule):
+        source = (
+            "import time\n"
+            "# repro-lint: disable=REP001 covers the next line only\n"
+            "a = time.time()\n"
+            "b = 1  # repro-lint: disable=REP001 stale on this line\n"
+        )
+        report = lint_source(source, "x.py")
+        assert [(f.rule, f.line) for f in report.findings] == [("REP000", 4)]
+        assert [(f.rule, f.line) for f in report.suppressed] == [(rule, 3)]

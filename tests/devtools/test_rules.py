@@ -27,6 +27,9 @@ CASES = [
     ("REP005", "rep005_bad.py", [11, 12], "rep005_good.py"),
     ("REP006", "rep006_bad.py", [5, 7], "rep006_good.py"),
     ("REP007", "rep007_bad.py", [4, 9, 12], "rep007_good.py"),
+    ("REP008", "rep008_bad.py", [17, 36, 44, 60, 66], "rep008_good.py"),
+    ("REP009", "rep009_bad.py", [15, 19, 21, 30], "rep009_good.py"),
+    ("REP010", "rep010_bad.py", [22, 28], "rep010_good.py"),
 ]
 
 

@@ -62,7 +62,13 @@ class TestReasonedSuppressions:
     def test_unrelated_rule_not_waived(self):
         source = "import time\nx = time.time()  # repro-lint: disable=REP006 wrong rule id\n"
         report = lint_source(source, "x.py")
-        assert [(f.rule, f.line) for f in report.findings] == [("REP001", 2)]
+        # The REP001 finding survives, and the directive itself is now
+        # reported as stale: REP006 never fires on that line.
+        assert [(f.rule, f.line) for f in report.findings] == [
+            ("REP000", 2),
+            ("REP001", 2),
+        ]
+        assert "unused suppression" in report.findings[0].message
 
 
 class TestMetaRule:
