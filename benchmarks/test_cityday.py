@@ -1,12 +1,14 @@
 """Paper-scale city-day benchmark: cold vs warm vs sharded-warm NSTD-P.
 
 Runs the full NYC city-day (scale_factor 1.0, the paper's 24-hour
-trace shape) end to end through the simulation engine three times —
+trace shape) end to end through the simulation engine several times —
 the stateless cold dispatcher, the warm-start dispatcher that carries
-solver state across frames, and the spatially sharded warm dispatcher
-that decomposes each frame into θ-ball connected components — asserts
-all runs are bit-identical in everything but wall clock, and writes
-machine-readable ``BENCH_cityday.json`` at the repo root.
+solver state across frames, the spatially sharded warm dispatcher
+that decomposes each frame into θ-ball connected components, and the
+event-driven streaming engine in its epoch-equals-frame equivalence
+mode — asserts all runs are bit-identical in everything but wall
+clock, and writes machine-readable ``BENCH_cityday.json`` at the repo
+root.
 ``scripts/check_bench_regression.py --suite cityday`` compares that
 file against the committed baseline in
 ``benchmarks/BENCH_cityday_baseline.json``.
@@ -40,6 +42,7 @@ from repro.experiments import (
 from repro.geometry import EuclideanDistance
 from repro.resilience import DEFAULT_AUDIT_RATE, StabilityAuditor
 from repro.simulation import Simulator
+from repro.streaming import StreamingEngine
 from repro.trace.profiles import nyc_profile
 
 ORACLE = EuclideanDistance()
@@ -237,6 +240,57 @@ class TestCityDayBenchmark:
         if not SMOKE:
             assert audited_perf["frames_audited"] > 0
             assert audited_perf["audit_overhead_fraction"] < 0.05
+
+        # Event-driven streaming engine in its equivalence mode (epoch
+        # length = frame length, warm per-zone matchers): must be
+        # bit-identical to the cold batch run before any timing counts.
+        def run_streaming():
+            engine = StreamingEngine(ORACLE, sim_config)
+            start = time.perf_counter()
+            result = engine.run(fleet, day_requests)
+            return result, (time.perf_counter() - start) * 1e3
+
+        result_streaming, first_streaming_ms = run_streaming()
+        assert_identical(result_cold, result_streaming)
+        streaming_perf_check = result_streaming.perf_stats()
+        assert streaming_perf_check.get("warm_frames", 0) > 0
+        assert streaming_perf_check.get("zone_groups_degraded", 0) == 0
+        if not SMOKE:
+            assert streaming_perf_check.get("warm_fallbacks", 0) == 0
+        best_streaming = (result_streaming, first_streaming_ms)
+        for _ in range(REPEATS - 1):
+            best_streaming = min(best_streaming, run_streaming(), key=lambda r: r[1])
+        streaming_best_perf = best_streaming[0].perf_stats()
+        record(
+            "cityday_nstd_p_streaming",
+            *best_streaming,
+            baseline="cityday_nstd_p_cold",
+            extra={
+                "events_processed": int(streaming_best_perf["events_processed"]),
+                "events_per_epoch": round(streaming_best_perf["events_per_epoch"], 4),
+                "epochs_run": int(streaming_best_perf["epochs_run"]),
+                "boundary_reconciliations": int(
+                    streaming_best_perf["boundary_reconciliations"]
+                ),
+                "zone_groups_mean": round(
+                    streaming_best_perf.get("zone_groups_mean", 0.0), 4
+                ),
+                "zone_groups_degraded": int(
+                    streaming_best_perf.get("zone_groups_degraded", 0)
+                ),
+                "zones_active_max": int(streaming_best_perf["zones_active_max"]),
+                "zone_queue_depth_max": int(
+                    streaming_best_perf["zone_queue_depth_max"]
+                ),
+                "zone_km": round(streaming_best_perf.get("zone_km", 0.0), 4),
+                "warm_frames": int(streaming_best_perf.get("warm_frames", 0)),
+                "cold_frames": int(streaming_best_perf.get("cold_frames", 0)),
+                "warm_fallbacks": int(streaming_best_perf.get("warm_fallbacks", 0)),
+                "warm_hit_rate": round(
+                    streaming_best_perf.get("warm_hit_rate", 0.0), 4
+                ),
+            },
+        )
 
         payload = {
             "schema": "bench-cityday/1",

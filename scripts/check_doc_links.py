@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set (stdlib only).
+
+Validates every inline markdown link in the checked files:
+
+* **relative file links** must resolve to an existing file or directory
+  (relative to the file containing the link);
+* **anchor fragments** (``path#section`` or ``#section``) must match a
+  heading in the target markdown file, using GitHub's slug rules
+  (lowercase, spaces to dashes, punctuation stripped, duplicate slugs
+  suffixed ``-1``, ``-2``, ...);
+* **bare anchors** (``#section``) are checked against the current file;
+* ``http(s)://`` / ``mailto:`` links are recorded but never fetched —
+  CI must not depend on the network.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link), 2 on usage errors.
+
+Usage::
+
+    python scripts/check_doc_links.py README.md DESIGN.md docs/*.md
+    python scripts/check_doc_links.py --default-set   # the CI file set
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Inline links: [text](target), skipping images' leading "!" is not
+# needed — image targets are files and should resolve too.
+_LINK = re.compile(r"\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+# GitHub slugger: keep word chars, spaces and dashes; drop the rest.
+_SLUG_DROP = re.compile(r"[^\w\- ]", re.UNICODE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+DEFAULT_SET = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs",
+)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = _SLUG_DROP.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes (duplicates suffixed)."""
+    counts: dict[str, int] = {}
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path) -> list[tuple[int, str]]:
+    """(line number, target) for every inline link outside code fences."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for line_no, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((line_no, match.group(1)))
+    return links
+
+
+def check_file(path: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
+    """Broken-link messages for one markdown file."""
+    errors: list[str] = []
+    for line_no, target in iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue  # never fetched; reachability is not CI's call
+        target, _, fragment = target.partition("#")
+        if target:
+            dest = (path.parent / target).resolve()
+            if not dest.exists():
+                errors.append(f"{path}:{line_no}: broken link -> {target}")
+                continue
+        else:
+            dest = path.resolve()
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown are out of scope
+            slugs = slug_cache.get(dest)
+            if slugs is None:
+                slugs = heading_slugs(dest)
+                slug_cache[dest] = slugs
+            if fragment.lower() not in slugs:
+                errors.append(
+                    f"{path}:{line_no}: missing anchor -> "
+                    f"{target or path.name}#{fragment}"
+                )
+    return errors
+
+
+def expand(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in arguments:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(arg)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help="markdown files or directories")
+    parser.add_argument(
+        "--default-set",
+        action="store_true",
+        help=f"check the CI documentation set: {', '.join(DEFAULT_SET)}",
+    )
+    options = parser.parse_args(argv)
+    arguments = list(options.paths)
+    if options.default_set:
+        arguments.extend(name for name in DEFAULT_SET if Path(name).exists())
+    if not arguments:
+        parser.error("no files given (use --default-set for the CI set)")
+    try:
+        files = expand(arguments)
+    except FileNotFoundError as exc:
+        print(f"no such file: {exc}", file=sys.stderr)
+        return 2
+
+    slug_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    links_total = 0
+    for path in files:
+        links_total += len(iter_links(path))
+        errors.extend(check_file(path, slug_cache))
+    for message in errors:
+        print(message)
+    status = "FAILED" if errors else "ok"
+    print(
+        f"doc links: {len(files)} file(s), {links_total} link(s), "
+        f"{len(errors)} broken — {status}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

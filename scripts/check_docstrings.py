@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Docstring-coverage floor for the public API (stdlib ``ast`` only).
+
+Counts every *public* documentable object under the given roots —
+modules, module-level classes and functions, and public methods of
+public classes — and fails when the documented fraction drops below the
+floor. Public means not underscore-prefixed and not nested inside a
+function; ``__init__`` is exempt (the class docstring covers
+construction), as are other dunders, overload stubs, and
+``TYPE_CHECKING`` blocks. Nothing is imported or executed.
+
+The floor ratchets quality without demanding retroactive perfection:
+the repo sits a few points above it, so a PR that lands a batch of
+undocumented public API pulls the number down and fails the gate,
+while one that documents as it goes raises the margin. Raise the floor
+as coverage grows; never lower it.
+
+Usage::
+
+    python scripts/check_docstrings.py src/                # default floor
+    python scripts/check_docstrings.py --floor 0.95 src/
+    python scripts/check_docstrings.py --list-missing src/
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_FLOOR = 0.80
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _documented(node: ast.AST) -> bool:
+    return ast.get_docstring(node) is not None
+
+
+def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Attribute):
+            target = target.attr  # typing.overload
+        if isinstance(target, ast.Name):
+            target = target.id
+        if target == "overload":
+            return True
+    return False
+
+
+def audit_module(path: Path, module: str) -> tuple[list[str], list[str]]:
+    """(documented, missing) fully-qualified names for one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented: list[str] = []
+    missing: list[str] = []
+
+    def record(name: str, node: ast.AST) -> None:
+        (documented if _documented(node) else missing).append(name)
+
+    record(module, tree)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name) and not _is_overload(node):
+                record(f"{module}.{node.name}", node)
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            record(f"{module}.{node.name}", node)
+            for sub in node.body:
+                if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not _is_public(sub.name) or _is_overload(sub):
+                    continue
+                record(f"{module}.{node.name}.{sub.name}", sub)
+    return documented, missing
+
+
+def module_name(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    while "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="+", help="directories or files to audit")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help=f"minimum documented fraction (default {DEFAULT_FLOOR})",
+    )
+    parser.add_argument(
+        "--list-missing",
+        action="store_true",
+        help="print every undocumented public object",
+    )
+    options = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for root in options.roots:
+        path = Path(root)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"no such file: {root}", file=sys.stderr)
+            return 2
+
+    documented: list[str] = []
+    missing: list[str] = []
+    for path in files:
+        try:
+            docs, gaps = audit_module(path, module_name(path))
+        except SyntaxError as exc:
+            print(f"{path}: syntax error ({exc})", file=sys.stderr)
+            return 2
+        documented.extend(docs)
+        missing.extend(gaps)
+
+    total = len(documented) + len(missing)
+    coverage = len(documented) / total if total else 1.0
+    if options.list_missing:
+        for name in missing:
+            print(f"undocumented: {name}")
+    verdict = "ok" if coverage >= options.floor else "FAILED"
+    print(
+        f"docstring coverage: {len(documented)}/{total} public objects "
+        f"({coverage:.1%}) — floor {options.floor:.0%} — {verdict}"
+    )
+    if coverage < options.floor:
+        if not options.list_missing:
+            print("(re-run with --list-missing to see the gaps)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Static-analysis gate for the dispatch core.
 #
-#   scripts/run_static_checks.sh                 # lint + typing + style + tier-1 tests
+#   scripts/run_static_checks.sh                 # lint + docs + typing + style + tier-1 tests
 #   scripts/run_static_checks.sh --fast          # skip the test suite
 #   scripts/run_static_checks.sh --changed-only  # lint only files changed vs main
 #
@@ -60,6 +60,16 @@ else
     if ! python -m repro.devtools src/; then
         failures=$((failures + 1))
     fi
+fi
+
+step "docstring coverage floor (stdlib, scripts/check_docstrings.py)"
+if ! python scripts/check_docstrings.py src/; then
+    failures=$((failures + 1))
+fi
+
+step "markdown link check (stdlib, scripts/check_doc_links.py)"
+if ! python scripts/check_doc_links.py --default-set; then
+    failures=$((failures + 1))
 fi
 
 step "mypy --strict (optional dev dependency)"

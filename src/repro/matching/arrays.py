@@ -92,10 +92,12 @@ class PreferenceArrays:
 
     @property
     def n_proposers(self) -> int:
+        """Number of proposer rows in the market."""
         return len(self.proposer_ids)
 
     @property
     def n_reviewers(self) -> int:
+        """Number of reviewer rows in the market."""
         return len(self.reviewer_ids)
 
     @property

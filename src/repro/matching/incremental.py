@@ -144,6 +144,9 @@ class IncrementalBuildStats:
 
     @property
     def rebuild_fraction(self) -> float:
+        """Fraction of the dense pair block actually scored this frame
+        (``pairs_scored / full_pairs``; 0.0 on an empty frame) — the
+        ``warm_rebuild_fraction`` telemetry field."""
         if self.full_pairs == 0:
             return 0.0
         return self.pairs_scored / self.full_pairs

@@ -150,10 +150,12 @@ class PreferenceTable:
 
     @property
     def proposer_ids(self) -> tuple[int, ...]:
+        """Proposer ids in table insertion order."""
         return tuple(self.proposer_prefs)
 
     @property
     def reviewer_ids(self) -> tuple[int, ...]:
+        """Reviewer ids in table insertion order."""
         return tuple(self.reviewer_prefs)
 
     def proposer_rank(self, proposer_id: int, reviewer_id: int) -> int | None:
@@ -163,10 +165,13 @@ class PreferenceTable:
         return ranks.get(reviewer_id)
 
     def reviewer_rank(self, reviewer_id: int, proposer_id: int) -> int | None:
+        """Rank of ``proposer_id`` in the reviewer's list; ``None`` if
+        unacceptable."""
         ranks = self._reviewer_ranks().get(reviewer_id, {})
         return ranks.get(proposer_id)
 
     def mutually_acceptable(self, proposer_id: int, reviewer_id: int) -> bool:
+        """Whether each side lists the other (dummy beaten both ways)."""
         return self.proposer_rank(proposer_id, reviewer_id) is not None
 
     def proposer_prefers(self, proposer_id: int, reviewer_a: int, reviewer_b: int) -> bool:
@@ -180,6 +185,8 @@ class PreferenceTable:
         return rank_a < rank_b
 
     def reviewer_prefers(self, reviewer_id: int, proposer_a: int, proposer_b: int) -> bool:
+        """Whether the reviewer strictly prefers ``proposer_a`` over
+        ``proposer_b`` (an unlisted proposer never wins)."""
         rank_a = self.reviewer_rank(reviewer_id, proposer_a)
         rank_b = self.reviewer_rank(reviewer_id, proposer_b)
         if rank_a is None:

@@ -44,6 +44,7 @@ class Matching:
 
     @property
     def size(self) -> int:
+        """Number of matched pairs."""
         return len(self._by_proposer)
 
     def reviewer_of(self, proposer_id: int) -> int | None:
@@ -56,16 +57,20 @@ class Matching:
 
     @property
     def matched_proposers(self) -> frozenset[int]:
+        """Ids of proposers holding a (non-dummy) partner."""
         return frozenset(self._by_proposer)
 
     @property
     def matched_reviewers(self) -> frozenset[int]:
+        """Ids of reviewers holding a (non-dummy) partner."""
         return frozenset(self._by_reviewer)
 
     def unmatched_proposers(self, proposer_ids: Iterable[int]) -> list[int]:
+        """The given proposers left with the dummy, in input order."""
         return [p for p in proposer_ids if p not in self._by_proposer]
 
     def unmatched_reviewers(self, reviewer_ids: Iterable[int]) -> list[int]:
+        """The given reviewers left with the dummy, in input order."""
         return [r for r in reviewer_ids if r not in self._by_reviewer]
 
     def as_dict(self) -> dict[int, int]:

@@ -254,6 +254,13 @@ def frame_decomposition(
     """Decompose one frame, degrading to a single global shard whenever
     the grid coarsening would be unsound or unrepresentable.
 
+    ``taxi_xy`` / ``pick_xy`` are ``(T, 2)`` / ``(R, 2)`` km-scaled
+    coordinate arrays in frame order; ``trip_km`` the per-request trip
+    distances aligned with ``pick_xy``; ``alpha_max`` the largest
+    per-driver α in play (radii must cover the choosiest driver);
+    ``cell_km`` overrides the :func:`default_cell_km` grid pitch.
+    Never raises — every degenerate input becomes a fallback.
+
     The fallbacks (recorded in ``degenerate_reason``): an oracle not
     known to dominate L∞ (``"oracle"``), an infinite acceptability
     radius (``"unbounded-radius"``, e.g. both thresholds infinite), a
@@ -409,6 +416,11 @@ def sharded_nonsharing_match(
     sharded path adds budget degradation, process workers and telemetry
     around the same pieces.  Returns the matching and the decomposition
     so callers can inspect shard structure.
+
+    Raises :class:`~repro.core.errors.PreferenceError` on duplicate ids
+    on either side (the same guard every cold builder applies); the
+    per-shard solves propagate any builder error unchanged, so this
+    composition never fails in a way the global solve would not.
     """
     config = config if config is not None else DispatchConfig()
     _, request_ids = _check_global_ids(taxis, requests)

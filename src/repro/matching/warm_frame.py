@@ -242,6 +242,15 @@ def frame_state_from_cold(
     ``matching`` maps request id → taxi id (both NSTD orientations after
     the dispatcher's flip); ``trip`` is the frame's per-request trip
     vector in queue order (the cold path computes it anyway).
+
+    Invariants established for the next frame's
+    :func:`warm_frame_solve`: the returned state pins every ``taxis`` /
+    ``requests`` object alive (so CPython addresses stay unambiguous),
+    records the matched entities' addresses (a matched entity
+    re-presented later is treated as *new* — the §10 soundness rule),
+    and carries the per-entity arrays aligned to this frame's order.
+    Never raises: any id problem was already rejected by the cold solve
+    that produced ``matching``.
     """
     req_ids = np.fromiter(
         (r.request_id for r in requests), dtype=np.int64, count=len(requests)
@@ -294,10 +303,31 @@ def warm_frame_solve(
     array path on the same inputs — see the module docstring for the
     two lemmas this rests on.
 
+    Parameters.  ``state`` is the previous frame's
+    :class:`FrameSolveState`; it is only *read* (a fresh state is
+    returned), so one state object may safely back several lookups —
+    the streaming zone matcher relies on this.  ``taxis`` and
+    ``requests`` are the frame's idle fleet and pending queue;
+    entities carried over from the previous frame must be the *same
+    live objects* for the retained fast path to engage (equal-but-new
+    objects are safely reclassified as new).  ``optimize_for`` selects
+    the proposing side (``"passenger"`` or ``"taxi"``);
+    ``alpha_by_taxi`` overrides ``config.alpha`` per driver.
     ``on_new_trips`` is called once per frame with the ids and trip
     distances of the *new* requests (the only trips computed this
     frame); the dispatcher uses it to keep the engine's request-keyed
     trip memo primed exactly as the cold path's bulk computation does.
+
+    Raises :class:`~repro.core.errors.WarmStartError` — and never a
+    partial result — when a precondition fails, carrying a machine-
+    readable ``reason``: ``duplicate-ids`` (either side repeats an id)
+    or ``bad-alpha`` (negative per-driver α — surfaced here so the cold
+    fallback reports the canonical ``PreferenceError``).  Oracles
+    without exact batch kernels are not an error: strip scoring falls
+    back to the scalar helpers.  The caller must redo the frame cold
+    and re-seed via
+    :func:`frame_state_from_cold`; warm dispatchers count this as a
+    ``warm_fallbacks`` telemetry event.
     """
     n_requests = len(requests)
     n_taxis = len(taxis)

@@ -193,6 +193,7 @@ class CheckpointStore:
         return None
 
     def clear(self) -> None:
+        """Delete every snapshot file (fresh-run initialization)."""
         for path in self.snapshot_paths():
             path.unlink(missing_ok=True)
 
@@ -376,6 +377,9 @@ class DurabilityManager:
         return self._resume.verified if self._resume is not None else 0
 
     def has_artifacts(self) -> bool:
+        """Whether a journal or any snapshot exists on disk — the test
+        :func:`resume_simulation` uses to tell "resume" from "nothing
+        to resume"."""
         return self.journal_path.exists() or bool(self.store.snapshot_paths())
 
 
@@ -400,6 +404,16 @@ def resume_simulation(
     match the journal header.  With ``fresh_ok=True`` an empty directory
     falls back to a normal run instead of raising, which is what lets a
     ``--resume`` flag double as "start if there is nothing to resume".
+
+    Every other refusal is a typed hard error, never a silent restart:
+    :class:`~repro.core.errors.ResumeError` when no manager is
+    installed, there is nothing to resume (without ``fresh_ok``),
+    snapshots exist without a journal, the journal already records a
+    completed run, the snapshot is ahead of the journal frontier, or a
+    replayed frame's digest diverges;
+    :class:`~repro.core.errors.JournalCorruptionError` /
+    :class:`~repro.core.errors.JournalSchemaError` propagate unchanged
+    from :func:`~repro.resilience.journal.read_journal`.
     """
     manager = simulator.durability
     if manager is None:

@@ -116,15 +116,25 @@ class FrameDigest:
                      "pairs_crc", "cum_crc")
 
     def replay_key(self) -> tuple:
+        """The tuple a replayed frame must reproduce exactly
+        (``REPLAY_FIELDS`` only — telemetry fields are excluded)."""
         return tuple(getattr(self, name) for name in self.REPLAY_FIELDS)
 
     def to_record(self) -> dict:
+        """This digest as a journal record (``kind="frame"``, no crc —
+        the writer adds the checksum at append time)."""
         record = asdict(self)
         record["kind"] = "frame"
         return record
 
     @classmethod
     def from_record(cls, record: dict) -> "FrameDigest":
+        """Rebuild a digest from a validated journal record.
+
+        Raises ``TypeError`` on unexpected fields, which
+        :func:`read_journal` converts to a
+        :class:`~repro.core.errors.JournalCorruptionError`.
+        """
         fields = {k: v for k, v in record.items() if k not in ("kind", "crc")}
         return cls(**fields)
 
@@ -186,19 +196,26 @@ class JournalWriter:
         return self._handle
 
     def write_header(self, run_meta: dict) -> None:
+        """Append the header record — first line of every journal,
+        stamped with :data:`JOURNAL_SCHEMA` plus ``run_meta``."""
         record = {"kind": "header", "schema": JOURNAL_SCHEMA}
         record.update(run_meta)
         self._append(record)
 
     def write_frame(self, digest: FrameDigest) -> None:
+        """Append one committed frame's outcome digest."""
         self._append(digest.to_record())
 
     def write_resume(self, *, from_frame: int, snapshot_frame: int) -> None:
+        """Append a resume marker: replay restarted at ``from_frame``
+        from the snapshot taken at ``snapshot_frame``."""
         self._append(
             {"kind": "resume", "from_frame": from_frame, "snapshot_frame": snapshot_frame}
         )
 
     def write_end(self, summary: dict) -> None:
+        """Append the end-of-run record carrying the final summary; a
+        journal without one was interrupted."""
         record = {"kind": "end"}
         record.update(summary)
         self._append(record)
@@ -217,6 +234,8 @@ class JournalWriter:
             fsync(self._handle.fileno())
 
     def close(self) -> None:
+        """Flush, fsync and close the file; safe to call twice (and
+        called by the context-manager exit)."""
         if self._handle is not None:
             self._handle.flush()
             fsync(self._handle.fileno())

@@ -50,6 +50,7 @@ class FrameResilienceRecord:
 
     @property
     def degraded(self) -> bool:
+        """Whether the frame fell below the primary rung (or dropped)."""
         return self.rung_index > 0 or self.rung == DROPPED_RUNG
 
 
@@ -60,6 +61,7 @@ class ResilienceReport:
     frames: list[FrameResilienceRecord] = field(default_factory=list)
 
     def record(self, entry: FrameResilienceRecord) -> None:
+        """Append one frame's resilience record."""
         self.frames.append(entry)
 
     def __len__(self) -> int:
@@ -67,6 +69,7 @@ class ResilienceReport:
 
     @property
     def degraded_frames(self) -> list[FrameResilienceRecord]:
+        """Frames served below the primary rung, in frame order."""
         return [f for f in self.frames if f.degraded]
 
     @property
@@ -76,6 +79,7 @@ class ResilienceReport:
 
     @property
     def faults_absorbed(self) -> int:
+        """Total injected faults the run survived."""
         return sum(f.faults for f in self.frames)
 
     def served_by_rung(self) -> dict[str, int]:
@@ -126,6 +130,7 @@ class StabilityAuditReport:
     frames: list[StabilityAuditRecord] = field(default_factory=list)
 
     def record(self, entry: StabilityAuditRecord) -> None:
+        """Append one audited frame's record."""
         self.frames.append(entry)
 
     def __len__(self) -> int:
@@ -133,10 +138,12 @@ class StabilityAuditReport:
 
     @property
     def divergences(self) -> list[StabilityAuditRecord]:
+        """Audited frames whose warm matching diverged (expected none)."""
         return [f for f in self.frames if f.diverged]
 
     @property
     def audit_ms(self) -> float:
+        """Total wall-clock the auditor spent re-verifying frames."""
         return sum(f.audit_ms for f in self.frames)
 
     def summary(self) -> dict[str, float]:

@@ -164,6 +164,17 @@ class SimulationResult:
             stats["largest_shard_fraction"] = float(
                 self.dispatch_telemetry.get("largest_shard_entities", 0)
             ) / float(entities)
+        epochs = self.dispatch_telemetry.get("epochs_run", 0)
+        if epochs:
+            # Streaming runs: mean event-queue traffic per matching
+            # epoch (arrivals + releases + the epoch event itself).
+            stats["events_per_epoch"] = float(
+                self.dispatch_telemetry.get("events_processed", 0)
+            ) / float(epochs)
+            groups = self.dispatch_telemetry.get("zone_groups", 0)
+            decomposed = self.dispatch_telemetry.get("zone_decomposed_epochs", 0)
+            if decomposed:
+                stats["zone_groups_mean"] = float(groups) / float(decomposed)
         if self.stability_audit is not None:
             # frames_audited / audit_divergences / audit_healed / audit_ms;
             # divergences are expected to stay zero on every committed row.

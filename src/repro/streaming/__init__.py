@@ -1,0 +1,54 @@
+"""Event-driven streaming dispatch core with persistent zone sharding.
+
+The streaming counterpart to the batch :class:`~repro.simulation.
+engine.Simulator`: a monotonic virtual-clock event queue (request
+arrivals, taxi releases, self-scheduling matching epochs) drives a
+persistent per-zone NSTD matcher with explicit boundary-taxi
+reconciliation and per-zone budget slices.  With the epoch length
+equal to the batch frame length the engine is bit-identical to the
+batch engine — the proven equivalence mode the city-day benchmark
+asserts — and a shorter epoch gives sub-frame reaction latency.
+
+See DESIGN.md §14 and docs/ARCHITECTURE.md for the architecture.
+"""
+
+from repro.streaming.engine import StreamingEngine
+from repro.streaming.events import (
+    PRIORITY_MATCHING_EPOCH,
+    PRIORITY_REQUEST_ARRIVAL,
+    PRIORITY_TAXI_RELEASE,
+    Event,
+    EventQueue,
+    MatchingEpoch,
+    RequestArrival,
+    TaxiRelease,
+)
+from repro.streaming.matcher import EpochMatchReport, ZoneMatcher
+from repro.streaming.zones import (
+    DEGENERATE_ANCHOR,
+    EpochZonePlan,
+    ZoneGroup,
+    coarse_epoch_plan,
+    plan_epoch_zones,
+    zone_queue_depths,
+)
+
+__all__ = [
+    "StreamingEngine",
+    "ZoneMatcher",
+    "EpochMatchReport",
+    "EventQueue",
+    "Event",
+    "RequestArrival",
+    "TaxiRelease",
+    "MatchingEpoch",
+    "PRIORITY_TAXI_RELEASE",
+    "PRIORITY_REQUEST_ARRIVAL",
+    "PRIORITY_MATCHING_EPOCH",
+    "ZoneGroup",
+    "EpochZonePlan",
+    "plan_epoch_zones",
+    "coarse_epoch_plan",
+    "zone_queue_depths",
+    "DEGENERATE_ANCHOR",
+]
